@@ -1,0 +1,74 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! each variant disables one mechanism of the CPLA engine so its runtime
+//! contribution is measurable (the quality side of these ablations is
+//! printed by the `ablation` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cpla::problem::ProblemConfig;
+use cpla::CplaConfig;
+use cpla_bench::{run_cpla, Prepared};
+use ispd::SyntheticConfig;
+use solver::SdpSolver;
+
+fn reduced() -> Prepared {
+    let mut config = SyntheticConfig::small(31337);
+    config.num_nets = 500;
+    config.capacity = 4;
+    Prepared::from_config(&config)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let prepared = reduced();
+    let released = prepared.released(0.05);
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    group.bench_function("default", |b| {
+        b.iter(|| run_cpla(&prepared, &released, CplaConfig::default()))
+    });
+
+    // Self-adaptive quadtree off: one huge bound keeps the uniform K×K
+    // division only (paper Fig. 8 / §3.2 ablation).
+    group.bench_function("uniform_partition_only", |b| {
+        let config = CplaConfig {
+            max_segments_per_partition: usize::MAX / 2,
+            ..CplaConfig::default()
+        };
+        b.iter(|| run_cpla(&prepared, &released, config))
+    });
+
+    // Via-capacity penalty off (paper §3.3: penalty folded into T).
+    group.bench_function("no_via_penalty", |b| {
+        let config = CplaConfig {
+            problem: ProblemConfig { via_penalty_weight: 0.0 },
+            ..CplaConfig::default()
+        };
+        b.iter(|| run_cpla(&prepared, &released, config))
+    });
+
+    // Uniform (TILA-style) objective instead of critical-path focus.
+    group.bench_function("focus_zero", |b| {
+        let config = CplaConfig { focus: 0.0, ..CplaConfig::default() };
+        b.iter(|| run_cpla(&prepared, &released, config))
+    });
+
+    // Tight vs loose ADMM iteration budget.
+    for iters in [50usize, 200, 600] {
+        group.bench_function(format!("admm_iters_{iters}"), |b| {
+            let config = CplaConfig {
+                solver: cpla::SolverKind::Sdp(SdpSolver {
+                    max_iterations: iters,
+                    tolerance: 1e-4,
+                    ..SdpSolver::default()
+                }),
+                ..CplaConfig::default()
+            };
+            b.iter(|| run_cpla(&prepared, &released, config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, bench_ablation);
+criterion_main!(ablation);

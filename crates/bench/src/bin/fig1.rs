@@ -1,0 +1,61 @@
+//! Fig. 1: pin-delay distribution of critical nets on adaptec1 under
+//! TILA vs CPLA, 0.5% of nets released.
+//!
+//! Prints two histograms over a shared delay range (log-scaled ASCII
+//! bars, like the paper's log pin-count axis) plus the tail statistics
+//! the figure is about: CPLA's worst pins sit in lower delay bins.
+//!
+//! Usage: `fig1 [benchmark]` (default adaptec1).
+
+use cpla::CplaConfig;
+use cpla_bench::{
+    benchmarks_from_args, released_sink_delays, run_cpla, run_tila, Prepared,
+};
+use tila::TilaConfig;
+use timing::DelayHistogram;
+
+fn main() {
+    let configs = benchmarks_from_args(&["adaptec1"]);
+    for config in &configs {
+        let prepared = Prepared::from_config(config);
+        let released = prepared.released(0.005);
+        println!(
+            "== Fig. 1 ({}) — {} critical nets ==",
+            config.name,
+            released.len()
+        );
+
+        let (tila_run, _) =
+            run_tila(&prepared, &released, TilaConfig::default());
+        let (cpla_run, _) =
+            run_cpla(&prepared, &released, CplaConfig::default());
+
+        let tila_delays =
+            released_sink_delays(&tila_run, &prepared.netlist, &released);
+        let cpla_delays =
+            released_sink_delays(&cpla_run, &prepared.netlist, &released);
+
+        let hi = tila_delays
+            .iter()
+            .chain(&cpla_delays)
+            .copied()
+            .fold(0.0f64, f64::max);
+        let bins = 16;
+        let tila_hist = DelayHistogram::with_range(&tila_delays, 0.0, hi, bins);
+        let cpla_hist = DelayHistogram::with_range(&cpla_delays, 0.0, hi, bins);
+
+        println!("-- (a) TILA: pin count per delay bin --");
+        print!("{tila_hist}");
+        println!("-- (b) ours (CPLA-SDP) --");
+        print!("{cpla_hist}");
+
+        let worst = |d: &[f64]| d.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "worst pin delay: TILA {:.1}  CPLA {:.1}  (tail bin {} vs {})",
+            worst(&tila_delays),
+            worst(&cpla_delays),
+            tila_hist.tail_bin().map_or(0, |b| b + 1),
+            cpla_hist.tail_bin().map_or(0, |b| b + 1),
+        );
+    }
+}

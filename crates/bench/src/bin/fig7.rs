@@ -1,0 +1,70 @@
+//! Fig. 7: ILP vs SDP on the six small test cases — average critical
+//! delay (a), maximum critical delay (b) and runtime (c).
+//!
+//! Both methods solve the *same* per-partition formulation; the ILP is
+//! exact branch-and-bound, the SDP is the relaxation plus post-mapping.
+//! The partition bound is raised above the production default (10 → 24)
+//! because exact search on 10-segment blocks is trivial for a
+//! special-purpose branch-and-bound, whereas the paper's GUROBI runs pay
+//! per-instance overhead; at 24 segments per partition the exponential
+//! nature of exact search shows while the polynomial SDP stays flat —
+//! the crossover Fig. 7(c) is about. See `EXPERIMENTS.md`.
+//!
+//! Usage: `fig7 [benchmark ...]` (defaults to the paper's six).
+
+use cpla::{CplaConfig, SolverKind};
+use cpla_bench::{benchmarks_from_args, row, run_cpla, Prepared};
+
+fn main() {
+    let configs = benchmarks_from_args(&[
+        "adaptec1", "adaptec2", "bigblue1", "newblue1", "newblue2",
+        "newblue4",
+    ]);
+    let partition_bound = 24;
+    let widths = [9usize, 12, 12, 9, 12, 12, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "bench".into(),
+                "ILP.Avg".into(),
+                "ILP.Max".into(),
+                "ILP.s".into(),
+                "SDP.Avg".into(),
+                "SDP.Max".into(),
+                "SDP.s".into(),
+            ],
+            &widths
+        )
+    );
+    for config in &configs {
+        let prepared = Prepared::from_config(config);
+        let released = prepared.released(0.005);
+        let ilp_config = CplaConfig {
+            solver: SolverKind::Ilp { node_budget: 50_000_000 },
+            max_segments_per_partition: partition_bound,
+            ..CplaConfig::default()
+        };
+        let sdp_config = CplaConfig {
+            max_segments_per_partition: partition_bound,
+            ..CplaConfig::default()
+        };
+        let (ilp, _) = run_cpla(&prepared, &released, ilp_config);
+        let (sdp, _) = run_cpla(&prepared, &released, sdp_config);
+        println!(
+            "{}",
+            row(
+                &[
+                    config.name.clone(),
+                    format!("{:.1}", ilp.metrics.avg_tcp),
+                    format!("{:.1}", ilp.metrics.max_tcp),
+                    format!("{:.2}", ilp.seconds),
+                    format!("{:.1}", sdp.metrics.avg_tcp),
+                    format!("{:.1}", sdp.metrics.max_tcp),
+                    format!("{:.2}", sdp.seconds),
+                ],
+                &widths
+            )
+        );
+    }
+}

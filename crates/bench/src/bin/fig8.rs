@@ -1,0 +1,59 @@
+//! Fig. 8: impact of the self-adaptive partition bound (max segments per
+//! partition, swept 5–80) on Avg(T_cp) (a), Max(T_cp) (b) and runtime
+//! (c), for three small cases.
+//!
+//! The paper's observation: quality is nearly flat across the sweep
+//! while runtime grows steeply with the bound, with a sweet spot around
+//! 10 — which is the production default.
+//!
+//! Usage: `fig8 [benchmark ...]` (defaults to adaptec1 adaptec2
+//! bigblue1).
+
+use cpla::CplaConfig;
+use cpla_bench::{benchmarks_from_args, row, run_cpla, Prepared};
+
+fn main() {
+    let configs =
+        benchmarks_from_args(&["adaptec1", "adaptec2", "bigblue1"]);
+    let bounds = [5usize, 10, 20, 40, 80];
+    let widths = [9usize, 8, 12, 12, 9, 7];
+    println!(
+        "{}",
+        row(
+            &[
+                "bench".into(),
+                "bound".into(),
+                "Avg(Tcp)".into(),
+                "Max(Tcp)".into(),
+                "time(s)".into(),
+                "parts".into(),
+            ],
+            &widths
+        )
+    );
+    for config in &configs {
+        let prepared = Prepared::from_config(config);
+        let released = prepared.released(0.005);
+        for &bound in &bounds {
+            let cfg = CplaConfig {
+                max_segments_per_partition: bound,
+                ..CplaConfig::default()
+            };
+            let (run, report) = run_cpla(&prepared, &released, cfg);
+            println!(
+                "{}",
+                row(
+                    &[
+                        config.name.clone(),
+                        bound.to_string(),
+                        format!("{:.1}", run.metrics.avg_tcp),
+                        format!("{:.1}", run.metrics.max_tcp),
+                        format!("{:.2}", run.seconds),
+                        report.partition_stats.leaves.to_string(),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+}

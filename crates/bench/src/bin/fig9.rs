@@ -1,0 +1,61 @@
+//! Fig. 9: impact of the critical ratio (0.5%–2.5%) on Avg(T_cp) (a),
+//! Max(T_cp) (b) and runtime (c), TILA vs SDP, on adaptec1.
+//!
+//! The paper's observations: average timing drifts down slightly as
+//! more nets are released for both engines; TILA does not control the
+//! maximum timing well; SDP runtime grows proportionally to the ratio
+//! (well-controlled scalability).
+//!
+//! Usage: `fig9 [benchmark]` (default adaptec1).
+
+use cpla::CplaConfig;
+use cpla_bench::{benchmarks_from_args, row, run_cpla, run_tila, Prepared};
+use tila::TilaConfig;
+
+fn main() {
+    let configs = benchmarks_from_args(&["adaptec1"]);
+    let ratios = [0.005f64, 0.010, 0.015, 0.020, 0.025];
+    let widths = [9usize, 7, 12, 12, 8, 12, 12, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "bench".into(),
+                "ratio%".into(),
+                "T.Avg".into(),
+                "T.Max".into(),
+                "T.s".into(),
+                "S.Avg".into(),
+                "S.Max".into(),
+                "S.s".into(),
+            ],
+            &widths
+        )
+    );
+    for config in &configs {
+        let prepared = Prepared::from_config(config);
+        for &ratio in &ratios {
+            let released = prepared.released(ratio);
+            let (t, _) =
+                run_tila(&prepared, &released, TilaConfig::default());
+            let (s, _) =
+                run_cpla(&prepared, &released, CplaConfig::default());
+            println!(
+                "{}",
+                row(
+                    &[
+                        config.name.clone(),
+                        format!("{:.1}", ratio * 100.0),
+                        format!("{:.1}", t.metrics.avg_tcp),
+                        format!("{:.1}", t.metrics.max_tcp),
+                        format!("{:.2}", t.seconds),
+                        format!("{:.1}", s.metrics.avg_tcp),
+                        format!("{:.1}", s.metrics.max_tcp),
+                        format!("{:.2}", s.seconds),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Table 2: TILA-0.5% vs SDP-0.5% on the 15 ISPD'08 benchmarks.
+//!
+//! Reports, per benchmark and engine: `Avg(T_cp)`, `Max(T_cp)`, via
+//! overflow `OV#`, via count `via#` and runtime, plus the normalized
+//! ratio row the paper ends the table with.
+//!
+//! Usage: `table2 [benchmark ...]` (defaults to all 15).
+
+use cpla::CplaConfig;
+use cpla_bench::{benchmarks_from_args, row, run_cpla, run_tila, Prepared};
+use tila::TilaConfig;
+
+fn main() {
+    let configs = benchmarks_from_args(&[
+        "adaptec1", "adaptec2", "adaptec3", "adaptec4", "adaptec5",
+        "bigblue1", "bigblue2", "bigblue3", "bigblue4", "newblue1",
+        "newblue2", "newblue4", "newblue5", "newblue6", "newblue7",
+    ]);
+    let ratio = 0.005;
+
+    let widths = [9usize, 10, 10, 8, 8, 8, 10, 10, 8, 8, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "bench".into(),
+                "T.Avg".into(),
+                "T.Max".into(),
+                "T.OV#".into(),
+                "T.via#".into(),
+                "T.CPU".into(),
+                "S.Avg".into(),
+                "S.Max".into(),
+                "S.OV#".into(),
+                "S.via#".into(),
+                "S.CPU".into(),
+            ],
+            &widths
+        )
+    );
+
+    let mut sums = [0.0f64; 10];
+    let mut count = 0usize;
+    for config in &configs {
+        let prepared = Prepared::from_config(config);
+        let released = prepared.released(ratio);
+        let (tila_run, _) =
+            run_tila(&prepared, &released, TilaConfig::default());
+        let (sdp_run, _) =
+            run_cpla(&prepared, &released, CplaConfig::default());
+
+        let t = &tila_run.metrics;
+        let s = &sdp_run.metrics;
+        println!(
+            "{}",
+            row(
+                &[
+                    config.name.clone(),
+                    format!("{:.1}", t.avg_tcp),
+                    format!("{:.1}", t.max_tcp),
+                    format!("{}", t.via_overflow),
+                    format!("{}", t.via_count),
+                    format!("{:.2}", tila_run.seconds),
+                    format!("{:.1}", s.avg_tcp),
+                    format!("{:.1}", s.max_tcp),
+                    format!("{}", s.via_overflow),
+                    format!("{}", s.via_count),
+                    format!("{:.2}", sdp_run.seconds),
+                ],
+                &widths
+            )
+        );
+        let vals = [
+            t.avg_tcp,
+            t.max_tcp,
+            t.via_overflow as f64,
+            t.via_count as f64,
+            tila_run.seconds,
+            s.avg_tcp,
+            s.max_tcp,
+            s.via_overflow as f64,
+            s.via_count as f64,
+            sdp_run.seconds,
+        ];
+        for (acc, v) in sums.iter_mut().zip(vals) {
+            *acc += v;
+        }
+        count += 1;
+    }
+
+    if count > 0 {
+        let avg: Vec<f64> = sums.iter().map(|s| s / count as f64).collect();
+        let mut cells = vec!["average".to_string()];
+        cells.extend(avg.iter().map(|v| format!("{v:.1}")));
+        println!("{}", row(&cells, &widths));
+        // Ratio row: SDP normalized to TILA = 1.00 (paper reports 0.86 /
+        // 0.96 / 0.90 / 1.00 / 3.16).
+        let ratio_of = |i: usize| {
+            if avg[i] > 0.0 { avg[i + 5] / avg[i] } else { f64::NAN }
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    "ratio".into(),
+                    "1.00".into(),
+                    "1.00".into(),
+                    "1.00".into(),
+                    "1.00".into(),
+                    "1.00".into(),
+                    format!("{:.2}", ratio_of(0)),
+                    format!("{:.2}", ratio_of(1)),
+                    format!("{:.2}", ratio_of(2)),
+                    format!("{:.2}", ratio_of(3)),
+                    format!("{:.2}", ratio_of(4)),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Hand-rolled argument parsing (no external dependencies), kept in a
+//! module so it is unit-testable.
+
+use std::fmt;
+
+/// Which engine `optimize` runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// CPLA with the SDP relaxation (default).
+    Sdp,
+    /// CPLA with the exact branch-and-bound ILP.
+    Ilp,
+    /// The TILA Lagrangian baseline.
+    Tila,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Engine::Sdp => f.write_str("sdp"),
+            Engine::Ilp => f.write_str("ilp"),
+            Engine::Tila => f.write_str("tila"),
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Command {
+    /// `generate <benchmark> -o <file>`: write a synthetic benchmark in
+    /// the ISPD'08 format.
+    Generate {
+        /// Named benchmark (e.g. `adaptec1`) or `small:<seed>`.
+        benchmark: String,
+        /// Output path.
+        output: String,
+    },
+    /// `report <file>`: parse, route, initially assign, print a summary.
+    Report {
+        /// ISPD'08 input path.
+        input: String,
+    },
+    /// `optimize <file> [--ratio R] [--engine sdp|ilp|tila]
+    /// [--neighbors] [--threads N]`: run incremental layer assignment.
+    Optimize {
+        /// ISPD'08 input path.
+        input: String,
+        /// Critical ratio (fraction of nets released).
+        ratio: f64,
+        /// Engine selection.
+        engine: Engine,
+        /// Enable the neighbor-release extension.
+        neighbors: bool,
+        /// Partition-solver threads.
+        threads: usize,
+    },
+    /// `svg <file> -o <out.svg> [--ratio R]`: render congestion +
+    /// critical nets after the initial assignment.
+    Svg {
+        /// ISPD'08 input path.
+        input: String,
+        /// Output SVG path.
+        output: String,
+        /// Critical ratio used for the highlight set.
+        ratio: f64,
+    },
+    /// `help`.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+cpla-cli — critical-path layer assignment
+
+USAGE:
+  cpla-cli generate <benchmark> -o <file.ispd>
+  cpla-cli report   <file.ispd>
+  cpla-cli optimize <file.ispd> [--ratio 0.005] [--engine sdp|ilp|tila]
+                                [--neighbors] [--threads N]
+  cpla-cli svg      <file.ispd> -o <out.svg> [--ratio 0.005]
+  cpla-cli help
+
+Benchmarks: adaptec1..5, bigblue1..4, newblue1,2,4,5,6,7, small:<seed>.";
+
+/// Parses the argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed input.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let benchmark = it
+                .next()
+                .ok_or("generate: missing <benchmark>")?
+                .clone();
+            let mut output = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "-o" | "--output" => {
+                        output = Some(
+                            it.next()
+                                .ok_or("generate: -o needs a path")?
+                                .clone(),
+                        );
+                    }
+                    other => {
+                        return Err(format!(
+                            "generate: unknown argument `{other}`"
+                        ))
+                    }
+                }
+            }
+            let output = output.ok_or("generate: -o <file> is required")?;
+            Ok(Command::Generate { benchmark, output })
+        }
+        "report" => {
+            let input =
+                it.next().ok_or("report: missing <file>")?.clone();
+            if let Some(extra) = it.next() {
+                return Err(format!("report: unexpected `{extra}`"));
+            }
+            Ok(Command::Report { input })
+        }
+        "optimize" => {
+            let input =
+                it.next().ok_or("optimize: missing <file>")?.clone();
+            let mut ratio = 0.005f64;
+            let mut engine = Engine::Sdp;
+            let mut neighbors = false;
+            let mut threads = 1usize;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--ratio" => {
+                        let v = it.next().ok_or("--ratio needs a value")?;
+                        ratio = v
+                            .parse()
+                            .map_err(|_| format!("bad ratio `{v}`"))?;
+                        if !(0.0..=1.0).contains(&ratio) {
+                            return Err(format!(
+                                "ratio {ratio} outside 0..=1"
+                            ));
+                        }
+                    }
+                    "--engine" => {
+                        let v = it.next().ok_or("--engine needs a value")?;
+                        engine = match v.as_str() {
+                            "sdp" => Engine::Sdp,
+                            "ilp" => Engine::Ilp,
+                            "tila" => Engine::Tila,
+                            other => {
+                                return Err(format!(
+                                    "unknown engine `{other}`"
+                                ))
+                            }
+                        };
+                    }
+                    "--neighbors" => neighbors = true,
+                    "--threads" => {
+                        let v = it.next().ok_or("--threads needs a value")?;
+                        threads = v
+                            .parse()
+                            .map_err(|_| format!("bad thread count `{v}`"))?;
+                        if threads == 0 {
+                            return Err("--threads must be positive".into());
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "optimize: unknown argument `{other}`"
+                        ))
+                    }
+                }
+            }
+            Ok(Command::Optimize { input, ratio, engine, neighbors, threads })
+        }
+        "svg" => {
+            let input = it.next().ok_or("svg: missing <file>")?.clone();
+            let mut output = None;
+            let mut ratio = 0.005f64;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "-o" | "--output" => {
+                        output = Some(
+                            it.next().ok_or("svg: -o needs a path")?.clone(),
+                        );
+                    }
+                    "--ratio" => {
+                        let v = it.next().ok_or("--ratio needs a value")?;
+                        ratio = v
+                            .parse()
+                            .map_err(|_| format!("bad ratio `{v}`"))?;
+                    }
+                    other => {
+                        return Err(format!("svg: unknown argument `{other}`"))
+                    }
+                }
+            }
+            let output = output.ok_or("svg: -o <file> is required")?;
+            Ok(Command::Svg { input, output, ratio })
+        }
+        other => Err(format!("unknown command `{other}` (try `help`)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_requires_output() {
+        let err = parse(&v(&["generate", "adaptec1"])).unwrap_err();
+        assert!(err.contains("-o"), "{err}");
+        let ok =
+            parse(&v(&["generate", "adaptec1", "-o", "x.ispd"])).unwrap();
+        assert_eq!(
+            ok,
+            Command::Generate {
+                benchmark: "adaptec1".into(),
+                output: "x.ispd".into()
+            }
+        );
+    }
+
+    #[test]
+    fn optimize_defaults_and_flags() {
+        let c = parse(&v(&["optimize", "d.ispd"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Optimize {
+                input: "d.ispd".into(),
+                ratio: 0.005,
+                engine: Engine::Sdp,
+                neighbors: false,
+                threads: 1,
+            }
+        );
+        let c = parse(&v(&[
+            "optimize", "d.ispd", "--ratio", "0.02", "--engine", "tila",
+            "--neighbors", "--threads", "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Optimize {
+                input: "d.ispd".into(),
+                ratio: 0.02,
+                engine: Engine::Tila,
+                neighbors: true,
+                threads: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn svg_parses_with_defaults() {
+        let c = parse(&v(&["svg", "d.ispd", "-o", "x.svg"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Svg {
+                input: "d.ispd".into(),
+                output: "x.svg".into(),
+                ratio: 0.005
+            }
+        );
+        assert!(parse(&v(&["svg", "d.ispd"])).is_err());
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(parse(&v(&["optimize", "d", "--ratio", "2.0"])).is_err());
+        assert!(parse(&v(&["optimize", "d", "--engine", "magic"])).is_err());
+        assert!(parse(&v(&["optimize", "d", "--threads", "0"])).is_err());
+        assert!(parse(&v(&["report", "a", "b"])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! `cpla-cli`: the command-line front end of the CPLA workspace.
+//!
+//! ```text
+//! cpla-cli generate adaptec1 -o adaptec1.ispd
+//! cpla-cli report adaptec1.ispd
+//! cpla-cli optimize adaptec1.ispd --ratio 0.005 --engine sdp
+//! ```
+
+mod args;
+mod svg;
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use args::{Command, Engine, USAGE};
+use cpla::{Cpla, CplaConfig, Metrics, SolverKind};
+use ispd::SyntheticConfig;
+use route::{initial_assignment, route_netlist, RouterConfig};
+use tila::{Tila, TilaConfig};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Generate { benchmark, output } => {
+            let config = resolve_benchmark(&benchmark)?;
+            let design = config.design()?;
+            let file = File::create(&output)
+                .map_err(|e| format!("cannot create {output}: {e}"))?;
+            ispd::write(&design, BufWriter::new(file))
+                .map_err(|e| format!("write failed: {e}"))?;
+            println!(
+                "wrote {output}: {}x{}x{} grid, {} nets",
+                design.grid_x,
+                design.grid_y,
+                design.num_layers,
+                design.nets.len()
+            );
+            Ok(())
+        }
+        Command::Report { input } => {
+            let (mut grid, specs) = load(&input)?;
+            let t0 = Instant::now();
+            let netlist =
+                route_netlist(&grid, &specs, &RouterConfig::default());
+            let assignment = initial_assignment(&mut grid, &netlist);
+            let report = timing::analyze(&grid, &netlist, &assignment);
+            println!(
+                "{input}: {}x{}x{} grid, {} nets routed in {:.2}s",
+                grid.width(),
+                grid.height(),
+                grid.num_layers(),
+                netlist.len(),
+                t0.elapsed().as_secs_f64()
+            );
+            println!(
+                "wirelength {}  vias {}  wire-OV {}  via-OV {}",
+                netlist
+                    .nets()
+                    .iter()
+                    .map(|n| n.tree().wirelength())
+                    .sum::<u64>(),
+                assignment.total_via_count(&netlist),
+                grid.total_wire_overflow(),
+                grid.total_via_overflow()
+            );
+            println!(
+                "critical-path delay: avg {:.1}  max {:.1}",
+                report.avg_critical_delay(),
+                report.max_critical_delay()
+            );
+            let order = report.nets_by_criticality();
+            println!("worst 5 nets:");
+            for &i in order.iter().take(5) {
+                println!(
+                    "  {:<12} Tcp {:.1}",
+                    netlist.net(i).name(),
+                    report.net(i).critical_delay()
+                );
+            }
+            Ok(())
+        }
+        Command::Svg { input, output, ratio } => {
+            let (mut grid, specs) = load(&input)?;
+            let netlist =
+                route_netlist(&grid, &specs, &RouterConfig::default());
+            let assignment = initial_assignment(&mut grid, &netlist);
+            let report = timing::analyze(&grid, &netlist, &assignment);
+            let highlight = cpla::select_critical_nets(&report, ratio);
+            let doc = svg::render(&grid, &netlist, &assignment, &highlight);
+            std::fs::write(&output, doc)
+                .map_err(|e| format!("cannot write {output}: {e}"))?;
+            println!(
+                "wrote {output} ({} layers, {} highlighted nets)",
+                grid.num_layers(),
+                highlight.len()
+            );
+            Ok(())
+        }
+        Command::Optimize { input, ratio, engine, neighbors, threads } => {
+            let (mut grid, specs) = load(&input)?;
+            let netlist =
+                route_netlist(&grid, &specs, &RouterConfig::default());
+            let mut assignment = initial_assignment(&mut grid, &netlist);
+            let full = timing::analyze(&grid, &netlist, &assignment);
+            let released = cpla::select_critical_nets(&full, ratio);
+            let initial =
+                Metrics::measure(&grid, &netlist, &assignment, &released);
+            println!(
+                "{input}: {} nets, releasing {} ({:.2}%), engine {engine}",
+                netlist.len(),
+                released.len(),
+                ratio * 100.0
+            );
+
+            let t0 = Instant::now();
+            match engine {
+                Engine::Tila => {
+                    Tila::new(TilaConfig::default()).run(
+                        &mut grid,
+                        &netlist,
+                        &mut assignment,
+                        &released,
+                    );
+                }
+                Engine::Sdp | Engine::Ilp => {
+                    let solver = match engine {
+                        Engine::Ilp => {
+                            SolverKind::Ilp { node_budget: 5_000_000 }
+                        }
+                        _ => CplaConfig::default().solver,
+                    };
+                    Cpla::new(CplaConfig {
+                        solver,
+                        release_neighbors: neighbors,
+                        threads,
+                        ..CplaConfig::default()
+                    })
+                    .run_released(
+                        &mut grid,
+                        &netlist,
+                        &mut assignment,
+                        &released,
+                    );
+                }
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            let m = Metrics::measure(&grid, &netlist, &assignment, &released);
+            println!(
+                "Avg(Tcp) {:>10.1} -> {:>10.1}  ({:+.1}%)",
+                initial.avg_tcp,
+                m.avg_tcp,
+                100.0 * (m.avg_tcp - initial.avg_tcp)
+                    / initial.avg_tcp.max(1e-12)
+            );
+            println!(
+                "Max(Tcp) {:>10.1} -> {:>10.1}  ({:+.1}%)",
+                initial.max_tcp,
+                m.max_tcp,
+                100.0 * (m.max_tcp - initial.max_tcp)
+                    / initial.max_tcp.max(1e-12)
+            );
+            println!(
+                "OV# {} -> {}   via# {} -> {}   {:.2}s",
+                initial.via_overflow,
+                m.via_overflow,
+                initial.via_count,
+                m.via_count,
+                secs
+            );
+            assignment
+                .validate(&netlist, &grid)
+                .map_err(|e| format!("internal: invalid result: {e}"))?;
+            Ok(())
+        }
+    }
+}
+
+/// Resolves a benchmark name: a named paper config or `small:<seed>`.
+fn resolve_benchmark(name: &str) -> Result<SyntheticConfig, String> {
+    if let Some(seed) = name.strip_prefix("small:") {
+        let seed: u64 =
+            seed.parse().map_err(|_| format!("bad seed in `{name}`"))?;
+        return Ok(SyntheticConfig::small(seed));
+    }
+    SyntheticConfig::named(name).ok_or_else(|| {
+        format!(
+            "unknown benchmark `{name}`; valid: {}, small:<seed>",
+            SyntheticConfig::all_paper_benchmarks()
+                .iter()
+                .map(|c| c.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })
+}
+
+/// Loads an ISPD'08 file into a grid plus net specs.
+fn load(path: &str) -> Result<(grid::Grid, Vec<net::NetSpec>), String> {
+    let file =
+        File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let design = ispd::parse(BufReader::new(file))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let grid = design.to_grid().map_err(|e| format!("{path}: {e}"))?;
+    Ok((grid, design.nets))
+}

@@ -1,0 +1,199 @@
+//! SVG rendering of grid congestion and critical-net overlays.
+//!
+//! Produces a self-contained SVG document: one heatmap panel per metal
+//! layer (edge shade = usage / capacity, red = overflow) with the
+//! released nets' routed paths drawn on top of their assigned layers'
+//! panels. Pure string generation, no I/O — the `svg` subcommand writes
+//! the result to disk.
+
+use std::fmt::Write as _;
+
+use grid::{Direction, Grid};
+use net::{Assignment, Netlist};
+
+/// Pixels per grid tile in the rendered panels.
+const TILE: f64 = 8.0;
+/// Gap between layer panels.
+const GAP: f64 = 24.0;
+
+/// Renders the design state as an SVG document.
+///
+/// `highlight` lists net indices whose wires are overdrawn in a strong
+/// accent color (the released critical nets, typically).
+///
+/// # Panics
+///
+/// Panics if the assignment does not match the netlist.
+pub fn render(
+    grid: &Grid,
+    netlist: &Netlist,
+    assignment: &Assignment,
+    highlight: &[usize],
+) -> String {
+    let w = grid.width() as f64 * TILE;
+    let h = grid.height() as f64 * TILE;
+    let layers = grid.num_layers();
+    let total_w = w * layers as f64 + GAP * (layers as f64 - 1.0) + 2.0;
+    let total_h = h + 40.0;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{total_w:.0}" height="{total_h:.0}" viewBox="0 0 {total_w:.0} {total_h:.0}">"##
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#ffffff"/>"##
+    );
+
+    for l in 0..layers {
+        let x_off = l as f64 * (w + GAP) + 1.0;
+        let y_off = 24.0;
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="16" font-family="monospace" font-size="12">{} ({})</text>"##,
+            x_off,
+            grid.layer(l).name,
+            match grid.layer(l).direction {
+                Direction::Horizontal => "H",
+                Direction::Vertical => "V",
+            }
+        );
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{x_off:.1}" y="{y_off:.1}" width="{w:.1}" height="{h:.1}" fill="none" stroke="#ccc"/>"##
+        );
+        // Edge congestion strokes.
+        let dir = grid.layer(l).direction;
+        for e in grid.edges_in_direction(dir) {
+            let u = grid.edge_usage(l, e);
+            if u == 0 {
+                continue;
+            }
+            let c = grid.edge_capacity(l, e).max(1);
+            let ratio = u as f64 / c as f64;
+            let color = congestion_color(ratio);
+            let (x0, y0, x1, y1) = edge_pixels(e, x_off, y_off);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x0:.1}" y1="{y0:.1}" x2="{x1:.1}" y2="{y1:.1}" stroke="{color}" stroke-width="2"/>"##
+            );
+        }
+        // Highlighted nets on this layer.
+        for &ni in highlight {
+            let net = netlist.net(ni);
+            for s in 0..net.tree().num_segments() {
+                if assignment.layer(ni, s) != l {
+                    continue;
+                }
+                for e in net.tree().segment_edges(s) {
+                    let (x0, y0, x1, y1) = edge_pixels(e, x_off, y_off);
+                    let _ = writeln!(
+                        svg,
+                        r##"<line x1="{x0:.1}" y1="{y0:.1}" x2="{x1:.1}" y2="{y1:.1}" stroke="#0050d0" stroke-width="3" stroke-linecap="round"/>"##
+                    );
+                }
+            }
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Pixel endpoints of a routing edge inside a panel.
+fn edge_pixels(
+    e: grid::Edge2d,
+    x_off: f64,
+    y_off: f64,
+) -> (f64, f64, f64, f64) {
+    let (a, b) = e.endpoints();
+    let center = |c: grid::Cell| {
+        (
+            x_off + (c.x as f64 + 0.5) * TILE,
+            y_off + (c.y as f64 + 0.5) * TILE,
+        )
+    };
+    let (x0, y0) = center(a);
+    let (x1, y1) = center(b);
+    (x0, y0, x1, y1)
+}
+
+/// Maps a usage ratio to a color: light grey → orange → red (overflow).
+fn congestion_color(ratio: f64) -> String {
+    if ratio > 1.0 {
+        "#d00000".to_string()
+    } else {
+        // Interpolate #d8d8d8 (0) to #f08030 (1).
+        let t = ratio.clamp(0.0, 1.0);
+        let lerp = |a: f64, b: f64| (a + (b - a) * t) as u32;
+        format!(
+            "#{:02x}{:02x}{:02x}",
+            lerp(0xd8 as f64, 0xf0 as f64),
+            lerp(0xd8 as f64, 0x80 as f64),
+            lerp(0xd8 as f64, 0x30 as f64)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid::{Cell, GridBuilder};
+    use net::{Net, Pin, RouteTreeBuilder};
+
+    fn fixture() -> (Grid, Netlist, Assignment) {
+        let mut grid = GridBuilder::new(8, 8)
+            .alternating_layers(4, Direction::Horizontal)
+            .uniform_capacity(2)
+            .build()
+            .unwrap();
+        let mut b = RouteTreeBuilder::new(Cell::new(0, 0));
+        let e = b.add_segment(0, Cell::new(5, 0)).unwrap();
+        b.attach_pin(0, 0).unwrap();
+        b.attach_pin(e, 1).unwrap();
+        let mut nl = Netlist::new();
+        nl.push(Net::new(
+            "n",
+            vec![
+                Pin::source(Cell::new(0, 0), 0.0),
+                Pin::sink(Cell::new(5, 0), 1.0),
+            ],
+            b.build().unwrap(),
+        ));
+        let a = Assignment::lowest_layers(&nl, &grid);
+        net::apply_to_grid(&mut grid, &nl, &a);
+        (grid, nl, a)
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let (g, nl, a) = fixture();
+        let svg = render(&g, &nl, &a, &[0]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One panel label per layer.
+        assert_eq!(svg.matches("<text").count(), 4);
+        // The highlighted net produces accent strokes.
+        assert!(svg.contains("#0050d0"));
+    }
+
+    #[test]
+    fn congestion_palette_is_monotone_and_flags_overflow() {
+        assert_eq!(congestion_color(2.0), "#d00000");
+        let low = congestion_color(0.1);
+        let high = congestion_color(0.9);
+        assert_ne!(low, high);
+        // Red channel grows with congestion.
+        let red = |c: &str| u32::from_str_radix(&c[1..3], 16).unwrap();
+        assert!(red(&high) > red(&low));
+    }
+
+    #[test]
+    fn unhighlighted_render_has_no_accent() {
+        let (g, nl, a) = fixture();
+        let svg = render(&g, &nl, &a, &[]);
+        assert!(!svg.contains("#0050d0"));
+        // Used edges still render.
+        assert!(svg.contains("<line"));
+    }
+}

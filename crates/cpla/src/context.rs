@@ -1,0 +1,220 @@
+//! Criticality-weighted timing context (the paper's critical-path focus).
+//!
+//! TILA's objective charges every segment's delay uniformly; CPLA
+//! instead optimizes the *path* delay toward each net's critical sinks.
+//! Under the Elmore model the weighted sum of sink delays decomposes
+//! exactly over segments:
+//!
+//! ```text
+//! Σ_k w_k · delay(sink k)
+//!   = Σ_i W_i · R_i·(C_i/2 + Cd_i)          (own-resistance term)
+//!   + Σ_i C_i · Σ_{j ∈ ancestors(i)} W_j·R_j (load-on-path term)
+//!   + via terms
+//! ```
+//!
+//! where `W_i = Σ_{sinks below i} w_k`. CPLA freezes `Cd`, the ancestor
+//! resistances and the weights from the current assignment each round,
+//! yielding per-segment linear costs `W_i·t_s(i, l) + A_i·C_i(l)` —
+//! segments on critical paths chase low resistance, while branch
+//! segments are steered to low-capacitance (lower) layers because their
+//! wire load rides on the shared path resistance `A_i`. This is the
+//! mechanism by which CPLA beats a uniform-sum objective on `Max(T_cp)`.
+
+use std::collections::HashMap;
+
+use grid::Grid;
+use net::{Netlist, SegmentRef};
+use timing::NetTiming;
+
+/// Frozen per-segment timing context for one optimization round.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SegCtx {
+    /// Downstream capacitance (excluding the segment's own wire).
+    pub cd: f64,
+    /// Criticality-weighted sink mass below this segment
+    /// (`Σ w_k` over sinks in its subtree; the critical sink has w = 1).
+    pub weight: f64,
+    /// Weighted upstream resistance `Σ_{ancestors j} W_j·R_j` including
+    /// via stacks, i.e. the sensitivity of the weighted sink delays to
+    /// this segment's wire capacitance.
+    pub upstream: f64,
+    /// Criticality weight of the pin at the segment's child-side node
+    /// (0 when there is none).
+    pub pin_weight: f64,
+}
+
+/// Builds the frozen context for every segment of the released nets.
+///
+/// `focus` is the criticality exponent: sink `k` receives weight
+/// `(delay_k / delay_max)^focus`, so `focus = 0` reproduces TILA-style
+/// uniform weighting and larger values concentrate the objective on the
+/// worst paths (the paper's "one or several timing critical paths").
+///
+/// # Panics
+///
+/// Panics if a released index is out of range.
+pub fn timing_context(
+    grid: &Grid,
+    netlist: &Netlist,
+    assignment: &net::Assignment,
+    released: &[usize],
+    focus: f64,
+) -> HashMap<SegmentRef, SegCtx> {
+    let mut out = HashMap::new();
+    for &ni in released {
+        let net = netlist.net(ni);
+        let tree = net.tree();
+        let layers = assignment.net_layers(ni);
+        let t = NetTiming::compute(grid, net, layers);
+        let d_max = t.critical_delay().max(f64::MIN_POSITIVE);
+
+        // Sink weights.
+        let pin_weight = |node: usize| -> f64 {
+            match tree.node(node).pin {
+                Some(0) | None => 0.0,
+                Some(p) => {
+                    let delay = t
+                        .sink_delays()
+                        .iter()
+                        .find(|&&(k, _)| k == p as usize)
+                        .map(|&(_, d)| d)
+                        .unwrap_or(0.0);
+                    (delay / d_max).clamp(0.0, 1.0).powf(focus)
+                }
+            }
+        };
+
+        // Subtree weights, children before parents.
+        let mut weight = vec![0.0f64; tree.num_segments()];
+        for s in tree.postorder_segments() {
+            let child = tree.segment(s).to as usize;
+            let mut w = pin_weight(child);
+            for &cs in tree.child_segments(child) {
+                w += weight[cs as usize];
+            }
+            weight[s] = w;
+        }
+
+        // Weighted upstream resistance, parents before children.
+        let mut upstream = vec![0.0f64; tree.num_segments()];
+        for s in tree.preorder_segments() {
+            let seg = tree.segment(s);
+            let from = seg.from as usize;
+            let (base, entry_layer) = match tree.parent_segment(from) {
+                Some(p) => {
+                    let lay = grid.layer(layers[p]);
+                    let r_wire = lay.unit_resistance
+                        * tree.segment_length(p) as f64;
+                    (upstream[p] + weight[p] * r_wire, layers[p])
+                }
+                None => (0.0, net.source().layer),
+            };
+            let (lo, hi) = if entry_layer <= layers[s] {
+                (entry_layer, layers[s])
+            } else {
+                (layers[s], entry_layer)
+            };
+            let via_r = grid.via_stack_resistance(lo, hi);
+            upstream[s] = base + weight[s] * via_r;
+        }
+
+        for s in 0..tree.num_segments() {
+            let child = tree.segment(s).to as usize;
+            out.insert(
+                SegmentRef::new(ni as u32, s as u32),
+                SegCtx {
+                    cd: t.downstream_cap(s),
+                    weight: weight[s],
+                    upstream: upstream[s],
+                    pin_weight: pin_weight(child),
+                },
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid::{Cell, Direction, GridBuilder};
+    use net::{Assignment, Net, Pin, RouteTreeBuilder};
+
+    /// Y net: trunk (0,0)->(4,0); long branch to (4,6) (critical) and
+    /// short branch to (6,0).
+    fn fixture() -> (Grid, Netlist, Assignment) {
+        let grid = GridBuilder::new(16, 16)
+            .alternating_layers(4, Direction::Horizontal)
+            .build()
+            .unwrap();
+        let mut b = RouteTreeBuilder::new(Cell::new(0, 0));
+        let j = b.add_segment(b.root(), Cell::new(4, 0)).unwrap();
+        let far = b.add_segment(j, Cell::new(4, 6)).unwrap();
+        let near = b.add_segment(j, Cell::new(6, 0)).unwrap();
+        b.attach_pin(b.root(), 0).unwrap();
+        b.attach_pin(far, 1).unwrap();
+        b.attach_pin(near, 2).unwrap();
+        let mut nl = Netlist::new();
+        nl.push(Net::new(
+            "y",
+            vec![
+                Pin::source(Cell::new(0, 0), 0.0),
+                Pin::sink(Cell::new(4, 6), 2.0),
+                Pin::sink(Cell::new(6, 0), 1.0),
+            ],
+            b.build().unwrap(),
+        ));
+        let a = Assignment::lowest_layers(&nl, &grid);
+        (grid, nl, a)
+    }
+
+    #[test]
+    fn critical_sink_has_unit_weight() {
+        let (g, nl, a) = fixture();
+        let ctx = timing_context(&g, &nl, &a, &[0], 4.0);
+        // Segment 1 leads to the critical (far) sink.
+        let far = ctx[&SegmentRef::new(0, 1)];
+        assert!((far.weight - 1.0).abs() < 1e-9, "{}", far.weight);
+        assert!((far.pin_weight - 1.0).abs() < 1e-9);
+        // The short branch is much less critical.
+        let near = ctx[&SegmentRef::new(0, 2)];
+        assert!(near.weight < 0.5, "{}", near.weight);
+        // Trunk carries both.
+        let trunk = ctx[&SegmentRef::new(0, 0)];
+        assert!((trunk.weight - (far.weight + near.weight)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn focus_zero_reproduces_uniform_weights() {
+        let (g, nl, a) = fixture();
+        let ctx = timing_context(&g, &nl, &a, &[0], 0.0);
+        for s in 0..2u32 {
+            let w = ctx[&SegmentRef::new(0, 1 + s)].weight;
+            assert!((w - 1.0).abs() < 1e-9, "{w}");
+        }
+        assert!((ctx[&SegmentRef::new(0, 0)].weight - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upstream_resistance_accumulates_along_path() {
+        let (g, nl, a) = fixture();
+        let ctx = timing_context(&g, &nl, &a, &[0], 4.0);
+        let trunk = ctx[&SegmentRef::new(0, 0)];
+        let far = ctx[&SegmentRef::new(0, 1)];
+        // Trunk has no wire ancestors; the far branch rides on the
+        // trunk's weighted resistance.
+        let trunk_r = g.layer(0).unit_resistance * 4.0;
+        assert!(far.upstream >= trunk.upstream + trunk.weight * trunk_r - 1e-9);
+    }
+
+    #[test]
+    fn cd_matches_net_timing() {
+        let (g, nl, a) = fixture();
+        let ctx = timing_context(&g, &nl, &a, &[0], 4.0);
+        let t = NetTiming::compute(&g, nl.net(0), a.net_layers(0));
+        for s in 0..3 {
+            let c = ctx[&SegmentRef::new(0, s as u32)];
+            assert!((c.cd - t.downstream_cap(s)).abs() < 1e-12);
+        }
+    }
+}

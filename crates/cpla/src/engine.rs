@@ -1,0 +1,670 @@
+//! The iterative CPLA engine.
+//!
+//! Each round: freeze downstream capacitances from the current
+//! assignment, partition the released segments (§3.2), solve every
+//! partition independently (SDP relaxation + post-mapping, or the exact
+//! branch-and-bound ILP), accept per-partition solutions that lower the
+//! partition objective, and re-time. Rounds repeat until the average
+//! critical-path delay stops improving (the paper's "stops when no
+//! further optimizations can be achieved").
+
+use std::collections::HashMap;
+
+use grid::Grid;
+use net::{Assignment, Netlist, SegmentRef};
+use solver::SdpSolver;
+
+use crate::context::{timing_context, SegCtx};
+use crate::mapping::post_map;
+use crate::partition::{partition_segments_shifted, PartitionStats};
+use crate::problem::{PartitionProblem, ProblemConfig};
+use crate::{select_critical_nets, Metrics};
+
+/// Which mathematical program solves each partition.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SolverKind {
+    /// The SDP relaxation (5)–(7) plus post-mapping — the paper's
+    /// production configuration.
+    Sdp(SdpSolver),
+    /// The exact ILP (4) by branch-and-bound with a node budget — the
+    /// paper's quality reference (Fig. 7).
+    Ilp {
+        /// Branch-and-bound node budget per partition.
+        node_budget: u64,
+    },
+    /// Ablation control: skip the SDP and feed *uniform* relaxation
+    /// values into post-mapping, so the rounding is driven purely by
+    /// capacity structure and tie-breaking. Comparing against
+    /// [`SolverKind::Sdp`] isolates how much the relaxation's ranking
+    /// actually contributes.
+    UniformRelaxation,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CplaConfig {
+    /// Fraction of nets released as critical (paper default 0.5%).
+    pub critical_ratio: f64,
+    /// Self-adaptive partition bound (paper default 10; Fig. 8 sweeps
+    /// 5–80).
+    pub max_segments_per_partition: usize,
+    /// K of the initial uniform K×K division.
+    pub uniform_divisions: usize,
+    /// Maximum outer rounds.
+    pub max_rounds: usize,
+    /// Per-partition solver.
+    pub solver: SolverKind,
+    /// Problem-extraction tunables.
+    pub problem: ProblemConfig,
+    /// Overflow weight α (units of the partition's mean segment delay
+    /// per overflow wire) used when comparing mapped solutions — the
+    /// role the paper's α = 2000 plays in its `V_o` relaxation.
+    pub alpha: f64,
+    /// Criticality exponent: sink `k` weighs `(delay_k/delay_max)^focus`
+    /// in the objective. 0 degenerates to TILA's uniform sum; larger
+    /// values concentrate on the critical paths.
+    pub focus: f64,
+    /// Also release *non-critical* segments that share routing edges
+    /// with the critical set (the CPLA problem statement re-assigns
+    /// "critical and non-critical nets"). Their delays enter the
+    /// objective scaled by [`CplaConfig::neighbor_weight`], so the
+    /// solver may demote them off premium layers when that frees
+    /// capacity a critical path needs.
+    pub release_neighbors: bool,
+    /// Objective weight of neighbor (non-critical) segments relative to
+    /// critical ones.
+    pub neighbor_weight: f64,
+    /// Worker threads for partition solving.
+    pub threads: usize,
+}
+
+impl Default for CplaConfig {
+    fn default() -> CplaConfig {
+        CplaConfig {
+            critical_ratio: 0.005,
+            max_segments_per_partition: 10,
+            uniform_divisions: 4,
+            max_rounds: 10,
+            // Post-mapping only *ranks* the relaxed diagonal entries, so
+            // the production engine runs the ADMM solver at a looser
+            // tolerance than the library default.
+            solver: SolverKind::Sdp(SdpSolver {
+                max_iterations: 200,
+                tolerance: 1e-4,
+                ..SdpSolver::default()
+            }),
+            problem: ProblemConfig::default(),
+            alpha: 20.0,
+            focus: 4.0,
+            release_neighbors: false,
+            neighbor_weight: 0.2,
+            threads: 1,
+        }
+    }
+}
+
+/// Per-round progress record.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RoundStats {
+    /// 1-based round number.
+    pub round: usize,
+    /// `Avg(T_cp)` after the round.
+    pub avg_tcp: f64,
+    /// `Max(T_cp)` after the round.
+    pub max_tcp: f64,
+    /// Partitions solved.
+    pub partitions: usize,
+    /// Whether the round improved the average.
+    pub improved: bool,
+}
+
+/// Result of a full CPLA run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CplaReport {
+    /// Indices of the released nets (most critical first).
+    pub released: Vec<usize>,
+    /// Metrics before optimization.
+    pub initial_metrics: Metrics,
+    /// Metrics of the best accepted state.
+    pub final_metrics: Metrics,
+    /// Per-round history.
+    pub rounds: Vec<RoundStats>,
+    /// Partitioning statistics of the first round.
+    pub partition_stats: PartitionStats,
+}
+
+/// The CPLA engine. Construct with a config, then [`Cpla::run`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Cpla {
+    config: CplaConfig,
+}
+
+impl Cpla {
+    /// Creates an engine.
+    pub fn new(config: CplaConfig) -> Cpla {
+        Cpla { config }
+    }
+
+    /// Runs incremental layer assignment in place.
+    ///
+    /// `grid` usage must reflect `assignment` on entry and does so on
+    /// exit. Critical nets are selected once from the entry timing; the
+    /// same released set is optimized every round (and is the released
+    /// set a TILA comparison should use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not match the netlist/grid.
+    pub fn run(
+        &self,
+        grid: &mut Grid,
+        netlist: &Netlist,
+        assignment: &mut Assignment,
+    ) -> CplaReport {
+        let full = timing::analyze(grid, netlist, assignment);
+        let released = select_critical_nets(&full, self.config.critical_ratio);
+        self.run_released(grid, netlist, assignment, &released)
+    }
+
+    /// [`Cpla::run`] with an explicit released set (used for
+    /// apples-to-apples comparisons against TILA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a released index is out of range.
+    pub fn run_released(
+        &self,
+        grid: &mut Grid,
+        netlist: &Netlist,
+        assignment: &mut Assignment,
+        released: &[usize],
+    ) -> CplaReport {
+        let initial_metrics =
+            Metrics::measure(grid, netlist, assignment, released);
+        let mut report = CplaReport {
+            released: released.to_vec(),
+            initial_metrics,
+            final_metrics: initial_metrics,
+            rounds: Vec::new(),
+            partition_stats: PartitionStats::default(),
+        };
+        if released.is_empty() {
+            return report;
+        }
+
+        let mut segments: Vec<SegmentRef> = released
+            .iter()
+            .flat_map(|&ni| {
+                let n = netlist.net(ni).tree().num_segments();
+                (0..n).map(move |s| SegmentRef::new(ni as u32, s as u32))
+            })
+            .collect();
+
+        // Optionally widen the pool with non-critical segments sharing
+        // routing edges with the critical set; they become movable
+        // obstacles whose delay matters only lightly.
+        let neighbor_nets: Vec<usize> = if self.config.release_neighbors {
+            let covered: std::collections::HashSet<grid::Edge2d> = segments
+                .iter()
+                .flat_map(|&r| {
+                    netlist
+                        .net(r.net as usize)
+                        .tree()
+                        .segment_edges(r.seg as usize)
+                })
+                .collect();
+            let is_released: std::collections::HashSet<usize> =
+                released.iter().copied().collect();
+            let mut nets = Vec::new();
+            for ni in 0..netlist.len() {
+                if is_released.contains(&ni) {
+                    continue;
+                }
+                let tree = netlist.net(ni).tree();
+                let mut touched = false;
+                for s in 0..tree.num_segments() {
+                    if tree
+                        .segment_edges(s)
+                        .iter()
+                        .any(|e| covered.contains(e))
+                    {
+                        segments.push(SegmentRef::new(ni as u32, s as u32));
+                        touched = true;
+                    }
+                }
+                if touched {
+                    nets.push(ni);
+                }
+            }
+            nets
+        } else {
+            Vec::new()
+        };
+
+        let mut best_avg = initial_metrics.avg_tcp;
+        let mut best_assignment = assignment.clone();
+        let mut best_usage = grid.snapshot_usage();
+        // One stagnant round is tolerated: the partition origin
+        // alternates between rounds, so a stalled round may be followed
+        // by an improving one under the shifted cut.
+        let mut stagnant = 0usize;
+
+        for round in 1..=self.config.max_rounds {
+            // Freeze the weighted timing context for this round.
+            let mut cd = timing_context(
+                grid,
+                netlist,
+                assignment,
+                released,
+                self.config.focus,
+            );
+            if !neighbor_nets.is_empty() {
+                let neighbor_ctx = timing_context(
+                    grid,
+                    netlist,
+                    assignment,
+                    &neighbor_nets,
+                    self.config.focus,
+                );
+                let w = self.config.neighbor_weight;
+                for (r, mut c) in neighbor_ctx {
+                    c.weight *= w;
+                    c.upstream *= w;
+                    c.pin_weight *= w;
+                    cd.insert(r, c);
+                }
+            }
+
+            // Alternate the division origin between rounds so segments
+            // frozen at a partition boundary become jointly optimizable
+            // in the next round.
+            let bw = (grid.width() as usize)
+                .div_ceil(self.config.uniform_divisions)
+                as u16;
+            let bh = (grid.height() as usize)
+                .div_ceil(self.config.uniform_divisions)
+                as u16;
+            let offset = if round % 2 == 0 { (bw / 2, bh / 2) } else { (0, 0) };
+            let (partitions, stats) = partition_segments_shifted(
+                netlist,
+                &segments,
+                grid.width(),
+                grid.height(),
+                self.config.uniform_divisions,
+                self.config.max_segments_per_partition,
+                offset,
+            );
+            if round == 1 {
+                report.partition_stats = stats;
+            }
+
+            // Solve partitions (in parallel when configured).
+            let proposals =
+                self.solve_partitions(grid, netlist, assignment, &cd, &partitions);
+
+            // Apply per net: group accepted changes.
+            let mut by_net: HashMap<usize, Vec<(usize, usize)>> =
+                HashMap::new();
+            for (sref, layer) in proposals {
+                by_net
+                    .entry(sref.net as usize)
+                    .or_default()
+                    .push((sref.seg as usize, layer));
+            }
+            for (ni, changes) in by_net {
+                let net = netlist.net(ni);
+                let mut layers = assignment.net_layers(ni).to_vec();
+                let mut any = false;
+                for (s, l) in changes {
+                    if layers[s] != l {
+                        layers[s] = l;
+                        any = true;
+                    }
+                }
+                if any {
+                    net::remove_net_from_grid(
+                        grid,
+                        net,
+                        assignment.net_layers(ni),
+                    );
+                    net::restore_net_to_grid(grid, net, &layers);
+                    assignment.set_net_layers(ni, layers);
+                }
+            }
+
+            let m = Metrics::measure(grid, netlist, assignment, released);
+            let improved = m.avg_tcp < best_avg - 1e-12;
+            report.rounds.push(RoundStats {
+                round,
+                avg_tcp: m.avg_tcp,
+                max_tcp: m.max_tcp,
+                partitions: partitions.len(),
+                improved,
+            });
+            if improved {
+                best_avg = m.avg_tcp;
+                best_assignment = assignment.clone();
+                best_usage = grid.snapshot_usage();
+                stagnant = 0;
+            } else {
+                stagnant += 1;
+                if stagnant >= 2 {
+                    break; // no further optimization achievable
+                }
+            }
+        }
+
+        // Restore the best accepted state.
+        *assignment = best_assignment;
+        grid.restore_usage(best_usage);
+        report.final_metrics =
+            Metrics::measure(grid, netlist, assignment, released);
+        report
+    }
+
+    /// Solves every partition, returning the accepted per-segment layer
+    /// proposals.
+    fn solve_partitions(
+        &self,
+        grid: &Grid,
+        netlist: &Netlist,
+        assignment: &Assignment,
+        cd: &HashMap<SegmentRef, SegCtx>,
+        partitions: &[crate::partition::Partition],
+    ) -> Vec<(SegmentRef, usize)> {
+        let threads = self.config.threads.max(1).min(partitions.len().max(1));
+        let solve_one = |part: &crate::partition::Partition| {
+            let lookup = |r: SegmentRef| -> SegCtx {
+                *cd.get(&r).expect("released segment has a frozen context")
+            };
+            let problem = PartitionProblem::extract(
+                grid,
+                netlist,
+                assignment,
+                &part.segments,
+                &lookup,
+                &self.config.problem,
+            );
+            let choices = match self.config.solver {
+                SolverKind::Sdp(sdp_config) => {
+                    let (sdp, _) = problem.to_sdp();
+                    let sol = sdp_config.solve(&sdp);
+                    post_map(&problem, &sol.x.diagonal())
+                }
+                SolverKind::Ilp { node_budget } => {
+                    match problem.to_choice_problem().solve(node_budget) {
+                        Some(sol) => sol.choices,
+                        None => problem.current.clone(),
+                    }
+                }
+                SolverKind::UniformRelaxation => {
+                    let x = vec![0.5; problem.num_variables()];
+                    post_map(&problem, &x)
+                }
+            };
+            // Accept only if the partition objective does not regress.
+            let new_cost = self.soft_cost(&problem, &choices);
+            let cur_cost = self.soft_cost(&problem, &problem.current);
+            let accepted =
+                if new_cost <= cur_cost { choices } else { problem.current.clone() };
+            let layers = problem.choices_to_layers(&accepted);
+            problem
+                .segments
+                .iter()
+                .copied()
+                .zip(layers)
+                .collect::<Vec<_>>()
+        };
+
+        if threads <= 1 || partitions.len() <= 1 {
+            partitions.iter().flat_map(solve_one).collect()
+        } else {
+            let results: Vec<Vec<(SegmentRef, usize)>> =
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for chunk_id in 0..threads {
+                        let solve_ref = &solve_one;
+                        handles.push(scope.spawn(move || {
+                            partitions
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| i % threads == chunk_id)
+                                .map(|(i, p)| (i, solve_ref(p)))
+                                .collect::<Vec<_>>()
+                        }));
+                    }
+                    let mut indexed: Vec<(usize, Vec<(SegmentRef, usize)>)> =
+                        handles
+                            .into_iter()
+                            .flat_map(|h| {
+                                h.join().expect("partition worker panicked")
+                            })
+                            .collect();
+                    // Deterministic application order.
+                    indexed.sort_by_key(|(i, _)| *i);
+                    indexed.into_iter().map(|(_, v)| v).collect()
+                });
+            results.into_iter().flatten().collect()
+        }
+    }
+
+    /// Partition objective with soft overflow: linear + pair costs plus
+    /// α·(mean linear cost)·overflow units.
+    fn soft_cost(
+        &self,
+        problem: &PartitionProblem,
+        choices: &[usize],
+    ) -> f64 {
+        let mut cost = 0.0;
+        for (i, &c) in choices.iter().enumerate() {
+            cost += problem.linear_cost[i][c];
+        }
+        for pair in &problem.pairs {
+            cost += pair.costs[choices[pair.a]][choices[pair.b]];
+        }
+        let mean_linear = {
+            let total: f64 =
+                problem.linear_cost.iter().flat_map(|c| c.iter()).sum();
+            let count: usize =
+                problem.linear_cost.iter().map(|c| c.len()).sum();
+            if count == 0 { 0.0 } else { total / count as f64 }
+        };
+        let mut overflow = 0u32;
+        for ec in &problem.edge_constraints {
+            let used = ec
+                .members
+                .iter()
+                .filter(|&&(i, c)| choices[i] == c)
+                .count() as u32;
+            overflow += used.saturating_sub(ec.limit);
+        }
+        cost + self.config.alpha * mean_linear * overflow as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid::{Cell, Direction, GridBuilder};
+    use net::{NetSpec, Pin};
+    use route::{initial_assignment, route_netlist, RouterConfig};
+
+    fn fixture(seed: u64) -> (Grid, Netlist, Assignment) {
+        let cfg = ispd::SyntheticConfig::small(seed);
+        let (mut grid, specs) = cfg.generate().unwrap();
+        let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+        let assignment = initial_assignment(&mut grid, &netlist);
+        (grid, netlist, assignment)
+    }
+
+    #[test]
+    fn sdp_flow_improves_avg_tcp() {
+        let (mut grid, nl, mut a) = fixture(3);
+        let config = CplaConfig {
+            critical_ratio: 0.05,
+            max_rounds: 3,
+            ..CplaConfig::default()
+        };
+        let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
+        assert!(!report.released.is_empty());
+        assert!(
+            report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp,
+            "{} > {}",
+            report.final_metrics.avg_tcp,
+            report.initial_metrics.avg_tcp
+        );
+        a.validate(&nl, &grid).unwrap();
+    }
+
+    #[test]
+    fn ilp_flow_improves_avg_tcp() {
+        let (mut grid, nl, mut a) = fixture(4);
+        let config = CplaConfig {
+            critical_ratio: 0.05,
+            max_rounds: 2,
+            solver: SolverKind::Ilp { node_budget: 200_000 },
+            ..CplaConfig::default()
+        };
+        let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
+        assert!(
+            report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp
+        );
+        a.validate(&nl, &grid).unwrap();
+    }
+
+    #[test]
+    fn grid_usage_stays_consistent_after_run() {
+        let (mut grid, nl, mut a) = fixture(5);
+        let config = CplaConfig {
+            critical_ratio: 0.05,
+            max_rounds: 2,
+            ..CplaConfig::default()
+        };
+        Cpla::new(config).run(&mut grid, &nl, &mut a);
+        let mut fresh = grid.clone();
+        for i in 0..nl.len() {
+            net::remove_net_from_grid(&mut fresh, nl.net(i), a.net_layers(i));
+        }
+        for i in 0..nl.len() {
+            net::restore_net_to_grid(&mut fresh, nl.net(i), a.net_layers(i));
+        }
+        assert_eq!(fresh, grid);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (mut g1, nl1, mut a1) = fixture(6);
+        let (mut g2, nl2, mut a2) = fixture(6);
+        let serial = CplaConfig {
+            critical_ratio: 0.05,
+            max_rounds: 2,
+            threads: 1,
+            ..CplaConfig::default()
+        };
+        let parallel = CplaConfig { threads: 4, ..serial };
+        Cpla::new(serial).run(&mut g1, &nl1, &mut a1);
+        Cpla::new(parallel).run(&mut g2, &nl2, &mut a2);
+        assert_eq!(a1, a2, "thread count must not change the result");
+    }
+
+    #[test]
+    fn empty_released_set_is_a_no_op() {
+        let (mut grid, nl, mut a) = fixture(7);
+        let before = a.clone();
+        let report = Cpla::new(CplaConfig::default()).run_released(
+            &mut grid,
+            &nl,
+            &mut a,
+            &[],
+        );
+        assert_eq!(a, before);
+        assert!(report.rounds.is_empty());
+    }
+
+    #[test]
+    fn neighbor_release_demotes_blocking_net() {
+        // Capacity 1 per layer: a short non-critical net parked on the
+        // top horizontal layer blocks the long critical net's promotion
+        // unless neighbor release may demote it.
+        let mut grid = GridBuilder::new(32, 4)
+            .alternating_layers(6, Direction::Horizontal)
+            .uniform_capacity(1)
+            .build()
+            .unwrap();
+        let specs = vec![
+            NetSpec::new(
+                "critical",
+                vec![
+                    Pin::source(Cell::new(0, 1), 0.0),
+                    Pin::sink(Cell::new(30, 1), 4.0),
+                ],
+            ),
+            NetSpec::new(
+                "blocker",
+                vec![
+                    Pin::source(Cell::new(8, 1), 0.0),
+                    Pin::sink(Cell::new(14, 1), 0.5),
+                ],
+            ),
+        ];
+        let nl = route_netlist(&grid, &specs, &RouterConfig::default());
+        let mut a = initial_assignment(&mut grid, &nl);
+        // Park the blocker on the top horizontal layer (4) explicitly.
+        net::remove_net_from_grid(&mut grid, nl.net(1), a.net_layers(1));
+        a.set_net_layers(1, vec![4]);
+        net::restore_net_to_grid(&mut grid, nl.net(1), a.net_layers(1));
+        // And the critical net on the bottom.
+        net::remove_net_from_grid(&mut grid, nl.net(0), a.net_layers(0));
+        a.set_net_layers(0, vec![0]);
+        net::restore_net_to_grid(&mut grid, nl.net(0), a.net_layers(0));
+
+        let run = |neighbors: bool,
+                   grid: &mut Grid,
+                   a: &mut Assignment| {
+            Cpla::new(CplaConfig {
+                release_neighbors: neighbors,
+                ..CplaConfig::default()
+            })
+            .run_released(grid, &nl, a, &[0])
+            .final_metrics
+            .avg_tcp
+        };
+        let mut g1 = grid.clone();
+        let mut a1 = a.clone();
+        let without = run(false, &mut g1, &mut a1);
+        let mut g2 = grid.clone();
+        let mut a2 = a.clone();
+        let with = run(true, &mut g2, &mut a2);
+        assert!(
+            with < without,
+            "neighbor release must unlock the blocked promotion: \
+             {with} vs {without}"
+        );
+        // The blocker was demoted off layer 4.
+        assert_ne!(a2.net_layers(1), &[4]);
+        a2.validate(&nl, &g2).unwrap();
+    }
+
+    #[test]
+    fn single_long_net_gets_promoted() {
+        let mut grid = GridBuilder::new(32, 8)
+            .alternating_layers(6, Direction::Horizontal)
+            .uniform_capacity(10)
+            .build()
+            .unwrap();
+        let specs = vec![NetSpec::new(
+            "long",
+            vec![
+                Pin::source(Cell::new(0, 4), 0.0),
+                Pin::sink(Cell::new(30, 4), 4.0),
+            ],
+        )];
+        let nl = route_netlist(&grid, &specs, &RouterConfig::default());
+        let mut a = initial_assignment(&mut grid, &nl);
+        let config =
+            CplaConfig { critical_ratio: 1.0, ..CplaConfig::default() };
+        let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
+        assert!(a.net_layers(0)[0] >= 2, "stayed on {:?}", a.net_layers(0));
+        assert!(report.final_metrics.avg_tcp < report.initial_metrics.avg_tcp);
+    }
+}

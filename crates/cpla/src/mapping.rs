@@ -1,0 +1,320 @@
+//! Post-mapping (Algorithm 1 of the paper).
+//!
+//! The SDP relaxation yields fractional `x_ij`; this module converts them
+//! to an integral assignment while honoring edge capacities: edges are
+//! traversed, and on each edge the layers of its direction are visited
+//! **top-down** (higher layers are less resistive, hence more
+//! contended); on layer `j` the `cap_e(j)` highest-valued unassigned
+//! `x_ij` entries win the layer. Segments left over after the sweep are
+//! placed on their best-valued candidate that still has capacity on all
+//! covered edges, or — when nothing fits — on their highest-valued
+//! candidate outright (the overflow is what `OV#` counts).
+
+#![allow(clippy::needless_range_loop)] // segment indices are the domain
+
+use std::collections::{HashMap, HashSet};
+
+use grid::Edge2d;
+
+use crate::problem::PartitionProblem;
+
+/// Maps relaxed diagonal values to an integral candidate choice per
+/// segment.
+///
+/// `x` holds one value per assignment variable in the [`PartitionProblem`]
+/// variable order (segment-major, candidates bottom-up — the same order
+/// [`PartitionProblem::to_sdp`] returns offsets for).
+///
+/// # Panics
+///
+/// Panics if `x.len() < problem.num_variables()` (slack entries beyond
+/// the variables are permitted and ignored).
+pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
+    let n = problem.segments.len();
+    assert!(x.len() >= problem.num_variables(), "solution vector too short");
+    let mut offsets = Vec::with_capacity(n);
+    {
+        let mut acc = 0;
+        for c in &problem.candidates {
+            offsets.push(acc);
+            acc += c.len();
+        }
+    }
+    let value = |i: usize, c: usize| x[offsets[i] + c];
+
+    // Residual capacity per (layer, edge), from the extracted limits.
+    let mut remaining: HashMap<(usize, Edge2d), i64> = HashMap::new();
+    // Edges covered by each segment, and segments covering each edge.
+    let mut edges_of: Vec<HashSet<Edge2d>> = vec![HashSet::new(); n];
+    let mut segs_of: HashMap<Edge2d, HashSet<usize>> = HashMap::new();
+    for ec in &problem.edge_constraints {
+        remaining.insert((ec.layer, ec.edge), ec.limit as i64);
+        for &(i, _) in &ec.members {
+            edges_of[i].insert(ec.edge);
+            segs_of.entry(ec.edge).or_default().insert(i);
+        }
+    }
+
+    let mut choice: Vec<Option<usize>> = vec![None; n];
+
+    // Candidate layers are stored bottom-up; sweep them top-down.
+    let mut edges: Vec<Edge2d> = segs_of.keys().copied().collect();
+    edges.sort();
+
+    let fits = |i: usize,
+                layer: usize,
+                remaining: &HashMap<(usize, Edge2d), i64>|
+     -> bool {
+        edges_of[i].iter().all(|e| {
+            remaining.get(&(layer, *e)).map(|r| *r > 0).unwrap_or(true)
+        })
+    };
+    let consume = |i: usize,
+                   layer: usize,
+                   remaining: &mut HashMap<(usize, Edge2d), i64>| {
+        for e in &edges_of[i] {
+            if let Some(r) = remaining.get_mut(&(layer, *e)) {
+                *r -= 1;
+            }
+        }
+    };
+
+    for &edge in &edges {
+        // Layers available on this edge, highest first: take them from
+        // any member segment's candidate list (all segments on an edge
+        // share a direction and hence a candidate set).
+        let Some(seg_set) = segs_of.get(&edge) else { continue };
+        let probe = *seg_set.iter().next().expect("non-empty");
+        let mut layers: Vec<usize> = problem.candidates[probe].clone();
+        layers.sort_unstable_by(|a, b| b.cmp(a));
+        for layer in layers {
+            // Unassigned segments on this edge that may take this layer,
+            // best value first.
+            let mut cands: Vec<(f64, usize, usize)> = seg_set
+                .iter()
+                .filter(|&&i| choice[i].is_none())
+                .filter_map(|&i| {
+                    problem.candidates[i]
+                        .iter()
+                        .position(|&l| l == layer)
+                        .map(|c| (value(i, c), i, c))
+                })
+                .collect();
+            cands.sort_by(|a, b| {
+                b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1))
+            });
+            for (_, i, c) in cands {
+                let slots = remaining
+                    .get(&(layer, edge))
+                    .copied()
+                    .unwrap_or(i64::MAX);
+                if slots <= 0 {
+                    break;
+                }
+                if fits(i, layer, &remaining) {
+                    choice[i] = Some(c);
+                    consume(i, layer, &mut remaining);
+                }
+            }
+        }
+    }
+
+    // Leftovers: best candidate that still fits everywhere, else the
+    // highest-valued candidate (accepting overflow).
+    for i in 0..n {
+        if choice[i].is_some() {
+            continue;
+        }
+        let mut ranked: Vec<(f64, usize)> = problem.candidates[i]
+            .iter()
+            .enumerate()
+            .map(|(c, _)| (value(i, c), c))
+            .collect();
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let picked = ranked
+            .iter()
+            .find(|&&(_, c)| {
+                fits(i, problem.candidates[i][c], &remaining)
+            })
+            .or_else(|| ranked.first())
+            .map(|&(_, c)| c)
+            .expect("segments always have candidates");
+        choice[i] = Some(picked);
+        consume(i, problem.candidates[i][picked], &mut remaining);
+    }
+
+    choice.into_iter().map(|c| c.expect("all assigned")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{EdgeConstraint, SegmentPair};
+    use net::SegmentRef;
+
+    /// Hand-built problem: `n` segments all covering one horizontal
+    /// edge, two candidate layers (0 = low, 2 = high), per-layer limits.
+    fn shared_edge_problem(
+        n: usize,
+        limit_high: u32,
+        limit_low: u32,
+    ) -> PartitionProblem {
+        let edge = Edge2d::horizontal(0, 0);
+        let members: Vec<(usize, usize)> =
+            (0..n).map(|i| (i, 1)).collect();
+        let members_low: Vec<(usize, usize)> =
+            (0..n).map(|i| (i, 0)).collect();
+        PartitionProblem {
+            segments: (0..n)
+                .map(|i| SegmentRef::new(i as u32, 0))
+                .collect(),
+            candidates: vec![vec![0, 2]; n],
+            linear_cost: vec![vec![2.0, 1.0]; n],
+            pairs: Vec::<SegmentPair>::new(),
+            edge_constraints: vec![
+                EdgeConstraint {
+                    members: members_low,
+                    limit: limit_low,
+                    edge,
+                    layer: 0,
+                },
+                EdgeConstraint { members, limit: limit_high, edge, layer: 2 },
+            ],
+            current: vec![0; n],
+        }
+    }
+
+    #[test]
+    fn highest_x_wins_the_top_layer() {
+        let p = shared_edge_problem(3, 1, 5);
+        // Segment 1 has the strongest preference for the high layer.
+        let x = vec![
+            0.8, 0.2, // seg 0
+            0.1, 0.9, // seg 1
+            0.5, 0.5, // seg 2
+        ];
+        let choices = post_map(&p, &x);
+        assert_eq!(choices[1], 1, "seg 1 should win layer 2");
+        // Only one slot on the high layer.
+        let high = choices.iter().filter(|&&c| c == 1).count();
+        assert_eq!(high, 1);
+    }
+
+    #[test]
+    fn capacity_is_respected_on_every_layer() {
+        let p = shared_edge_problem(4, 2, 2);
+        let x = vec![0.5; 8];
+        let choices = post_map(&p, &x);
+        let high = choices.iter().filter(|&&c| c == 1).count();
+        let low = choices.iter().filter(|&&c| c == 0).count();
+        assert!(high <= 2);
+        assert!(low <= 2);
+        assert_eq!(high + low, 4);
+    }
+
+    #[test]
+    fn overflow_only_when_unavoidable() {
+        // 4 segments, 1 + 2 = 3 slots: exactly one overflow.
+        let p = shared_edge_problem(4, 1, 2);
+        let x = vec![0.5; 8];
+        let choices = post_map(&p, &x);
+        assert!(p.evaluate(&choices).is_none(), "must overflow somewhere");
+        // But only by one: 3 segments must sit within limits.
+        let high = choices.iter().filter(|&&c| c == 1).count();
+        let low = choices.iter().filter(|&&c| c == 0).count();
+        assert!(high + low == 4 && (high <= 2 || low <= 3));
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let p = shared_edge_problem(3, 1, 5);
+        let x = vec![0.5; 6];
+        let a = post_map(&p, &x);
+        let b = post_map(&p, &x);
+        assert_eq!(a, b);
+        // Tie broken by segment index: segment 0 takes the high slot.
+        assert_eq!(a[0], 1);
+    }
+
+    #[test]
+    fn feasible_x_maps_to_feasible_choices() {
+        let p = shared_edge_problem(3, 1, 2);
+        // Clear preferences matching capacity: one high, two low.
+        let x = vec![0.1, 0.9, 0.9, 0.1, 0.8, 0.2];
+        let choices = post_map(&p, &x);
+        assert!(p.evaluate(&choices).is_some(), "{choices:?}");
+        assert_eq!(choices, vec![1, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "solution vector too short")]
+    fn short_vector_panics() {
+        let p = shared_edge_problem(2, 1, 1);
+        post_map(&p, &[0.5; 3]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Whenever total capacity covers all segments, post-mapping
+            /// never overflows a limit; and every segment is assigned.
+            #[test]
+            fn respects_limits_when_feasible(
+                n in 1usize..12,
+                extra_high in 0u32..4,
+                seed in 0u64..1000,
+            ) {
+                let limit_high = (n as u32).div_ceil(2) + extra_high;
+                let limit_low = n as u32; // low layer always fits the rest
+                let p = shared_edge_problem(n, limit_high, limit_low);
+                let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let x: Vec<f64> = (0..2 * n)
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        (state % 1000) as f64 / 1000.0
+                    })
+                    .collect();
+                let choices = post_map(&p, &x);
+                prop_assert_eq!(choices.len(), n);
+                prop_assert!(
+                    p.evaluate(&choices).is_some(),
+                    "feasible instance must map feasibly: {:?}",
+                    choices
+                );
+            }
+
+            /// The winner on a contended layer always has the highest
+            /// relaxed value among candidates.
+            #[test]
+            fn contended_slot_goes_to_max_value(seed in 0u64..1000) {
+                let p = shared_edge_problem(4, 1, 4);
+                let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+                let x: Vec<f64> = (0..8)
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        (state % 997) as f64 / 997.0
+                    })
+                    .collect();
+                let choices = post_map(&p, &x);
+                let winners: Vec<usize> = (0..4)
+                    .filter(|&i| choices[i] == 1)
+                    .collect();
+                prop_assert!(winners.len() <= 1);
+                if let Some(&w) = winners.first() {
+                    for i in 0..4 {
+                        prop_assert!(
+                            x[2 * w + 1] >= x[2 * i + 1] - 1e-12,
+                            "winner {w} not maximal"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Critical-net selection.
+
+use timing::TimingReport;
+
+/// Selects the `ratio` most critical nets (by worst-sink delay) from a
+/// timing report over the whole design.
+///
+/// `ratio` is a fraction of the analyzed net count (the paper's
+/// "critical ratio": 0.005 releases 0.5% of nets). At least one net is
+/// selected whenever the report is non-empty and `ratio > 0`. Returned
+/// indices are sorted by decreasing criticality.
+///
+/// # Panics
+///
+/// Panics if `ratio` is negative or not finite.
+pub fn select_critical_nets(report: &TimingReport, ratio: f64) -> Vec<usize> {
+    assert!(ratio.is_finite() && ratio >= 0.0, "invalid ratio {ratio}");
+    if report.is_empty() || ratio == 0.0 {
+        return Vec::new();
+    }
+    let count =
+        ((report.len() as f64 * ratio).round() as usize).clamp(1, report.len());
+    let mut order = report.nets_by_criticality();
+    order.truncate(count);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid::{Cell, Direction, GridBuilder};
+    use net::{Assignment, Net, Netlist, Pin, RouteTreeBuilder};
+
+    fn report(lengths: &[u16]) -> TimingReport {
+        let grid = GridBuilder::new(64, 64)
+            .alternating_layers(4, Direction::Horizontal)
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new();
+        for (i, &len) in lengths.iter().enumerate() {
+            let y = i as u16;
+            let mut b = RouteTreeBuilder::new(Cell::new(0, y));
+            let e = b.add_segment(b.root(), Cell::new(len, y)).unwrap();
+            b.attach_pin(b.root(), 0).unwrap();
+            b.attach_pin(e, 1).unwrap();
+            nl.push(Net::new(
+                format!("n{i}"),
+                vec![
+                    Pin::source(Cell::new(0, y), 0.0),
+                    Pin::sink(Cell::new(len, y), 1.0),
+                ],
+                b.build().unwrap(),
+            ));
+        }
+        let a = Assignment::lowest_layers(&nl, &grid);
+        timing::analyze(&grid, &nl, &a)
+    }
+
+    #[test]
+    fn selects_the_longest_nets() {
+        let r = report(&[3, 30, 10, 25]);
+        let sel = select_critical_nets(&r, 0.5);
+        assert_eq!(sel, vec![1, 3]);
+    }
+
+    #[test]
+    fn tiny_ratio_still_selects_one() {
+        let r = report(&[3, 30, 10, 25]);
+        assert_eq!(select_critical_nets(&r, 0.001), vec![1]);
+    }
+
+    #[test]
+    fn zero_ratio_selects_none() {
+        let r = report(&[3, 30]);
+        assert!(select_critical_nets(&r, 0.0).is_empty());
+    }
+
+    #[test]
+    fn full_ratio_selects_all() {
+        let r = report(&[3, 30, 10]);
+        assert_eq!(select_critical_nets(&r, 1.0).len(), 3);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for grid construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`crate::GridBuilder::build`] when the described grid
+/// is not well formed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum BuildGridError {
+    /// Grid must be at least 2×1 (or 1×2) tiles so at least one routing
+    /// edge exists.
+    DegenerateDims {
+        /// Requested width in tiles.
+        width: u16,
+        /// Requested height in tiles.
+        height: u16,
+    },
+    /// At least one layer is required.
+    NoLayers,
+    /// Both a horizontal and a vertical layer are required to route
+    /// arbitrary nets.
+    MissingDirection(crate::Direction),
+    /// A layer has a non-positive electrical or geometric parameter.
+    InvalidLayerParameter {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Name of the parameter that was rejected.
+        what: &'static str,
+    },
+    /// The via-resistance table length must be `num_layers - 1`.
+    ViaResistanceLength {
+        /// Provided table length.
+        got: usize,
+        /// Required table length.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for BuildGridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildGridError::DegenerateDims { width, height } => {
+                write!(f, "grid of {width}x{height} tiles has no routing edges")
+            }
+            BuildGridError::NoLayers => f.write_str("grid has no layers"),
+            BuildGridError::MissingDirection(d) => {
+                write!(f, "grid has no {d} layer")
+            }
+            BuildGridError::InvalidLayerParameter { layer, what } => {
+                write!(f, "layer {layer} has non-positive {what}")
+            }
+            BuildGridError::ViaResistanceLength { got, expected } => {
+                write!(
+                    f,
+                    "via resistance table has {got} entries, expected {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for BuildGridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = BuildGridError::DegenerateDims { width: 1, height: 1 };
+        let msg = e.to_string();
+        assert!(msg.contains("1x1"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+}

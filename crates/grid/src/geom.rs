@@ -1,0 +1,190 @@
+//! Geometric primitives of the 2-D grid projection.
+
+use std::fmt;
+
+/// Preferred routing direction of a metal layer, and the orientation of a
+/// routing edge.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Direction {
+    /// Wires run along the x axis.
+    Horizontal,
+    /// Wires run along the y axis.
+    Vertical,
+}
+
+impl Direction {
+    /// The other direction.
+    ///
+    /// ```
+    /// use grid::Direction;
+    /// assert_eq!(Direction::Horizontal.flipped(), Direction::Vertical);
+    /// ```
+    #[must_use]
+    pub fn flipped(self) -> Direction {
+        match self {
+            Direction::Horizontal => Direction::Vertical,
+            Direction::Vertical => Direction::Horizontal,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Horizontal => f.write_str("horizontal"),
+            Direction::Vertical => f.write_str("vertical"),
+        }
+    }
+}
+
+/// A tile of the grid, addressed by its integer coordinates.
+///
+/// Cells double as routing-graph vertices: vias are stacked through cells.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Default)]
+pub struct Cell {
+    /// Column index, `0..grid.width()`.
+    pub x: u16,
+    /// Row index, `0..grid.height()`.
+    pub y: u16,
+}
+
+impl Cell {
+    /// Creates a cell at `(x, y)`.
+    pub fn new(x: u16, y: u16) -> Cell {
+        Cell { x, y }
+    }
+
+    /// Rectilinear (Manhattan) distance to `other`, in tiles.
+    ///
+    /// ```
+    /// use grid::Cell;
+    /// assert_eq!(Cell::new(1, 2).manhattan(Cell::new(4, 0)), 5);
+    /// ```
+    pub fn manhattan(self, other: Cell) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(u16, u16)> for Cell {
+    fn from((x, y): (u16, u16)) -> Cell {
+        Cell::new(x, y)
+    }
+}
+
+/// A unit routing edge in the 2-D projection of the grid.
+///
+/// A horizontal edge at cell `(x, y)` connects tiles `(x, y)` and
+/// `(x + 1, y)`; a vertical edge connects `(x, y)` and `(x, y + 1)`.
+/// The same 2-D edge exists on every layer whose preferred direction
+/// matches `dir`; per-layer capacity and usage are tracked by
+/// [`crate::Grid`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Edge2d {
+    /// The lower-coordinate endpoint of the edge.
+    pub cell: Cell,
+    /// Orientation of the edge.
+    pub dir: Direction,
+}
+
+impl Edge2d {
+    /// Creates a horizontal edge between `(x, y)` and `(x + 1, y)`.
+    pub fn horizontal(x: u16, y: u16) -> Edge2d {
+        Edge2d { cell: Cell::new(x, y), dir: Direction::Horizontal }
+    }
+
+    /// Creates a vertical edge between `(x, y)` and `(x, y + 1)`.
+    pub fn vertical(x: u16, y: u16) -> Edge2d {
+        Edge2d { cell: Cell::new(x, y), dir: Direction::Vertical }
+    }
+
+    /// The two endpoints of this edge, lower coordinate first.
+    ///
+    /// ```
+    /// use grid::{Cell, Edge2d};
+    /// let e = Edge2d::horizontal(3, 5);
+    /// assert_eq!(e.endpoints(), (Cell::new(3, 5), Cell::new(4, 5)));
+    /// ```
+    pub fn endpoints(self) -> (Cell, Cell) {
+        let a = self.cell;
+        let b = match self.dir {
+            Direction::Horizontal => Cell::new(a.x + 1, a.y),
+            Direction::Vertical => Cell::new(a.x, a.y + 1),
+        };
+        (a, b)
+    }
+
+    /// The edge between two rectilinearly adjacent cells, or `None` if the
+    /// cells are not adjacent.
+    ///
+    /// ```
+    /// use grid::{Cell, Edge2d};
+    /// let e = Edge2d::between(Cell::new(4, 5), Cell::new(3, 5));
+    /// assert_eq!(e, Some(Edge2d::horizontal(3, 5)));
+    /// assert_eq!(Edge2d::between(Cell::new(0, 0), Cell::new(1, 1)), None);
+    /// ```
+    pub fn between(a: Cell, b: Cell) -> Option<Edge2d> {
+        let (lo, hi) = if (a.x, a.y) <= (b.x, b.y) { (a, b) } else { (b, a) };
+        if lo.y == hi.y && lo.x + 1 == hi.x {
+            Some(Edge2d { cell: lo, dir: Direction::Horizontal })
+        } else if lo.x == hi.x && lo.y + 1 == hi.y {
+            Some(Edge2d { cell: lo, dir: Direction::Vertical })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Edge2d {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (a, b) = self.endpoints();
+        write!(f, "{a}-{b}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_flip_is_involutive() {
+        for d in [Direction::Horizontal, Direction::Vertical] {
+            assert_eq!(d.flipped().flipped(), d);
+        }
+    }
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Cell::new(3, 9);
+        let b = Cell::new(7, 2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn edge_between_orders_endpoints() {
+        let e = Edge2d::between(Cell::new(2, 7), Cell::new(2, 6)).unwrap();
+        assert_eq!(e, Edge2d::vertical(2, 6));
+        let (a, b) = e.endpoints();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn edge_between_rejects_non_adjacent() {
+        assert_eq!(Edge2d::between(Cell::new(0, 0), Cell::new(2, 0)), None);
+        assert_eq!(Edge2d::between(Cell::new(0, 0), Cell::new(0, 0)), None);
+        assert_eq!(Edge2d::between(Cell::new(1, 1), Cell::new(2, 2)), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Edge2d::horizontal(1, 2).to_string(), "(1, 2)-(2, 2)");
+        assert_eq!(Cell::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(Direction::Horizontal.to_string(), "horizontal");
+    }
+}

@@ -1,0 +1,666 @@
+//! The 3-D routing grid: capacities, usage tracking and overflow metrics.
+
+use crate::{Cell, Direction, Edge2d, Layer};
+
+/// The 3-D global-routing grid.
+///
+/// A grid is `width × height` tiles and a stack of unidirectional
+/// [`Layer`]s. For every layer the grid stores the wire capacity and the
+/// current wire usage of each routing edge of that layer's direction, plus
+/// the via usage stacked through every tile.
+///
+/// Construct with [`crate::GridBuilder`].
+///
+/// # Edge addressing
+///
+/// Routing edges are addressed by [`Edge2d`] (2-D projection) together with
+/// a layer index; the layer's preferred direction must match the edge
+/// orientation. Horizontal edges exist for `x ∈ 0..width-1`, vertical edges
+/// for `y ∈ 0..height-1`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Grid {
+    pub(crate) width: u16,
+    pub(crate) height: u16,
+    pub(crate) tile_width: f64,
+    pub(crate) tile_height: f64,
+    pub(crate) via_width: f64,
+    pub(crate) via_spacing: f64,
+    pub(crate) layers: Vec<Layer>,
+    /// Resistance of a via between layer `l` and `l + 1` (Ω).
+    pub(crate) via_resistance: Vec<f64>,
+    /// Per layer: capacity of each edge of that layer's direction.
+    pub(crate) cap: Vec<Vec<u32>>,
+    /// Per layer: wires currently crossing each edge.
+    pub(crate) usage: Vec<Vec<u32>>,
+    /// Per layer: vias currently passing *through* that layer at each cell.
+    pub(crate) via_usage: Vec<Vec<u32>>,
+}
+
+/// Opaque copy of a grid's usage state, for what-if exploration.
+///
+/// Created by [`Grid::snapshot_usage`] and consumed by
+/// [`Grid::restore_usage`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct UsageSnapshot {
+    usage: Vec<Vec<u32>>,
+    via_usage: Vec<Vec<u32>>,
+}
+
+impl Grid {
+    // ------------------------------------------------------------------
+    // Dimensions and layers
+    // ------------------------------------------------------------------
+
+    /// Number of tile columns.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Number of tile rows.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Number of metal layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Physical tile width (x extent), in the same unit as wire geometry.
+    pub fn tile_width(&self) -> f64 {
+        self.tile_width
+    }
+
+    /// Physical tile height (y extent).
+    pub fn tile_height(&self) -> f64 {
+        self.tile_height
+    }
+
+    /// The layer with index `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.num_layers()`.
+    pub fn layer(&self, l: usize) -> &Layer {
+        &self.layers[l]
+    }
+
+    /// All layers, bottom (index 0) to top.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Indices of the layers whose preferred direction is `dir`, bottom up.
+    ///
+    /// ```
+    /// use grid::{Direction, GridBuilder};
+    /// # fn main() -> Result<(), grid::BuildGridError> {
+    /// let g = GridBuilder::new(4, 4)
+    ///     .alternating_layers(4, Direction::Horizontal)
+    ///     .build()?;
+    /// let h: Vec<_> = g.layers_in_direction(Direction::Horizontal).collect();
+    /// assert_eq!(h, vec![0, 2]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn layers_in_direction(
+        &self,
+        dir: Direction,
+    ) -> impl Iterator<Item = usize> + '_ {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.direction == dir)
+            .map(|(i, _)| i)
+    }
+
+    /// Resistance of a via between layers `l` and `l + 1` (Ω).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l + 1 >= self.num_layers()`.
+    pub fn via_resistance(&self, l: usize) -> f64 {
+        self.via_resistance[l]
+    }
+
+    /// Total resistance of a via stack spanning layers `lo..=hi`.
+    ///
+    /// Returns 0 when `lo == hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi >= self.num_layers()` or `lo > hi`.
+    pub fn via_stack_resistance(&self, lo: usize, hi: usize) -> f64 {
+        assert!(lo <= hi && hi < self.num_layers());
+        self.via_resistance[lo..hi].iter().sum()
+    }
+
+    /// Number of vias a single routing track can host inside one tile
+    /// (`n_v` of constraint (4d) in the paper).
+    pub fn vias_per_track(&self) -> u32 {
+        let pitch = self.via_width + self.via_spacing;
+        if pitch <= 0.0 {
+            return 0;
+        }
+        (self.tile_width / pitch).floor() as u32
+    }
+
+    // ------------------------------------------------------------------
+    // Edge iteration and validation
+    // ------------------------------------------------------------------
+
+    /// Whether `cell` lies inside the grid.
+    pub fn contains(&self, cell: Cell) -> bool {
+        cell.x < self.width && cell.y < self.height
+    }
+
+    /// Whether `edge` is a valid routing edge of this grid.
+    pub fn contains_edge(&self, edge: Edge2d) -> bool {
+        match edge.dir {
+            Direction::Horizontal => {
+                edge.cell.x + 1 < self.width && edge.cell.y < self.height
+            }
+            Direction::Vertical => {
+                edge.cell.x < self.width && edge.cell.y + 1 < self.height
+            }
+        }
+    }
+
+    /// Iterates over every routing edge of orientation `dir`.
+    pub fn edges_in_direction(
+        &self,
+        dir: Direction,
+    ) -> impl Iterator<Item = Edge2d> + '_ {
+        let (nx, ny) = match dir {
+            Direction::Horizontal => (self.width - 1, self.height),
+            Direction::Vertical => (self.width, self.height - 1),
+        };
+        (0..ny).flat_map(move |y| {
+            (0..nx).map(move |x| Edge2d { cell: Cell::new(x, y), dir })
+        })
+    }
+
+    /// Iterates over every tile of the grid in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        let (w, h) = (self.width, self.height);
+        (0..h).flat_map(move |y| (0..w).map(move |x| Cell::new(x, y)))
+    }
+
+    /// Number of routing edges of orientation `dir`.
+    pub fn num_edges(&self, dir: Direction) -> usize {
+        match dir {
+            Direction::Horizontal => {
+                (self.width as usize - 1) * self.height as usize
+            }
+            Direction::Vertical => {
+                self.width as usize * (self.height as usize - 1)
+            }
+        }
+    }
+
+    /// Flat index of `edge` within its direction's edge array — stable
+    /// across calls, dense in `0..self.num_edges(edge.dir)`. Useful for
+    /// callers maintaining per-edge side tables (e.g. Lagrange
+    /// multipliers).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the edge is out of bounds.
+    pub fn edge_flat_index(&self, edge: Edge2d) -> usize {
+        self.edge_index(edge)
+    }
+
+    /// Flat row-major index of `cell`, dense in
+    /// `0..width() * height()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the cell is out of bounds.
+    pub fn cell_flat_index(&self, cell: Cell) -> usize {
+        self.cell_index(cell)
+    }
+
+    /// Flat index of `edge` within its direction's edge array.
+    pub(crate) fn edge_index(&self, edge: Edge2d) -> usize {
+        debug_assert!(self.contains_edge(edge), "edge {edge} out of bounds");
+        match edge.dir {
+            Direction::Horizontal => {
+                edge.cell.y as usize * (self.width as usize - 1)
+                    + edge.cell.x as usize
+            }
+            Direction::Vertical => {
+                edge.cell.y as usize * self.width as usize + edge.cell.x as usize
+            }
+        }
+    }
+
+    fn cell_index(&self, cell: Cell) -> usize {
+        debug_assert!(self.contains(cell), "cell {cell} out of bounds");
+        cell.y as usize * self.width as usize + cell.x as usize
+    }
+
+    fn check_layer_edge(&self, layer: usize, edge: Edge2d) {
+        assert!(layer < self.num_layers(), "layer {layer} out of range");
+        assert!(
+            self.layers[layer].direction == edge.dir,
+            "edge {edge} does not match direction of layer {layer}"
+        );
+        assert!(self.contains_edge(edge), "edge {edge} out of bounds");
+    }
+
+    // ------------------------------------------------------------------
+    // Wire capacity and usage
+    // ------------------------------------------------------------------
+
+    /// Wire capacity of `edge` on `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer index is out of range, the layer direction does
+    /// not match the edge orientation, or the edge is out of bounds.
+    pub fn edge_capacity(&self, layer: usize, edge: Edge2d) -> u32 {
+        self.check_layer_edge(layer, edge);
+        self.cap[layer][self.edge_index(edge)]
+    }
+
+    /// Overrides the wire capacity of `edge` on `layer` (used for ISPD'08
+    /// capacity adjustments and blockage modelling).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Grid::edge_capacity`].
+    pub fn set_edge_capacity(&mut self, layer: usize, edge: Edge2d, cap: u32) {
+        self.check_layer_edge(layer, edge);
+        let idx = self.edge_index(edge);
+        self.cap[layer][idx] = cap;
+    }
+
+    /// Number of wires currently routed across `edge` on `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Grid::edge_capacity`].
+    pub fn edge_usage(&self, layer: usize, edge: Edge2d) -> u32 {
+        self.check_layer_edge(layer, edge);
+        self.usage[layer][self.edge_index(edge)]
+    }
+
+    /// Remaining capacity of `edge` on `layer` (zero when overflowed).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Grid::edge_capacity`].
+    pub fn edge_residual(&self, layer: usize, edge: Edge2d) -> u32 {
+        self.check_layer_edge(layer, edge);
+        let idx = self.edge_index(edge);
+        self.cap[layer][idx].saturating_sub(self.usage[layer][idx])
+    }
+
+    /// Records one more wire crossing `edge` on `layer`.
+    ///
+    /// Overflow is permitted (and counted by
+    /// [`Grid::total_wire_overflow`]); callers that must stay legal check
+    /// [`Grid::edge_residual`] first.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Grid::edge_capacity`].
+    pub fn add_wire(&mut self, layer: usize, edge: Edge2d) {
+        self.check_layer_edge(layer, edge);
+        let idx = self.edge_index(edge);
+        self.usage[layer][idx] += 1;
+    }
+
+    /// Removes one wire from `edge` on `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no wire is recorded on the edge, plus the conditions of
+    /// [`Grid::edge_capacity`].
+    pub fn remove_wire(&mut self, layer: usize, edge: Edge2d) {
+        self.check_layer_edge(layer, edge);
+        let idx = self.edge_index(edge);
+        assert!(
+            self.usage[layer][idx] > 0,
+            "removing wire from empty edge {edge} on layer {layer}"
+        );
+        self.usage[layer][idx] -= 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Via capacity and usage
+    // ------------------------------------------------------------------
+
+    /// Via capacity of `cell` on `layer`, per Eqn. (1) of the paper:
+    ///
+    /// ```text
+    /// cap_g(l) = ⌊ (w_w + w_s) · Tile_w · (cap_e0(l) + cap_e1(l))
+    ///             / (v_w + v_s)² ⌋
+    /// ```
+    ///
+    /// where `e0`, `e1` are the two edges of layer `l` incident on the
+    /// cell along the layer's routing direction (missing boundary edges
+    /// contribute zero capacity). If both edges are fully occupied by
+    /// wires, no vias can pass through the cell on this layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer index or cell is out of range.
+    pub fn via_capacity(&self, cell: Cell, layer: usize) -> u32 {
+        assert!(layer < self.num_layers(), "layer {layer} out of range");
+        assert!(self.contains(cell), "cell {cell} out of bounds");
+        let lay = &self.layers[layer];
+        let dir = lay.direction;
+        let mut edge_cap_sum = 0u64;
+        // The "previous" edge (left of / below the cell)...
+        let prev = match dir {
+            Direction::Horizontal if cell.x > 0 => {
+                Some(Edge2d::horizontal(cell.x - 1, cell.y))
+            }
+            Direction::Vertical if cell.y > 0 => {
+                Some(Edge2d::vertical(cell.x, cell.y - 1))
+            }
+            _ => None,
+        };
+        // ...and the "next" edge (right of / above the cell).
+        let next = match dir {
+            Direction::Horizontal => Edge2d::horizontal(cell.x, cell.y),
+            Direction::Vertical => Edge2d::vertical(cell.x, cell.y),
+        };
+        if let Some(e) = prev {
+            edge_cap_sum += self.cap[layer][self.edge_index(e)] as u64;
+        }
+        if self.contains_edge(next) {
+            edge_cap_sum += self.cap[layer][self.edge_index(next)] as u64;
+        }
+        let via_pitch = self.via_width + self.via_spacing;
+        if via_pitch <= 0.0 {
+            return 0;
+        }
+        let tile_extent = match dir {
+            Direction::Horizontal => self.tile_width,
+            Direction::Vertical => self.tile_height,
+        };
+        let cap = lay.pitch() * tile_extent * edge_cap_sum as f64
+            / (via_pitch * via_pitch);
+        cap.floor().max(0.0) as u32
+    }
+
+    /// Number of vias currently passing through `cell` on `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer index or cell is out of range.
+    pub fn via_usage(&self, cell: Cell, layer: usize) -> u32 {
+        assert!(layer < self.num_layers(), "layer {layer} out of range");
+        self.via_usage[layer][self.cell_index(cell)]
+    }
+
+    /// Records a via stack at `cell` spanning layers `lo..=hi`.
+    ///
+    /// Following constraint (4d) of the paper, the stack consumes via
+    /// capacity on every layer *strictly between* its endpoints; a
+    /// single-hop via (`hi == lo + 1`) consumes none.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`, `hi >= self.num_layers()`, or the cell is out
+    /// of range.
+    pub fn add_via_stack(&mut self, cell: Cell, lo: usize, hi: usize) {
+        assert!(lo <= hi && hi < self.num_layers());
+        let idx = self.cell_index(cell);
+        for l in (lo + 1)..hi {
+            self.via_usage[l][idx] += 1;
+        }
+    }
+
+    /// Removes a via stack previously recorded with
+    /// [`Grid::add_via_stack`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack was not recorded (usage underflow) or the
+    /// arguments are out of range.
+    pub fn remove_via_stack(&mut self, cell: Cell, lo: usize, hi: usize) {
+        assert!(lo <= hi && hi < self.num_layers());
+        let idx = self.cell_index(cell);
+        for l in (lo + 1)..hi {
+            assert!(
+                self.via_usage[l][idx] > 0,
+                "removing via from empty cell {cell} on layer {l}"
+            );
+            self.via_usage[l][idx] -= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Overflow metrics
+    // ------------------------------------------------------------------
+
+    /// Total wire overflow: `Σ max(0, usage − cap)` over all layer edges.
+    pub fn total_wire_overflow(&self) -> u64 {
+        let mut total = 0u64;
+        for l in 0..self.num_layers() {
+            for (u, c) in self.usage[l].iter().zip(&self.cap[l]) {
+                total += u.saturating_sub(*c) as u64;
+            }
+        }
+        total
+    }
+
+    /// Total via overflow (the paper's `OV#`): `Σ max(0, via_usage −
+    /// via_cap)` over all cells and layers.
+    pub fn total_via_overflow(&self) -> u64 {
+        let mut total = 0u64;
+        for l in 0..self.num_layers() {
+            for cell in self.cells() {
+                let u = self.via_usage[l][self.cell_index(cell)];
+                let c = self.via_capacity(cell, l);
+                total += u.saturating_sub(c) as u64;
+            }
+        }
+        total
+    }
+
+    // ------------------------------------------------------------------
+    // 2-D projection (used by the initial global router)
+    // ------------------------------------------------------------------
+
+    /// Combined wire capacity of `edge` over all layers of its direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is out of bounds.
+    pub fn projected_capacity(&self, edge: Edge2d) -> u32 {
+        assert!(self.contains_edge(edge), "edge {edge} out of bounds");
+        let idx = self.edge_index(edge);
+        self.layers_in_direction(edge.dir).map(|l| self.cap[l][idx]).sum()
+    }
+
+    /// Combined wire usage of `edge` over all layers of its direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is out of bounds.
+    pub fn projected_usage(&self, edge: Edge2d) -> u32 {
+        assert!(self.contains_edge(edge), "edge {edge} out of bounds");
+        let idx = self.edge_index(edge);
+        self.layers_in_direction(edge.dir).map(|l| self.usage[l][idx]).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots
+    // ------------------------------------------------------------------
+
+    /// Captures the current wire and via usage.
+    pub fn snapshot_usage(&self) -> UsageSnapshot {
+        UsageSnapshot {
+            usage: self.usage.clone(),
+            via_usage: self.via_usage.clone(),
+        }
+    }
+
+    /// Restores usage captured by [`Grid::snapshot_usage`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a grid of different shape.
+    pub fn restore_usage(&mut self, snapshot: UsageSnapshot) {
+        assert_eq!(snapshot.usage.len(), self.usage.len());
+        for (a, b) in snapshot.usage.iter().zip(&self.usage) {
+            assert_eq!(a.len(), b.len(), "snapshot shape mismatch");
+        }
+        self.usage = snapshot.usage;
+        self.via_usage = snapshot.via_usage;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GridBuilder;
+
+    fn grid4() -> Grid {
+        GridBuilder::new(4, 3)
+            .alternating_layers(4, Direction::Horizontal)
+            .uniform_capacity(5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn edge_counts_match_dims() {
+        let g = grid4();
+        assert_eq!(
+            g.edges_in_direction(Direction::Horizontal).count(),
+            3 * 3 // (width-1) * height
+        );
+        assert_eq!(
+            g.edges_in_direction(Direction::Vertical).count(),
+            4 * 2 // width * (height-1)
+        );
+        assert_eq!(g.cells().count(), 12);
+    }
+
+    #[test]
+    fn wire_usage_roundtrip() {
+        let mut g = grid4();
+        let e = Edge2d::horizontal(1, 1);
+        assert_eq!(g.edge_usage(0, e), 0);
+        g.add_wire(0, e);
+        g.add_wire(0, e);
+        assert_eq!(g.edge_usage(0, e), 2);
+        assert_eq!(g.edge_residual(0, e), 3);
+        g.remove_wire(0, e);
+        assert_eq!(g.edge_usage(0, e), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match direction")]
+    fn wrong_direction_layer_panics() {
+        let g = grid4();
+        // Layer 1 is vertical; horizontal edge should be rejected.
+        g.edge_capacity(1, Edge2d::horizontal(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "removing wire from empty edge")]
+    fn remove_from_empty_edge_panics() {
+        let mut g = grid4();
+        g.remove_wire(0, Edge2d::horizontal(0, 0));
+    }
+
+    #[test]
+    fn overflow_counts_excess_only() {
+        let mut g = grid4();
+        let e = Edge2d::horizontal(0, 0);
+        for _ in 0..7 {
+            g.add_wire(0, e);
+        }
+        // capacity 5, usage 7 -> overflow 2
+        assert_eq!(g.total_wire_overflow(), 2);
+    }
+
+    #[test]
+    fn via_capacity_boundary_cells_have_less() {
+        let g = grid4();
+        // Layer 0 horizontal: an interior cell has two adjacent H edges,
+        // a corner cell only one, so interior capacity must be larger.
+        let interior = g.via_capacity(Cell::new(1, 1), 0);
+        let corner = g.via_capacity(Cell::new(0, 0), 0);
+        assert!(interior > corner, "{interior} vs {corner}");
+        assert_eq!(interior, 2 * corner);
+    }
+
+    #[test]
+    fn via_stack_consumes_interior_layers_only() {
+        let mut g = grid4();
+        let c = Cell::new(2, 1);
+        g.add_via_stack(c, 0, 3);
+        assert_eq!(g.via_usage(c, 0), 0);
+        assert_eq!(g.via_usage(c, 1), 1);
+        assert_eq!(g.via_usage(c, 2), 1);
+        assert_eq!(g.via_usage(c, 3), 0);
+        // Single-hop via consumes nothing.
+        g.add_via_stack(c, 1, 2);
+        assert_eq!(g.via_usage(c, 1), 1);
+        g.remove_via_stack(c, 0, 3);
+        assert_eq!(g.via_usage(c, 1), 0);
+        assert_eq!(g.via_usage(c, 2), 0);
+    }
+
+    #[test]
+    fn projected_capacity_sums_layers() {
+        let g = grid4();
+        // 2 horizontal layers (0 and 2) with capacity 5 each.
+        assert_eq!(g.projected_capacity(Edge2d::horizontal(0, 0)), 10);
+    }
+
+    #[test]
+    fn snapshot_restores_usage() {
+        let mut g = grid4();
+        let snap = g.snapshot_usage();
+        g.add_wire(0, Edge2d::horizontal(0, 0));
+        g.add_via_stack(Cell::new(1, 1), 0, 2);
+        assert_eq!(g.edge_usage(0, Edge2d::horizontal(0, 0)), 1);
+        g.restore_usage(snap);
+        assert_eq!(g.edge_usage(0, Edge2d::horizontal(0, 0)), 0);
+        assert_eq!(g.via_usage(Cell::new(1, 1), 1), 0);
+    }
+
+    #[test]
+    fn edge_flat_index_is_a_bijection() {
+        let g = grid4();
+        for dir in [Direction::Horizontal, Direction::Vertical] {
+            let mut seen = vec![false; g.num_edges(dir)];
+            for e in g.edges_in_direction(dir) {
+                let idx = g.edge_flat_index(e);
+                assert!(idx < seen.len(), "{e} -> {idx} out of range");
+                assert!(!seen[idx], "{e} collides at {idx}");
+                seen[idx] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "indices not dense for {dir}");
+        }
+    }
+
+    #[test]
+    fn cell_flat_index_is_dense() {
+        let g = grid4();
+        let mut seen = [false; 4 * 3];
+        for c in g.cells() {
+            let idx = g.cell_flat_index(c);
+            assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn via_stack_resistance_sums_boundaries() {
+        let g = grid4();
+        let r01 = g.via_resistance(0);
+        let r12 = g.via_resistance(1);
+        assert!((g.via_stack_resistance(0, 2) - (r01 + r12)).abs() < 1e-12);
+        assert_eq!(g.via_stack_resistance(1, 1), 0.0);
+    }
+}

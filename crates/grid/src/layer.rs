@@ -1,0 +1,99 @@
+//! Metal-layer description: routing direction, geometry and RC parasitics.
+
+use crate::Direction;
+
+/// Electrical and geometric description of one metal layer.
+///
+/// Resistance and capacitance are expressed *per tile length*, so that a
+/// wire spanning `n` grid edges on this layer has resistance
+/// `n * unit_resistance` and capacitance `n * unit_capacitance`.
+///
+/// Units are arbitrary but must be consistent across layers; every consumer
+/// in this workspace only relies on relative values (higher layers are
+/// wider and less resistive, per the paper's industrial settings).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Layer {
+    /// Human-readable name, e.g. `"M3"`.
+    pub name: String,
+    /// Preferred (and only) routing direction on this layer.
+    pub direction: Direction,
+    /// Wire resistance per tile length (Ω / tile).
+    pub unit_resistance: f64,
+    /// Wire capacitance per tile length (fF / tile).
+    pub unit_capacitance: f64,
+    /// Drawn wire width, in the same length unit as tile dimensions.
+    pub wire_width: f64,
+    /// Minimum wire spacing, same unit as `wire_width`.
+    pub wire_spacing: f64,
+    /// Default routing capacity of every edge on this layer (wires/edge).
+    pub default_capacity: u32,
+}
+
+impl Layer {
+    /// Creates a layer with the given name and direction and neutral
+    /// electrical parameters (R = 1 Ω/tile, C = 1 fF/tile, width = spacing
+    /// = 1, capacity = 10).
+    ///
+    /// ```
+    /// use grid::{Direction, Layer};
+    /// let m2 = Layer::new("M2", Direction::Vertical);
+    /// assert_eq!(m2.direction, Direction::Vertical);
+    /// ```
+    pub fn new(name: impl Into<String>, direction: Direction) -> Layer {
+        Layer {
+            name: name.into(),
+            direction,
+            unit_resistance: 1.0,
+            unit_capacitance: 1.0,
+            wire_width: 1.0,
+            wire_spacing: 1.0,
+            default_capacity: 10,
+        }
+    }
+
+    /// Sets the per-tile resistance and capacitance.
+    #[must_use]
+    pub fn with_rc(mut self, resistance: f64, capacitance: f64) -> Layer {
+        self.unit_resistance = resistance;
+        self.unit_capacitance = capacitance;
+        self
+    }
+
+    /// Sets the drawn wire width and spacing.
+    #[must_use]
+    pub fn with_geometry(mut self, width: f64, spacing: f64) -> Layer {
+        self.wire_width = width;
+        self.wire_spacing = spacing;
+        self
+    }
+
+    /// Sets the default edge capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: u32) -> Layer {
+        self.default_capacity = capacity;
+        self
+    }
+
+    /// Wire pitch (width + spacing).
+    pub fn pitch(&self) -> f64 {
+        self.wire_width + self.wire_spacing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_setters_apply() {
+        let l = Layer::new("M5", Direction::Horizontal)
+            .with_rc(0.5, 2.0)
+            .with_geometry(2.0, 1.5)
+            .with_capacity(42);
+        assert_eq!(l.unit_resistance, 0.5);
+        assert_eq!(l.unit_capacitance, 2.0);
+        assert_eq!(l.pitch(), 3.5);
+        assert_eq!(l.default_capacity, 42);
+        assert_eq!(l.name, "M5");
+    }
+}

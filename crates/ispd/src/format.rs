@@ -1,0 +1,513 @@
+//! The ISPD'08 global-routing contest text format.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write as IoWrite};
+
+use grid::{Cell, Direction, Edge2d, Grid, GridBuilder, Layer};
+use net::{NetSpec, Pin};
+
+/// A capacity adjustment line: the capacity of the edge between two
+/// adjacent tiles on one layer is overridden.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CapacityAdjustment {
+    /// First endpoint `(column, row, layer)`, 0-based.
+    pub from: (u16, u16, usize),
+    /// Second endpoint `(column, row, layer)`, 0-based.
+    pub to: (u16, u16, usize),
+    /// New capacity in ISPD capacity units (track widths).
+    pub capacity: u32,
+}
+
+/// An ISPD'08 design: grid geometry, per-layer capacities and net pin
+/// lists.
+///
+/// Produced by [`parse`] or by
+/// [`SyntheticConfig::design`](crate::SyntheticConfig); converted to the
+/// workspace's native types with [`IspdDesign::to_grid`] and
+/// [`IspdDesign::net_specs`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct IspdDesign {
+    /// Tiles in x.
+    pub grid_x: u16,
+    /// Tiles in y.
+    pub grid_y: u16,
+    /// Metal layer count.
+    pub num_layers: usize,
+    /// Per-layer vertical capacity (ISPD units; 0 on horizontal layers).
+    pub vertical_capacity: Vec<u32>,
+    /// Per-layer horizontal capacity (ISPD units; 0 on vertical layers).
+    pub horizontal_capacity: Vec<u32>,
+    /// Per-layer minimum wire width.
+    pub min_width: Vec<f64>,
+    /// Per-layer minimum wire spacing.
+    pub min_spacing: Vec<f64>,
+    /// Per-layer via spacing.
+    pub via_spacing: Vec<f64>,
+    /// Physical lower-left corner of the die.
+    pub lower_left: (f64, f64),
+    /// Physical tile dimensions.
+    pub tile_size: (f64, f64),
+    /// Nets: name and pins in *tile* coordinates.
+    pub nets: Vec<NetSpec>,
+    /// Capacity adjustment list.
+    pub adjustments: Vec<CapacityAdjustment>,
+}
+
+impl IspdDesign {
+    /// Builds the native [`Grid`], converting ISPD capacity units (track
+    /// widths) into wire counts via `cap / (min_width + min_spacing)` per
+    /// layer, applying all capacity adjustments, and synthesizing an
+    /// industrial-shape RC profile (the format itself carries no
+    /// parasitics; the paper likewise substitutes "industrial settings").
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`grid::BuildGridError`] if the design is
+    /// degenerate, stringified alongside adjustment range errors.
+    pub fn to_grid(&self) -> Result<Grid, String> {
+        let mut builder = GridBuilder::new(self.grid_x, self.grid_y)
+            .tile_size(self.tile_size.0, self.tile_size.1)
+            .via_geometry(1.0, 1.0);
+        for l in 0..self.num_layers {
+            let horizontal = self.horizontal_capacity[l] > 0;
+            let dir = if horizontal {
+                Direction::Horizontal
+            } else {
+                Direction::Vertical
+            };
+            let pitch = self.min_width[l] + self.min_spacing[l];
+            let raw = if horizontal {
+                self.horizontal_capacity[l]
+            } else {
+                self.vertical_capacity[l]
+            };
+            let wires = if pitch > 0.0 {
+                (raw as f64 / pitch).floor() as u32
+            } else {
+                raw
+            };
+            // Same qualitative RC shape as GridBuilder::alternating_layers.
+            let resistance = 8.0 / f64::powi(2.0, (l / 2) as i32);
+            let capacitance = 1.0 + 0.15 * l as f64;
+            builder = builder.push_layer(
+                Layer::new(format!("M{}", l + 1), dir)
+                    .with_rc(resistance, capacitance)
+                    .with_geometry(
+                        self.min_width[l].max(f64::MIN_POSITIVE),
+                        self.min_spacing[l].max(f64::MIN_POSITIVE),
+                    )
+                    .with_capacity(wires),
+            );
+        }
+        let mut grid = builder.build().map_err(|e| e.to_string())?;
+        for adj in &self.adjustments {
+            let (x1, y1, l1) = adj.from;
+            let (x2, y2, l2) = adj.to;
+            if l1 != l2 || l1 >= self.num_layers {
+                return Err(format!(
+                    "adjustment spans layers {l1}/{l2}, which is unsupported"
+                ));
+            }
+            let e = Edge2d::between(Cell::new(x1, y1), Cell::new(x2, y2))
+                .ok_or_else(|| {
+                    format!(
+                        "adjustment between non-adjacent tiles \
+                         ({x1},{y1}) and ({x2},{y2})"
+                    )
+                })?;
+            if grid.layer(l1).direction != e.dir {
+                return Err(format!(
+                    "adjustment on layer {l1} direction mismatch at {e}"
+                ));
+            }
+            let pitch = self.min_width[l1] + self.min_spacing[l1];
+            let wires = if pitch > 0.0 {
+                (adj.capacity as f64 / pitch).floor() as u32
+            } else {
+                adj.capacity
+            };
+            grid.set_edge_capacity(l1, e, wires);
+        }
+        Ok(grid)
+    }
+
+    /// The net specs (pins already in tile coordinates).
+    pub fn net_specs(&self) -> &[NetSpec] {
+        &self.nets
+    }
+}
+
+/// Error produced by [`parse`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseIspdError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseIspdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ISPD'08 file: {}", self.message)
+    }
+}
+
+impl Error for ParseIspdError {}
+
+fn err(message: impl Into<String>) -> ParseIspdError {
+    ParseIspdError { message: message.into() }
+}
+
+struct Tokens {
+    toks: Vec<String>,
+    pos: usize,
+}
+
+impl Tokens {
+    fn next(&mut self) -> Result<&str, ParseIspdError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .ok_or_else(|| err("unexpected end of file"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn next_f64(&mut self) -> Result<f64, ParseIspdError> {
+        let t = self.next()?;
+        t.parse().map_err(|_| err(format!("expected number, got `{t}`")))
+    }
+
+    fn next_u32(&mut self) -> Result<u32, ParseIspdError> {
+        let t = self.next()?;
+        t.parse().map_err(|_| err(format!("expected integer, got `{t}`")))
+    }
+
+    fn expect(&mut self, word: &str) -> Result<(), ParseIspdError> {
+        let t = self.next()?;
+        if t.eq_ignore_ascii_case(word) {
+            Ok(())
+        } else {
+            Err(err(format!("expected `{word}`, got `{t}`")))
+        }
+    }
+}
+
+/// Parses an ISPD'08 benchmark file.
+///
+/// Pins are converted from physical to tile coordinates using the file's
+/// origin and tile size, and clamped into the grid. Pin layers in the
+/// file are 1-based; they are stored 0-based.
+///
+/// # Errors
+///
+/// Returns [`ParseIspdError`] on any structural deviation from the
+/// format, and wraps I/O errors in the same type.
+pub fn parse(reader: impl BufRead) -> Result<IspdDesign, ParseIspdError> {
+    let mut toks = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| err(format!("read failure: {e}")))?;
+        for t in line.split_whitespace() {
+            toks.push(t.to_string());
+        }
+    }
+    let mut t = Tokens { toks, pos: 0 };
+
+    t.expect("grid")?;
+    let grid_x = t.next_u32()? as u16;
+    let grid_y = t.next_u32()? as u16;
+    let num_layers = t.next_u32()? as usize;
+
+    t.expect("vertical")?;
+    t.expect("capacity")?;
+    let vertical_capacity: Vec<u32> = (0..num_layers)
+        .map(|_| t.next_u32())
+        .collect::<Result<_, _>>()?;
+    t.expect("horizontal")?;
+    t.expect("capacity")?;
+    let horizontal_capacity: Vec<u32> = (0..num_layers)
+        .map(|_| t.next_u32())
+        .collect::<Result<_, _>>()?;
+    t.expect("minimum")?;
+    t.expect("width")?;
+    let min_width: Vec<f64> = (0..num_layers)
+        .map(|_| t.next_f64())
+        .collect::<Result<_, _>>()?;
+    t.expect("minimum")?;
+    t.expect("spacing")?;
+    let min_spacing: Vec<f64> = (0..num_layers)
+        .map(|_| t.next_f64())
+        .collect::<Result<_, _>>()?;
+    t.expect("via")?;
+    t.expect("spacing")?;
+    let via_spacing: Vec<f64> = (0..num_layers)
+        .map(|_| t.next_f64())
+        .collect::<Result<_, _>>()?;
+    let llx = t.next_f64()?;
+    let lly = t.next_f64()?;
+    let tile_w = t.next_f64()?;
+    let tile_h = t.next_f64()?;
+    if tile_w <= 0.0 || tile_h <= 0.0 {
+        return Err(err("non-positive tile size"));
+    }
+
+    t.expect("num")?;
+    t.expect("net")?;
+    let num_nets = t.next_u32()? as usize;
+
+    let to_tile = |v: f64, origin: f64, size: f64, max: u16| -> u16 {
+        let idx = ((v - origin) / size).floor();
+        idx.clamp(0.0, max.saturating_sub(1) as f64) as u16
+    };
+
+    let mut nets = Vec::with_capacity(num_nets);
+    for _ in 0..num_nets {
+        let name = t.next()?.to_string();
+        let _id = t.next_u32()?;
+        let num_pins = t.next_u32()? as usize;
+        let _min_width = t.next_f64()?;
+        let mut pins = Vec::with_capacity(num_pins);
+        for p in 0..num_pins {
+            let x = t.next_f64()?;
+            let y = t.next_f64()?;
+            let layer = t.next_u32()? as usize;
+            let cell = Cell::new(
+                to_tile(x, llx, tile_w, grid_x),
+                to_tile(y, lly, tile_h, grid_y),
+            );
+            let pin = if p == 0 {
+                Pin::source(cell, 0.0)
+            } else {
+                Pin::sink(cell, 1.0)
+            };
+            pins.push(pin.on_layer(layer.saturating_sub(1)));
+        }
+        if pins.is_empty() {
+            return Err(err(format!("net {name} has no pins")));
+        }
+        nets.push(NetSpec::new(name, pins));
+    }
+
+    // Optional adjustment section.
+    let mut adjustments = Vec::new();
+    if t.pos < t.toks.len() {
+        let count = t.next_u32()? as usize;
+        for _ in 0..count {
+            let x1 = t.next_u32()? as u16;
+            let y1 = t.next_u32()? as u16;
+            let l1 = t.next_u32()? as usize;
+            let x2 = t.next_u32()? as u16;
+            let y2 = t.next_u32()? as u16;
+            let l2 = t.next_u32()? as usize;
+            let capacity = t.next_u32()?;
+            adjustments.push(CapacityAdjustment {
+                from: (x1, y1, l1.saturating_sub(1)),
+                to: (x2, y2, l2.saturating_sub(1)),
+                capacity,
+            });
+        }
+    }
+
+    Ok(IspdDesign {
+        grid_x,
+        grid_y,
+        num_layers,
+        vertical_capacity,
+        horizontal_capacity,
+        min_width,
+        min_spacing,
+        via_spacing,
+        lower_left: (llx, lly),
+        tile_size: (tile_w, tile_h),
+        nets,
+        adjustments,
+    })
+}
+
+/// Writes a design in the ISPD'08 format. Pins are emitted at their tile
+/// centers; the inverse of [`parse`]'s coordinate conversion.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write(
+    design: &IspdDesign,
+    mut w: impl IoWrite,
+) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "grid {} {} {}",
+        design.grid_x, design.grid_y, design.num_layers
+    )?;
+    let join = |v: &[u32]| {
+        v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
+    };
+    let joinf = |v: &[f64]| {
+        v.iter().map(|x| format!("{x}")).collect::<Vec<_>>().join(" ")
+    };
+    writeln!(w, "vertical capacity {}", join(&design.vertical_capacity))?;
+    writeln!(w, "horizontal capacity {}", join(&design.horizontal_capacity))?;
+    writeln!(w, "minimum width {}", joinf(&design.min_width))?;
+    writeln!(w, "minimum spacing {}", joinf(&design.min_spacing))?;
+    writeln!(w, "via spacing {}", joinf(&design.via_spacing))?;
+    writeln!(
+        w,
+        "{} {} {} {}",
+        design.lower_left.0,
+        design.lower_left.1,
+        design.tile_size.0,
+        design.tile_size.1
+    )?;
+    writeln!(w, "num net {}", design.nets.len())?;
+    for (i, n) in design.nets.iter().enumerate() {
+        writeln!(w, "{} {} {} 1", n.name, i, n.pins.len())?;
+        for p in &n.pins {
+            let x = design.lower_left.0
+                + (p.cell.x as f64 + 0.5) * design.tile_size.0;
+            let y = design.lower_left.1
+                + (p.cell.y as f64 + 0.5) * design.tile_size.1;
+            writeln!(w, "{x} {y} {}", p.layer + 1)?;
+        }
+    }
+    writeln!(w, "{}", design.adjustments.len())?;
+    for a in &design.adjustments {
+        writeln!(
+            w,
+            "{} {} {} {} {} {} {}",
+            a.from.0,
+            a.from.1,
+            a.from.2 + 1,
+            a.to.0,
+            a.to.1,
+            a.to.2 + 1,
+            a.capacity
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    const SAMPLE: &str = "\
+grid 4 4 2
+vertical capacity 0 20
+horizontal capacity 20 0
+minimum width 1 1
+minimum spacing 1 1
+via spacing 1 1
+0 0 10 10
+num net 2
+netA 0 2 1
+5 5 1
+35 25 1
+netB 1 3 1
+15 15 1
+25 35 1
+5 35 2
+1
+0 0 1 1 0 1 10
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let d = parse(BufReader::new(SAMPLE.as_bytes())).unwrap();
+        assert_eq!(d.grid_x, 4);
+        assert_eq!(d.num_layers, 2);
+        assert_eq!(d.nets.len(), 2);
+        assert_eq!(d.nets[0].pins[1].cell, Cell::new(3, 2));
+        // Pin layer converted to 0-based.
+        assert_eq!(d.nets[1].pins[2].layer, 1);
+        assert_eq!(d.adjustments.len(), 1);
+        assert_eq!(d.adjustments[0].capacity, 10);
+    }
+
+    #[test]
+    fn builds_native_grid_with_converted_capacity() {
+        let d = parse(BufReader::new(SAMPLE.as_bytes())).unwrap();
+        let g = d.to_grid().unwrap();
+        assert_eq!(g.num_layers(), 2);
+        assert_eq!(g.layer(0).direction, Direction::Horizontal);
+        assert_eq!(g.layer(1).direction, Direction::Vertical);
+        // 20 units / (1 + 1) pitch = 10 wires.
+        assert_eq!(g.edge_capacity(0, Edge2d::horizontal(2, 2)), 10);
+        // Adjustment: edge (0,0)-(1,0) layer 0 -> 10 / 2 = 5 wires.
+        assert_eq!(g.edge_capacity(0, Edge2d::horizontal(0, 0)), 5);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let d = parse(BufReader::new(SAMPLE.as_bytes())).unwrap();
+        let mut buf = Vec::new();
+        write(&d, &mut buf).unwrap();
+        let d2 = parse(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(d.grid_x, d2.grid_x);
+        assert_eq!(d.nets.len(), d2.nets.len());
+        for (a, b) in d.nets.iter().zip(&d2.nets) {
+            assert_eq!(a.name, b.name);
+            let ac: Vec<_> = a.pins.iter().map(|p| p.cell).collect();
+            let bc: Vec<_> = b.pins.iter().map(|p| p.cell).collect();
+            assert_eq!(ac, bc);
+        }
+        assert_eq!(d.adjustments, d2.adjustments);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let broken = "grid 4 4 2\nvertical capacity 0";
+        let e = parse(BufReader::new(broken.as_bytes())).unwrap_err();
+        assert!(e.to_string().contains("end of file"), "{e}");
+    }
+
+    #[test]
+    fn garbage_token_is_rejected() {
+        let broken = SAMPLE.replace("num net 2", "num net banana");
+        let e = parse(BufReader::new(broken.as_bytes())).unwrap_err();
+        assert!(e.to_string().contains("banana"), "{e}");
+    }
+
+    mod roundtrip_properties {
+        use super::*;
+        use crate::SyntheticConfig;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            /// Any generated design survives write→parse with identical
+            /// structure and an equivalent native grid.
+            #[test]
+            fn random_designs_roundtrip(seed in 0u64..10_000) {
+                let mut config = SyntheticConfig::small(seed);
+                config.num_nets = 40;
+                let design = config.design().expect("valid config");
+                let mut buf = Vec::new();
+                write(&design, &mut buf).expect("in-memory write");
+                let parsed =
+                    parse(BufReader::new(buf.as_slice())).expect("parse back");
+                prop_assert_eq!(design.grid_x, parsed.grid_x);
+                prop_assert_eq!(design.grid_y, parsed.grid_y);
+                prop_assert_eq!(design.num_layers, parsed.num_layers);
+                prop_assert_eq!(design.nets.len(), parsed.nets.len());
+                for (a, b) in design.nets.iter().zip(&parsed.nets) {
+                    prop_assert_eq!(&a.name, &b.name);
+                    prop_assert_eq!(a.pins.len(), b.pins.len());
+                    for (pa, pb) in a.pins.iter().zip(&b.pins) {
+                        prop_assert_eq!(pa.cell, pb.cell);
+                        prop_assert_eq!(pa.layer, pb.layer);
+                    }
+                }
+                let ga = design.to_grid().expect("grid a");
+                let gb = parsed.to_grid().expect("grid b");
+                prop_assert_eq!(ga, gb);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_pins_are_clamped() {
+        let shifted = SAMPLE.replace("35 25 1", "9999 -50 1");
+        let d = parse(BufReader::new(shifted.as_bytes())).unwrap();
+        assert_eq!(d.nets[0].pins[1].cell, Cell::new(3, 0));
+    }
+}

@@ -1,0 +1,347 @@
+//! Net model for layer assignment.
+//!
+//! A [`Net`] connects one source [`Pin`] to one or more sink pins through a
+//! routed 2-D topology, the [`RouteTree`]: a tree of straight wire
+//! [`Segment`]s over grid cells. Layer assignment maps every segment onto a
+//! metal layer of matching direction; the mapping for a whole design lives
+//! in an [`Assignment`].
+//!
+//! Vias are *implied*: wherever two tree-adjacent segments sit on different
+//! layers (or a segment must reach a pin on the pin layer), a via stack
+//! spans the gap. [`Net::via_stacks`] enumerates them for a given
+//! assignment, and [`apply_to_grid`] / [`remove_net_from_grid`] keep a
+//! [`grid::Grid`]'s usage tallies in sync.
+//!
+//! # Example
+//!
+//! ```
+//! use grid::{Cell, Direction};
+//! use net::{Net, Pin, RouteTreeBuilder};
+//!
+//! # fn main() -> Result<(), net::BuildTreeError> {
+//! // A two-pin net: source at (0,0), sink at (2,1), routed as an L.
+//! let mut b = RouteTreeBuilder::new(Cell::new(0, 0));
+//! let corner = b.add_path(b.root(), &[Cell::new(2, 0)])?;
+//! let end = b.add_path(corner, &[Cell::new(2, 1)])?;
+//! b.attach_pin(end, 1)?;
+//! b.attach_pin(b.root(), 0)?;
+//! let tree = b.build()?;
+//! let net = Net::new(
+//!     "n1",
+//!     vec![Pin::source(Cell::new(0, 0), 25.0), Pin::sink(Cell::new(2, 1), 2.0)],
+//!     tree,
+//! );
+//! assert_eq!(net.tree().num_segments(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod assignment;
+mod netlist;
+mod pin;
+mod tree;
+
+pub use assignment::{
+    apply_to_grid, remove_net_from_grid, restore_net_to_grid, Assignment,
+};
+pub use netlist::{Netlist, SegmentRef};
+pub use pin::Pin;
+pub use tree::{
+    BuildTreeError, RouteTree, RouteTreeBuilder, Segment, TreeNode,
+};
+
+use grid::Cell;
+
+/// An unrouted net: the pin set a router must connect.
+///
+/// `pins[0]` is the source. Benchmark parsers and generators produce
+/// `NetSpec`s; the `route` crate turns them into routed [`Net`]s.
+#[derive(Clone, PartialEq, Debug)]
+pub struct NetSpec {
+    /// Net name.
+    pub name: String,
+    /// Pins; index 0 is the source.
+    pub pins: Vec<Pin>,
+    /// Driver output resistance (Ω).
+    pub driver_resistance: f64,
+}
+
+impl NetSpec {
+    /// Creates a spec. `pins[0]` is the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins` is empty.
+    pub fn new(name: impl Into<String>, pins: Vec<Pin>) -> NetSpec {
+        assert!(!pins.is_empty(), "net spec must have at least one pin");
+        NetSpec { name: name.into(), pins, driver_resistance: 0.0 }
+    }
+}
+
+/// A net: named pin set plus its routed topology.
+///
+/// `pins[0]` is the source (driver); all other pins are sinks. Every pin
+/// must be attached to a node of the tree (checked by
+/// [`Net::validate`]).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Net {
+    name: String,
+    pins: Vec<Pin>,
+    tree: RouteTree,
+    /// Output resistance of the driving cell (Ω). Added in front of the
+    /// Elmore model; defaults to 0 (pure interconnect delay, as in the
+    /// paper's formulation).
+    pub driver_resistance: f64,
+}
+
+impl Net {
+    /// Creates a net from pins and a routed tree. `pins[0]` is the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        pins: Vec<Pin>,
+        tree: RouteTree,
+    ) -> Net {
+        assert!(!pins.is_empty(), "net must have at least one pin");
+        Net { name: name.into(), pins, tree, driver_resistance: 0.0 }
+    }
+
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All pins; index 0 is the source.
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    /// The source (driver) pin.
+    pub fn source(&self) -> &Pin {
+        &self.pins[0]
+    }
+
+    /// The sink pins (all pins except the source).
+    pub fn sinks(&self) -> &[Pin] {
+        &self.pins[1..]
+    }
+
+    /// The routed topology.
+    pub fn tree(&self) -> &RouteTree {
+        &self.tree
+    }
+
+    /// Mutable access to the routed topology (used by routers).
+    pub fn tree_mut(&mut self) -> &mut RouteTree {
+        &mut self.tree
+    }
+
+    /// Checks structural invariants: the tree is valid, every pin location
+    /// has a tree node carrying that pin's index, and the root carries the
+    /// source pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation found.
+    pub fn validate(&self, width: u16, height: u16) -> Result<(), String> {
+        self.tree.validate(width, height)?;
+        let mut seen = vec![false; self.pins.len()];
+        for node in self.tree.nodes() {
+            if let Some(p) = node.pin {
+                let p = p as usize;
+                if p >= self.pins.len() {
+                    return Err(format!(
+                        "net {}: node references pin {} of {}",
+                        self.name,
+                        p,
+                        self.pins.len()
+                    ));
+                }
+                if seen[p] {
+                    return Err(format!(
+                        "net {}: pin {p} attached to two nodes",
+                        self.name
+                    ));
+                }
+                if self.pins[p].cell != node.cell {
+                    return Err(format!(
+                        "net {}: pin {p} at {} attached to node at {}",
+                        self.name, self.pins[p].cell, node.cell
+                    ));
+                }
+                seen[p] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Err(format!(
+                "net {}: pin {missing} not attached to any node",
+                self.name
+            ));
+        }
+        if self.tree.node(self.tree.root()).pin != Some(0) {
+            return Err(format!(
+                "net {}: root node does not carry the source pin",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+
+    /// Enumerates the via stacks implied by assigning this net's segments
+    /// to `layers` (`layers[s]` = layer of segment `s`), as
+    /// `(cell, lowest layer, highest layer)` triples. Nodes where all
+    /// incident metal sits on one layer produce no stack.
+    ///
+    /// At a pin node the stack must extend down to `pin_layer`
+    /// (conventionally 0, the pin/device layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers.len() != self.tree().num_segments()`.
+    pub fn via_stacks(&self, layers: &[usize]) -> Vec<(Cell, usize, usize)> {
+        assert_eq!(layers.len(), self.tree.num_segments());
+        let mut out = Vec::new();
+        for (ni, node) in self.tree.nodes().iter().enumerate() {
+            let mut lo = usize::MAX;
+            let mut hi = 0usize;
+            let mut any = false;
+            let mut touch = |l: usize| {
+                lo = lo.min(l);
+                hi = hi.max(l);
+                any = true;
+            };
+            if let Some(seg) = self.tree.parent_segment(ni) {
+                touch(layers[seg]);
+            }
+            for &child_seg in self.tree.child_segments(ni) {
+                touch(layers[child_seg as usize]);
+            }
+            if let Some(p) = node.pin {
+                touch(self.pins[p as usize].layer);
+            }
+            if any && lo < hi {
+                out.push((node.cell, lo, hi));
+            }
+        }
+        out
+    }
+
+    /// Total via count of the net under `layers`: the number of
+    /// layer-boundary hops summed over all via stacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers.len() != self.tree().num_segments()`.
+    pub fn via_count(&self, layers: &[usize]) -> u64 {
+        self.via_stacks(layers)
+            .iter()
+            .map(|&(_, lo, hi)| (hi - lo) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid::Cell;
+
+    fn l_net() -> Net {
+        let mut b = RouteTreeBuilder::new(Cell::new(0, 0));
+        let corner = b.add_path(b.root(), &[Cell::new(2, 0)]).unwrap();
+        let end = b.add_path(corner, &[Cell::new(2, 2)]).unwrap();
+        b.attach_pin(b.root(), 0).unwrap();
+        b.attach_pin(end, 1).unwrap();
+        Net::new(
+            "l",
+            vec![Pin::source(Cell::new(0, 0), 20.0), Pin::sink(Cell::new(2, 2), 1.5)],
+            b.build().unwrap(),
+        )
+    }
+
+    #[test]
+    fn l_net_validates() {
+        l_net().validate(8, 8).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_unattached_pin() {
+        let mut net = l_net();
+        net.pins.push(Pin::sink(Cell::new(5, 5), 1.0));
+        let err = net.validate(8, 8).unwrap_err();
+        assert!(err.contains("pin 2 not attached"), "{err}");
+    }
+
+    #[test]
+    fn via_stacks_same_layer_only_pin_vias() {
+        let net = l_net();
+        // Both segments on layer 0: pin at root is layer 0 too -> only the
+        // sink-side node has no gap either. No stacks except none at all,
+        // because segment layers and pin layers all equal 0.
+        let stacks = net.via_stacks(&[0, 0]);
+        assert!(stacks.is_empty(), "{stacks:?}");
+        assert_eq!(net.via_count(&[0, 0]), 0);
+    }
+
+    mod via_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For random assignments of the L-net: (1) via_count equals
+            /// the summed stack spans, (2) every stack covers all layers
+            /// of metal incident at its node, (3) stacks are at tree
+            /// node cells only.
+            #[test]
+            fn stacks_are_consistent(h in 0usize..2, v in 0usize..2) {
+                let net = l_net();
+                // Horizontal candidates 0/2, vertical 1/3.
+                let layers = [h * 2, 1 + v * 2];
+                let stacks = net.via_stacks(&layers);
+                let span_sum: u64 =
+                    stacks.iter().map(|&(_, lo, hi)| (hi - lo) as u64).sum();
+                prop_assert_eq!(net.via_count(&layers), span_sum);
+                let node_cells: Vec<_> = net
+                    .tree()
+                    .nodes()
+                    .iter()
+                    .map(|n| n.cell)
+                    .collect();
+                for &(cell, lo, hi) in &stacks {
+                    prop_assert!(lo < hi);
+                    prop_assert!(node_cells.contains(&cell));
+                }
+                // The corner node's stack must span both segment layers.
+                let corner = Cell::new(2, 0);
+                let corner_stack =
+                    stacks.iter().find(|&&(c, _, _)| c == corner);
+                let (lo_exp, hi_exp) = (
+                    layers[0].min(layers[1]),
+                    layers[0].max(layers[1]),
+                );
+                match corner_stack {
+                    Some(&(_, lo, hi)) => {
+                        prop_assert!(lo <= lo_exp && hi >= hi_exp);
+                    }
+                    None => prop_assert_eq!(lo_exp, hi_exp),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn via_stacks_span_layer_gaps() {
+        let net = l_net();
+        // Segment 0 (horizontal) on layer 2, segment 1 (vertical) on 1.
+        let stacks = net.via_stacks(&[2, 1]);
+        // Root: pin layer 0 + segment layer 2 -> (0..2).
+        assert!(stacks.contains(&(Cell::new(0, 0), 0, 2)));
+        // Corner: segment layers 2 and 1 -> (1..2).
+        assert!(stacks.contains(&(Cell::new(2, 0), 1, 2)));
+        // Sink node: pin layer 0 + segment layer 1 -> (0..1).
+        assert!(stacks.contains(&(Cell::new(2, 2), 0, 1)));
+        assert_eq!(net.via_count(&[2, 1]), 2 + 1 + 1);
+    }
+}

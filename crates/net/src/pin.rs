@@ -1,0 +1,57 @@
+//! Pins: the terminals a net must connect.
+
+use grid::Cell;
+
+/// A net terminal.
+///
+/// Pins live on a device layer (conventionally layer 0); any segment
+/// touching a pin node on a higher layer implies a via stack down to
+/// `layer`. Sink pins carry an input capacitance that loads the net.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Pin {
+    /// Tile the pin occupies.
+    pub cell: Cell,
+    /// Layer the pin physically sits on (0 = device layer).
+    pub layer: usize,
+    /// Load capacitance for sinks (fF); for the source pin this field is
+    /// unused by the timing model.
+    pub capacitance: f64,
+}
+
+impl Pin {
+    /// Creates a pin at `cell` on the device layer with the given load.
+    pub fn new(cell: Cell, capacitance: f64) -> Pin {
+        Pin { cell, layer: 0, capacitance }
+    }
+
+    /// Creates a source pin. `driver_strength` is kept for symmetry; the
+    /// driver's output resistance lives on [`crate::Net`].
+    pub fn source(cell: Cell, driver_strength: f64) -> Pin {
+        Pin { cell, layer: 0, capacitance: driver_strength }
+    }
+
+    /// Creates a sink pin with the given input capacitance.
+    pub fn sink(cell: Cell, capacitance: f64) -> Pin {
+        Pin { cell, layer: 0, capacitance }
+    }
+
+    /// Returns this pin moved to a different physical layer.
+    #[must_use]
+    pub fn on_layer(mut self, layer: usize) -> Pin {
+        self.layer = layer;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let p = Pin::sink(Cell::new(3, 4), 2.5).on_layer(1);
+        assert_eq!(p.cell, Cell::new(3, 4));
+        assert_eq!(p.layer, 1);
+        assert_eq!(p.capacitance, 2.5);
+    }
+}

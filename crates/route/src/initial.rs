@@ -1,0 +1,256 @@
+//! Initial (baseline) layer assignment.
+//!
+//! A net-by-net dynamic program in the style of congestion-constrained
+//! via minimization (reference \[5\] of the paper): nets are processed in
+//! decreasing wirelength order; for each net a bottom-up DP over its tree
+//! picks one layer per segment minimizing congestion cost plus via cost.
+//! The result is the legal-ish, timing-oblivious assignment that the
+//! incremental engines (TILA, CPLA) then improve.
+
+use grid::{Direction, Grid};
+use net::{Assignment, Net, Netlist};
+
+/// Tunables of the initial-assignment DP.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct InitialConfig {
+    /// Cost per layer-boundary hop of a via.
+    pub via_cost: f64,
+    /// Cost multiplier on `usage / capacity` per edge.
+    pub congestion_weight: f64,
+    /// Additive cost per edge that would overflow.
+    pub overflow_penalty: f64,
+}
+
+impl Default for InitialConfig {
+    fn default() -> InitialConfig {
+        InitialConfig {
+            via_cost: 2.0,
+            congestion_weight: 4.0,
+            overflow_penalty: 1000.0,
+        }
+    }
+}
+
+/// Runs the DP for every net with default parameters, committing wires
+/// and vias into `grid`'s usage tallies.
+///
+/// Returns the produced assignment; `grid` afterwards reflects it (so
+/// `grid.total_via_overflow()` etc. are meaningful).
+///
+/// # Panics
+///
+/// Panics if a net's segments leave the grid.
+pub fn initial_assignment(grid: &mut Grid, netlist: &Netlist) -> Assignment {
+    initial_assignment_with(grid, netlist, &InitialConfig::default())
+}
+
+/// [`initial_assignment`] with explicit parameters.
+///
+/// # Panics
+///
+/// Panics if a net's segments leave the grid.
+pub fn initial_assignment_with(
+    grid: &mut Grid,
+    netlist: &Netlist,
+    config: &InitialConfig,
+) -> Assignment {
+    let mut assignment = Assignment::lowest_layers(netlist, grid);
+    // Longest nets first: they are the least flexible and suffer most
+    // from being squeezed onto whatever is left.
+    let mut order: Vec<usize> = (0..netlist.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(netlist.net(i).tree().wirelength()));
+    for i in order {
+        let layers = assign_net(grid, netlist.net(i), config);
+        // Commit usage so later nets see this net's wires.
+        net::restore_net_to_grid(grid, netlist.net(i), &layers);
+        assignment.set_net_layers(i, layers);
+    }
+    assignment
+}
+
+/// Bottom-up DP over one net's tree. Returns the chosen layer per
+/// segment. Does not touch grid usage.
+fn assign_net(grid: &Grid, net: &Net, config: &InitialConfig) -> Vec<usize> {
+    let tree = net.tree();
+    let num_layers = grid.num_layers();
+    let h_layers: Vec<usize> =
+        grid.layers_in_direction(Direction::Horizontal).collect();
+    let v_layers: Vec<usize> =
+        grid.layers_in_direction(Direction::Vertical).collect();
+    let layers_of = |dir: Direction| -> &[usize] {
+        match dir {
+            Direction::Horizontal => &h_layers,
+            Direction::Vertical => &v_layers,
+        }
+    };
+
+    // Wire cost of placing segment s on layer l, from current usage.
+    let wire_cost = |s: usize, l: usize| -> f64 {
+        let mut cost = 0.0;
+        for e in tree.segment_edges(s) {
+            let u = grid.edge_usage(l, e) as f64;
+            let c = grid.edge_capacity(l, e) as f64;
+            cost += config.congestion_weight * u / (c + 1.0);
+            if u >= c {
+                cost += config.overflow_penalty;
+            }
+        }
+        // Slight bias toward lower layers mirrors the practice of saving
+        // scarce top-layer capacity for the nets that need it.
+        cost + 0.05 * l as f64
+    };
+
+    // dp[s][l] = best subtree cost with segment s on layer l.
+    let mut dp = vec![vec![f64::INFINITY; num_layers]; tree.num_segments()];
+    let mut pick: Vec<Vec<Vec<usize>>> =
+        vec![vec![Vec::new(); num_layers]; tree.num_segments()];
+    for s in tree.postorder_segments() {
+        let child_node = tree.segment(s).to as usize;
+        let pin_layer =
+            tree.node(child_node).pin.map(|p| net.pins()[p as usize].layer);
+        for &l in layers_of(tree.segment(s).dir) {
+            let mut cost = wire_cost(s, l);
+            let mut choices = Vec::new();
+            // Via to the pin below, if any.
+            if let Some(pl) = pin_layer {
+                cost += config.via_cost * l.abs_diff(pl) as f64;
+            }
+            for &cs in tree.child_segments(child_node) {
+                let cs = cs as usize;
+                let (best_l, best_c) = layers_of(tree.segment(cs).dir)
+                    .iter()
+                    .map(|&cl| {
+                        (
+                            cl,
+                            dp[cs][cl]
+                                + config.via_cost * l.abs_diff(cl) as f64,
+                        )
+                    })
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("every direction has at least one layer");
+                cost += best_c;
+                choices.push(best_l);
+            }
+            dp[s][l] = cost;
+            pick[s][l] = choices;
+        }
+    }
+
+    // Root choice includes the via from the source pin's layer.
+    let mut layers = vec![usize::MAX; tree.num_segments()];
+    let root = tree.root();
+    let src_layer = net.source().layer;
+    // Choose each root child independently (they only couple through the
+    // shared source via stack, approximated pairwise here).
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for &cs in tree.child_segments(root) {
+        let cs = cs as usize;
+        let (best_l, _) = layers_of(tree.segment(cs).dir)
+            .iter()
+            .map(|&l| {
+                (l, dp[cs][l] + config.via_cost * l.abs_diff(src_layer) as f64)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("layer exists");
+        stack.push((cs, best_l));
+    }
+    while let Some((s, l)) = stack.pop() {
+        layers[s] = l;
+        let child_node = net.tree().segment(s).to as usize;
+        for (k, &cs) in tree.child_segments(child_node).iter().enumerate() {
+            stack.push((cs as usize, pick[s][l][k]));
+        }
+    }
+    debug_assert!(layers.iter().all(|&l| l != usize::MAX));
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{route_netlist, RouterConfig};
+    use grid::{Cell, GridBuilder};
+    use net::{NetSpec, Pin};
+
+    fn fixture(cap: u32, n_parallel: usize) -> (Grid, Netlist) {
+        let grid = GridBuilder::new(16, 16)
+            .alternating_layers(6, Direction::Horizontal)
+            .uniform_capacity(cap)
+            .build()
+            .unwrap();
+        let mut specs = Vec::new();
+        for i in 0..n_parallel {
+            let _ = i;
+            specs.push(NetSpec::new(
+                format!("p{i}"),
+                vec![
+                    Pin::source(Cell::new(0, 5), 0.0),
+                    Pin::sink(Cell::new(12, 5), 1.0),
+                ],
+            ));
+        }
+        let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+        (grid, netlist)
+    }
+
+    #[test]
+    fn produces_valid_assignment() {
+        let (mut g, nl) = fixture(4, 3);
+        let a = initial_assignment(&mut g, &nl);
+        a.validate(&nl, &g).unwrap();
+    }
+
+    #[test]
+    fn grid_usage_reflects_assignment() {
+        let (mut g, nl) = fixture(4, 2);
+        let a = initial_assignment(&mut g, &nl);
+        // Total wires on all layers of some covered edge equals net count
+        // crossing it.
+        let mut total = 0u32;
+        for l in g.layers_in_direction(Direction::Horizontal) {
+            total += g.edge_usage(l, grid::Edge2d::horizontal(3, 5));
+        }
+        assert!(total >= 1, "edge under the nets must be used");
+        let _ = a;
+    }
+
+    #[test]
+    fn respects_capacity_when_possible() {
+        // 8 identical nets, capacity 3 per layer, 3 horizontal layers on
+        // row 5 -> 9 slots >= 8 nets: no wire overflow needed.
+        let (mut g, nl) = fixture(3, 8);
+        let _ = initial_assignment(&mut g, &nl);
+        assert_eq!(g.total_wire_overflow(), 0);
+    }
+
+    #[test]
+    fn overflows_gracefully_when_impossible() {
+        // 10 nets, capacity 1 per layer: some overflow is unavoidable on
+        // shared edges, but the DP must still terminate with a valid
+        // (direction-correct) assignment.
+        let (mut g, nl) = fixture(1, 10);
+        let a = initial_assignment(&mut g, &nl);
+        a.validate(&nl, &g).unwrap();
+    }
+
+    #[test]
+    fn single_long_net_prefers_few_vias() {
+        let mut g = GridBuilder::new(16, 16)
+            .alternating_layers(6, Direction::Horizontal)
+            .uniform_capacity(8)
+            .build()
+            .unwrap();
+        let specs = vec![NetSpec::new(
+            "n",
+            vec![
+                Pin::source(Cell::new(0, 0), 0.0),
+                Pin::sink(Cell::new(10, 0), 1.0),
+            ],
+        )];
+        let nl = route_netlist(&g, &specs, &RouterConfig::default());
+        let a = initial_assignment(&mut g, &nl);
+        // Uncongested straight net: a single segment on the lowest
+        // horizontal layer (cheapest via distance from the layer-0 pins).
+        assert_eq!(a.net_layers(0), &[0]);
+    }
+}

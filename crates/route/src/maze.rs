@@ -1,0 +1,238 @@
+//! Congestion-weighted maze (shortest-path) routing on the 2-D grid.
+//!
+//! Used as a fallback when both L-shapes of a pattern route would cross
+//! overflowed edges. The router is a uniform-cost search (Dijkstra) over
+//! tile cells with caller-supplied edge costs and an optional forbidden
+//! edge set (the edges already covered by the net's own tree, which a
+//! routing tree must not cover twice).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use grid::{Cell, Edge2d};
+
+/// Finds a minimum-cost rectilinear path from `start` to `goal`.
+///
+/// `edge_cost` must return a non-negative, finite cost for every edge;
+/// edges in `forbidden` are never traversed. Returns the cell sequence
+/// from `start` to `goal` inclusive, or `None` if no path exists.
+///
+/// # Panics
+///
+/// Panics if `start` or `goal` lies outside the `width × height` grid.
+pub fn find_path(
+    width: u16,
+    height: u16,
+    start: Cell,
+    goal: Cell,
+    mut edge_cost: impl FnMut(Edge2d) -> f64,
+    forbidden: &HashSet<Edge2d>,
+) -> Option<Vec<Cell>> {
+    assert!(start.x < width && start.y < height, "start out of bounds");
+    assert!(goal.x < width && goal.y < height, "goal out of bounds");
+    let idx = |c: Cell| c.y as usize * width as usize + c.x as usize;
+    let n = width as usize * height as usize;
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<Cell>> = vec![None; n];
+    // f64 keys via ordered bits (costs are non-negative and finite).
+    let mut heap: BinaryHeap<(Reverse<u64>, u16, u16)> = BinaryHeap::new();
+    dist[idx(start)] = 0.0;
+    heap.push((Reverse(0), start.x, start.y));
+    while let Some((Reverse(dbits), x, y)) = heap.pop() {
+        let cur = Cell::new(x, y);
+        let d = f64::from_bits(dbits);
+        if d > dist[idx(cur)] {
+            continue;
+        }
+        if cur == goal {
+            break;
+        }
+        let neighbors = [
+            (x > 0).then(|| Cell::new(x - 1, y)),
+            (x + 1 < width).then(|| Cell::new(x + 1, y)),
+            (y > 0).then(|| Cell::new(x, y - 1)),
+            (y + 1 < height).then(|| Cell::new(x, y + 1)),
+        ];
+        for next in neighbors.into_iter().flatten() {
+            let edge = Edge2d::between(cur, next)
+                .expect("neighbors are adjacent by construction");
+            if forbidden.contains(&edge) {
+                continue;
+            }
+            let w = edge_cost(edge);
+            debug_assert!(w.is_finite() && w >= 0.0, "bad edge cost {w}");
+            let nd = d + w;
+            if nd < dist[idx(next)] {
+                dist[idx(next)] = nd;
+                prev[idx(next)] = Some(cur);
+                heap.push((Reverse(nd.to_bits()), next.x, next.y));
+            }
+        }
+    }
+    if dist[idx(goal)].is_infinite() {
+        return None;
+    }
+    let mut path = vec![goal];
+    while let Some(p) = prev[idx(*path.last().unwrap())] {
+        path.push(p);
+    }
+    path.reverse();
+    debug_assert_eq!(path[0], start);
+    Some(path)
+}
+
+/// Compresses a cell path into its bend points (the waypoints a
+/// [`net::RouteTreeBuilder::add_path`] call needs): every cell where the
+/// travel direction changes, plus the final cell.
+///
+/// # Panics
+///
+/// Panics if consecutive cells are not rectilinearly adjacent.
+pub fn path_waypoints(path: &[Cell]) -> Vec<Cell> {
+    if path.len() < 2 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let step =
+        |a: Cell, b: Cell| (b.x as i32 - a.x as i32, b.y as i32 - a.y as i32);
+    let mut dir = step(path[0], path[1]);
+    assert!(dir.0.abs() + dir.1.abs() == 1, "path cells not adjacent");
+    for w in path[1..].windows(2) {
+        let d = step(w[0], w[1]);
+        assert!(d.0.abs() + d.1.abs() == 1, "path cells not adjacent");
+        if d != dir {
+            out.push(w[0]);
+            dir = d;
+        }
+    }
+    out.push(*path.last().unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_cost(_: Edge2d) -> f64 {
+        1.0
+    }
+
+    #[test]
+    fn straight_path_on_empty_grid() {
+        let p = find_path(
+            8,
+            8,
+            Cell::new(1, 1),
+            Cell::new(5, 1),
+            unit_cost,
+            &HashSet::new(),
+        )
+        .unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], Cell::new(1, 1));
+        assert_eq!(*p.last().unwrap(), Cell::new(5, 1));
+    }
+
+    #[test]
+    fn detours_around_forbidden_edges() {
+        // Block the direct corridor between x=1 and x=2 on rows 0..8.
+        let mut forbidden = HashSet::new();
+        for y in 0..7 {
+            forbidden.insert(Edge2d::horizontal(1, y));
+        }
+        let p = find_path(
+            8,
+            8,
+            Cell::new(0, 0),
+            Cell::new(4, 0),
+            unit_cost,
+            &forbidden,
+        )
+        .unwrap();
+        // Must detour via row 7: longer than the direct 4 steps.
+        assert!(p.len() > 5, "{p:?}");
+        // And never traverse a forbidden edge.
+        for w in p.windows(2) {
+            let e = Edge2d::between(w[0], w[1]).unwrap();
+            assert!(!forbidden.contains(&e));
+        }
+    }
+
+    #[test]
+    fn fully_blocked_returns_none() {
+        let mut forbidden = HashSet::new();
+        for y in 0..8 {
+            forbidden.insert(Edge2d::horizontal(3, y));
+        }
+        assert!(find_path(
+            8,
+            8,
+            Cell::new(0, 0),
+            Cell::new(7, 7),
+            unit_cost,
+            &forbidden,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn congestion_cost_steers_the_path() {
+        // Row 0 congested: cost 10 per horizontal edge at y = 0.
+        let cost = |e: Edge2d| {
+            if e.dir == grid::Direction::Horizontal && e.cell.y == 0 {
+                10.0
+            } else {
+                1.0
+            }
+        };
+        let p = find_path(
+            8,
+            8,
+            Cell::new(0, 0),
+            Cell::new(7, 0),
+            cost,
+            &HashSet::new(),
+        )
+        .unwrap();
+        // Cheapest route leaves row 0, traverses on row 1, and returns.
+        assert!(p.iter().any(|c| c.y == 1), "{p:?}");
+    }
+
+    #[test]
+    fn waypoints_compress_straight_runs() {
+        let path = vec![
+            Cell::new(0, 0),
+            Cell::new(1, 0),
+            Cell::new(2, 0),
+            Cell::new(2, 1),
+            Cell::new(2, 2),
+            Cell::new(3, 2),
+        ];
+        let w = path_waypoints(&path);
+        assert_eq!(
+            w,
+            vec![Cell::new(2, 0), Cell::new(2, 2), Cell::new(3, 2)]
+        );
+    }
+
+    #[test]
+    fn waypoints_of_straight_path_is_endpoint_only() {
+        let path = vec![Cell::new(0, 0), Cell::new(0, 1), Cell::new(0, 2)];
+        assert_eq!(path_waypoints(&path), vec![Cell::new(0, 2)]);
+    }
+
+    #[test]
+    fn start_equals_goal_trivial_path() {
+        let p = find_path(
+            4,
+            4,
+            Cell::new(2, 2),
+            Cell::new(2, 2),
+            unit_cost,
+            &HashSet::new(),
+        )
+        .unwrap();
+        assert_eq!(p, vec![Cell::new(2, 2)]);
+        assert!(path_waypoints(&p).is_empty());
+    }
+}

@@ -1,0 +1,724 @@
+//! Rectilinear Steiner topology construction.
+//!
+//! Nets are routed one at a time with the classic closest-point
+//! attachment heuristic: grow the tree from the source, and repeatedly
+//! connect the unrouted sink nearest to the tree at the tree point
+//! nearest to it. Two-point connections prefer the less congested of the
+//! two L-shapes and fall back to a congestion-weighted maze route when
+//! both L-shapes would overflow.
+//!
+//! Because every attachment starts at the *closest* tree point and L/maze
+//! legs strictly reduce (L) or never revisit (maze with forbidden tree
+//! edges) distance, the resulting tree never covers a 2-D edge twice —
+//! the invariant [`net::RouteTree::validate`] enforces.
+
+use std::collections::HashSet;
+
+use grid::{Cell, Direction, Edge2d, Grid};
+use net::{Net, NetSpec, Netlist, RouteTreeBuilder};
+
+use crate::maze;
+
+/// Tunables of the topology router.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RouterConfig {
+    /// Weight of relative usage (`usage / capacity`) in edge costs.
+    pub congestion_weight: f64,
+    /// Additive cost charged per unit of overflow on a full edge.
+    pub overflow_penalty: f64,
+    /// Whether to try a maze route when the best pattern route hits
+    /// full edges.
+    pub maze_fallback: bool,
+    /// Number of intermediate Z-pattern bend positions sampled per
+    /// axis in addition to the two L-shapes (0 disables Z routing).
+    /// Z-paths stay monotone toward the target, so the tree-overlap
+    /// freedom of L-routing is preserved.
+    pub z_samples: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            congestion_weight: 2.0,
+            overflow_penalty: 1000.0,
+            maze_fallback: true,
+            z_samples: 4,
+        }
+    }
+}
+
+/// Running 2-D congestion state shared across the nets being routed.
+///
+/// Tracks per-edge usage against the grid's *projected* (summed over
+/// layers) capacity; the later layer-assignment stage then distributes
+/// each edge's wires among that direction's layers.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CongestionMap {
+    width: u16,
+    height: u16,
+    h_cap: Vec<u32>,
+    v_cap: Vec<u32>,
+    h_use: Vec<u32>,
+    v_use: Vec<u32>,
+}
+
+impl CongestionMap {
+    /// Initializes from the grid's projected capacities with zero usage.
+    pub fn from_grid(grid: &Grid) -> CongestionMap {
+        let w = grid.width();
+        let h = grid.height();
+        let mut h_cap = Vec::with_capacity((w as usize - 1) * h as usize);
+        for e in grid.edges_in_direction(Direction::Horizontal) {
+            h_cap.push(grid.projected_capacity(e));
+        }
+        let mut v_cap = Vec::with_capacity(w as usize * (h as usize - 1));
+        for e in grid.edges_in_direction(Direction::Vertical) {
+            v_cap.push(grid.projected_capacity(e));
+        }
+        CongestionMap {
+            width: w,
+            height: h,
+            h_use: vec![0; h_cap.len()],
+            v_use: vec![0; v_cap.len()],
+            h_cap,
+            v_cap,
+        }
+    }
+
+    fn index(&self, e: Edge2d) -> usize {
+        match e.dir {
+            Direction::Horizontal => {
+                e.cell.y as usize * (self.width as usize - 1)
+                    + e.cell.x as usize
+            }
+            Direction::Vertical => {
+                e.cell.y as usize * self.width as usize + e.cell.x as usize
+            }
+        }
+    }
+
+    /// Current usage of `e`.
+    pub fn usage(&self, e: Edge2d) -> u32 {
+        match e.dir {
+            Direction::Horizontal => self.h_use[self.index(e)],
+            Direction::Vertical => self.v_use[self.index(e)],
+        }
+    }
+
+    /// Projected capacity of `e`.
+    pub fn capacity(&self, e: Edge2d) -> u32 {
+        match e.dir {
+            Direction::Horizontal => self.h_cap[self.index(e)],
+            Direction::Vertical => self.v_cap[self.index(e)],
+        }
+    }
+
+    /// Records one more wire on `e`.
+    pub fn add(&mut self, e: Edge2d) {
+        let i = self.index(e);
+        match e.dir {
+            Direction::Horizontal => self.h_use[i] += 1,
+            Direction::Vertical => self.v_use[i] += 1,
+        }
+    }
+
+    /// Routing cost of `e` under `config`: base 1 plus congestion-scaled
+    /// terms.
+    pub fn cost(&self, e: Edge2d, config: &RouterConfig) -> f64 {
+        let u = self.usage(e) as f64;
+        let c = self.capacity(e) as f64;
+        let mut cost = 1.0 + config.congestion_weight * u / (c + 1.0);
+        if u >= c {
+            cost += config.overflow_penalty;
+        }
+        cost
+    }
+
+    /// Total 2-D overflow: `Σ max(0, usage − capacity)`.
+    pub fn total_overflow(&self) -> u64 {
+        let h = self
+            .h_use
+            .iter()
+            .zip(&self.h_cap)
+            .map(|(u, c)| u.saturating_sub(*c) as u64)
+            .sum::<u64>();
+        let v = self
+            .v_use
+            .iter()
+            .zip(&self.v_cap)
+            .map(|(u, c)| u.saturating_sub(*c) as u64)
+            .sum::<u64>();
+        h + v
+    }
+}
+
+/// All cells of the L-path `from → bend → to` excluding `from`, expressed
+/// as the two waypoints the tree builder needs.
+fn l_waypoints(from: Cell, bend_at_from_axis: bool, to: Cell) -> Vec<Cell> {
+    let bend = if bend_at_from_axis {
+        Cell::new(to.x, from.y)
+    } else {
+        Cell::new(from.x, to.y)
+    };
+    let mut w = Vec::with_capacity(2);
+    if bend != from && bend != to {
+        w.push(bend);
+    }
+    w.push(to);
+    w
+}
+
+/// Candidate pattern routes from `from` to `to`: the two L-shapes plus
+/// up to `z_samples` Z-shapes per orientation, with bends strictly
+/// between the endpoints (every candidate is a monotone staircase of
+/// minimum length).
+fn pattern_candidates(
+    from: Cell,
+    to: Cell,
+    z_samples: usize,
+) -> Vec<Vec<Cell>> {
+    let mut out = vec![
+        l_waypoints(from, true, to),
+        l_waypoints(from, false, to),
+    ];
+    let dx = from.x.abs_diff(to.x);
+    let dy = from.y.abs_diff(to.y);
+    if z_samples == 0 || dx < 2 || dy < 2 {
+        return out;
+    }
+    let sample_axis = |a: u16, b: u16| -> Vec<u16> {
+        let (lo, hi) = (a.min(b) + 1, a.max(b)); // interior: lo..hi
+        let span = (hi - lo) as usize;
+        let count = z_samples.min(span);
+        (1..=count)
+            .map(|k| lo + ((k * span) / (count + 1)) as u16)
+            .collect()
+    };
+    // HVH: horizontal to (mx, from.y), vertical to (mx, to.y), then to.
+    for mx in sample_axis(from.x, to.x) {
+        out.push(vec![
+            Cell::new(mx, from.y),
+            Cell::new(mx, to.y),
+            to,
+        ]);
+    }
+    // VHV: vertical to (from.x, my), horizontal to (to.x, my), then to.
+    for my in sample_axis(from.y, to.y) {
+        out.push(vec![
+            Cell::new(from.x, my),
+            Cell::new(to.x, my),
+            to,
+        ]);
+    }
+    out
+}
+
+/// Sums edge costs along a rectilinear multi-leg path.
+fn path_cost(
+    cong: &CongestionMap,
+    config: &RouterConfig,
+    mut from: Cell,
+    waypoints: &[Cell],
+) -> f64 {
+    let mut total = 0.0;
+    for &w in waypoints {
+        let mut cur = from;
+        while cur != w {
+            let next = if cur.x < w.x {
+                Cell::new(cur.x + 1, cur.y)
+            } else if cur.x > w.x {
+                Cell::new(cur.x - 1, cur.y)
+            } else if cur.y < w.y {
+                Cell::new(cur.x, cur.y + 1)
+            } else {
+                Cell::new(cur.x, cur.y - 1)
+            };
+            total += cong
+                .cost(Edge2d::between(cur, next).expect("adjacent"), config);
+            cur = next;
+        }
+        from = w;
+    }
+    total
+}
+
+/// Whether any edge along the path is already at or beyond capacity.
+fn path_overflows(
+    cong: &CongestionMap,
+    mut from: Cell,
+    waypoints: &[Cell],
+) -> bool {
+    for &w in waypoints {
+        let mut cur = from;
+        while cur != w {
+            let next = if cur.x < w.x {
+                Cell::new(cur.x + 1, cur.y)
+            } else if cur.x > w.x {
+                Cell::new(cur.x - 1, cur.y)
+            } else if cur.y < w.y {
+                Cell::new(cur.x, cur.y + 1)
+            } else {
+                Cell::new(cur.x, cur.y - 1)
+            };
+            let e = Edge2d::between(cur, next).expect("adjacent");
+            if cong.usage(e) >= cong.capacity(e) {
+                return true;
+            }
+            cur = next;
+        }
+        from = w;
+    }
+    false
+}
+
+/// Closest point of the current tree to `target`: either an existing node
+/// or a cell interior to a segment (which must then be split).
+fn closest_tree_point(
+    builder: &RouteTreeBuilder,
+    tree_cells: &[Cell],
+    target: Cell,
+) -> Cell {
+    // All tree cells (node cells plus segment interiors) are maintained
+    // by the caller in `tree_cells`.
+    let _ = builder;
+    *tree_cells
+        .iter()
+        .min_by_key(|c| c.manhattan(target))
+        .expect("tree has at least the root cell")
+}
+
+/// Routes one net spec into a [`Net`], updating `congestion`.
+///
+/// Pins sharing a cell are merged (the first pin at each cell is kept).
+/// Returns `None` when fewer than two distinct pin locations remain —
+/// such nets have no routing (and no layer-assignment) freedom.
+///
+/// # Panics
+///
+/// Panics if a pin lies outside the grid.
+pub fn route_spec(
+    grid: &Grid,
+    spec: &NetSpec,
+    congestion: &mut CongestionMap,
+    config: &RouterConfig,
+) -> Option<Net> {
+    // Deduplicate pins by cell, keeping the source first.
+    let mut pins = Vec::with_capacity(spec.pins.len());
+    let mut seen = HashSet::new();
+    for p in &spec.pins {
+        assert!(grid.contains(p.cell), "pin {} outside grid", p.cell);
+        if seen.insert(p.cell) {
+            pins.push(*p);
+        }
+    }
+    if pins.len() < 2 {
+        return None;
+    }
+
+    let source = pins[0];
+    let mut builder = RouteTreeBuilder::new(source.cell);
+    builder.attach_pin(0, 0).expect("fresh root has no pin");
+
+    // Tree geometry bookkeeping: every covered cell, and covered edges
+    // (forbidden to the maze fallback).
+    let mut tree_cells: Vec<Cell> = vec![source.cell];
+    let mut tree_edges: HashSet<Edge2d> = HashSet::new();
+
+    let mut remaining: Vec<usize> = (1..pins.len()).collect();
+    while !remaining.is_empty() {
+        // Nearest unrouted sink to the tree.
+        let (pos, &pin_idx) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &p)| {
+                tree_cells
+                    .iter()
+                    .map(|c| c.manhattan(pins[p].cell))
+                    .min()
+                    .unwrap_or(u32::MAX)
+            })
+            .expect("remaining is non-empty");
+        remaining.swap_remove(pos);
+        let target = pins[pin_idx].cell;
+
+        let attach_cell = closest_tree_point(&builder, &tree_cells, target);
+
+        // Candidate connection paths from the attach point.
+        let waypoints = if attach_cell == target {
+            Vec::new()
+        } else if attach_cell.x == target.x || attach_cell.y == target.y {
+            vec![target]
+        } else {
+            let mut best: Vec<Cell> = Vec::new();
+            let mut best_cost = f64::INFINITY;
+            for cand in
+                pattern_candidates(attach_cell, target, config.z_samples)
+            {
+                let cost = path_cost(congestion, config, attach_cell, &cand);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = cand;
+                }
+            }
+            if config.maze_fallback
+                && path_overflows(congestion, attach_cell, &best)
+            {
+                if let Some(path) = maze::find_path(
+                    grid.width(),
+                    grid.height(),
+                    attach_cell,
+                    target,
+                    |e| congestion.cost(e, config),
+                    &tree_edges,
+                ) {
+                    let mw = maze::path_waypoints(&path);
+                    let mc = path_cost(congestion, config, attach_cell, &mw);
+                    if mc < best_cost {
+                        best = mw;
+                        best_cost = mc;
+                    }
+                }
+            }
+            let _ = best_cost;
+            best
+        };
+
+        // Find or create the attach node.
+        let attach_node = match builder.find_node_at(attach_cell) {
+            Some(n) => n,
+            None => {
+                let seg = builder
+                    .find_segment_through(attach_cell)
+                    .expect("closest tree cell must lie on the tree");
+                builder
+                    .split_segment_at(seg, attach_cell)
+                    .expect("interior split cannot fail")
+            }
+        };
+
+        let end_node = if waypoints.is_empty() {
+            attach_node
+        } else {
+            let before = builder.num_nodes();
+            let end = builder
+                .add_path(attach_node, &waypoints)
+                .expect("waypoints are rectilinear by construction");
+            // Record new geometry.
+            let mut cur = attach_cell;
+            for &w in &waypoints {
+                while cur != w {
+                    let next = if cur.x < w.x {
+                        Cell::new(cur.x + 1, cur.y)
+                    } else if cur.x > w.x {
+                        Cell::new(cur.x - 1, cur.y)
+                    } else if cur.y < w.y {
+                        Cell::new(cur.x, cur.y + 1)
+                    } else {
+                        Cell::new(cur.x, cur.y - 1)
+                    };
+                    let e = Edge2d::between(cur, next).expect("adjacent");
+                    congestion.add(e);
+                    tree_edges.insert(e);
+                    tree_cells.push(next);
+                    cur = next;
+                }
+            }
+            let _ = before;
+            end
+        };
+        builder
+            .attach_pin(end_node, pin_idx as u32)
+            .expect("pin cells are deduplicated");
+    }
+
+    let tree = builder.build().expect("two distinct pins imply a segment");
+    let mut net = Net::new(spec.name.clone(), pins, tree);
+    net.driver_resistance = spec.driver_resistance;
+    Some(net)
+}
+
+/// Routes every spec in order, sharing one congestion map. Nets that
+/// collapse to a single cell are dropped.
+pub fn route_netlist(
+    grid: &Grid,
+    specs: &[NetSpec],
+    config: &RouterConfig,
+) -> Netlist {
+    let mut congestion = CongestionMap::from_grid(grid);
+    let mut netlist = Netlist::new();
+    for spec in specs {
+        if let Some(net) = route_spec(grid, spec, &mut congestion, config) {
+            netlist.push(net);
+        }
+    }
+    netlist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid::GridBuilder;
+    use net::Pin;
+
+    fn grid() -> Grid {
+        GridBuilder::new(16, 16)
+            .alternating_layers(4, Direction::Horizontal)
+            .uniform_capacity(4)
+            .build()
+            .unwrap()
+    }
+
+    fn spec(pins: &[(u16, u16)]) -> NetSpec {
+        let mut v = vec![Pin::source(Cell::new(pins[0].0, pins[0].1), 0.0)];
+        for &(x, y) in &pins[1..] {
+            v.push(Pin::sink(Cell::new(x, y), 1.0));
+        }
+        NetSpec::new("t", v)
+    }
+
+    #[test]
+    fn z_candidates_are_monotone_and_minimum_length() {
+        let from = Cell::new(2, 3);
+        let to = Cell::new(9, 8);
+        let cands = pattern_candidates(from, to, 3);
+        // 2 Ls + 3 HVH + 3 VHV.
+        assert_eq!(cands.len(), 8);
+        let expect_len = from.manhattan(to);
+        for cand in &cands {
+            // Walk the waypoints and confirm total length = manhattan
+            // (monotone staircase ⇒ minimal).
+            let mut cur = from;
+            let mut len = 0;
+            for &w in cand {
+                assert!(cur.x == w.x || cur.y == w.y, "not rectilinear");
+                len += cur.manhattan(w);
+                cur = w;
+            }
+            assert_eq!(cur, to);
+            assert_eq!(len, expect_len, "{cand:?}");
+        }
+    }
+
+    #[test]
+    fn z_disabled_leaves_only_ls() {
+        let cands = pattern_candidates(Cell::new(0, 0), Cell::new(5, 5), 0);
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn z_route_dodges_a_blocked_band() {
+        // Both L-shapes of (0,0)->(9,9) pass the congested column x=0 or
+        // row 0... force congestion on the two L corridors and verify a
+        // Z gets picked.
+        let g = grid();
+        let mut cong = CongestionMap::from_grid(&g);
+        let config = RouterConfig::default();
+        // Saturate row 0 (horizontal leg of L1) and row 9 (of L2).
+        for x in 0..15 {
+            for _ in 0..10 {
+                cong.add(Edge2d::horizontal(x, 0));
+                cong.add(Edge2d::horizontal(x, 9));
+            }
+        }
+        let net = route_spec(
+            &g,
+            &spec(&[(0, 0), (9, 9)]),
+            &mut cong,
+            &config,
+        )
+        .unwrap();
+        net.validate(16, 16).unwrap();
+        // Minimum length preserved (Z and maze both shouldn't detour
+        // here; a middle row is free).
+        assert_eq!(net.tree().wirelength(), 18);
+        // The route's horizontal run must use an interior row.
+        let uses_interior_row = net.tree().segments().iter().any(|s| {
+            s.dir == Direction::Horizontal && {
+                let y = net.tree().node(s.from as usize).cell.y;
+                y != 0 && y != 9
+            }
+        });
+        assert!(uses_interior_row, "expected a Z through an interior row");
+    }
+
+    #[test]
+    fn two_pin_l_route_validates() {
+        let g = grid();
+        let mut cong = CongestionMap::from_grid(&g);
+        let net = route_spec(
+            &g,
+            &spec(&[(1, 1), (6, 9)]),
+            &mut cong,
+            &RouterConfig::default(),
+        )
+        .unwrap();
+        net.validate(16, 16).unwrap();
+        assert_eq!(net.tree().wirelength(), 5 + 8);
+    }
+
+    #[test]
+    fn multi_pin_steiner_tree_validates_and_is_short() {
+        let g = grid();
+        let mut cong = CongestionMap::from_grid(&g);
+        let net = route_spec(
+            &g,
+            &spec(&[(2, 2), (10, 2), (6, 8), (2, 12), (14, 14)]),
+            &mut cong,
+            &RouterConfig::default(),
+        )
+        .unwrap();
+        net.validate(16, 16).unwrap();
+        // Tree wirelength is at least the HPWL lower bound and at most
+        // the sum of per-sink distances from source (star upper bound).
+        let star: u64 = [(10u16, 2u16), (6, 8), (2, 12), (14, 14)]
+            .iter()
+            .map(|&(x, y)| Cell::new(2, 2).manhattan(Cell::new(x, y)) as u64)
+            .sum();
+        let hpwl = (14 - 2) + (14 - 2);
+        assert!(net.tree().wirelength() >= hpwl as u64);
+        assert!(net.tree().wirelength() <= star);
+    }
+
+    #[test]
+    fn duplicate_pins_are_merged() {
+        let g = grid();
+        let mut cong = CongestionMap::from_grid(&g);
+        let net = route_spec(
+            &g,
+            &spec(&[(1, 1), (5, 5), (5, 5), (1, 1)]),
+            &mut cong,
+            &RouterConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(net.pins().len(), 2);
+        net.validate(16, 16).unwrap();
+    }
+
+    #[test]
+    fn all_pins_same_cell_yields_none() {
+        let g = grid();
+        let mut cong = CongestionMap::from_grid(&g);
+        assert!(route_spec(
+            &g,
+            &spec(&[(3, 3), (3, 3)]),
+            &mut cong,
+            &RouterConfig::default(),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn congestion_spreads_parallel_nets() {
+        // Route many nets across the same corridor; with capacity 8
+        // (2 H layers × 4) per edge, the 10th net must detour or the
+        // L-choice must alternate bends. Either way, total overflow with
+        // congestion awareness must not exceed the naive all-same-row
+        // routing.
+        let g = grid();
+        let mut cong = CongestionMap::from_grid(&g);
+        let config = RouterConfig::default();
+        for _ in 0..12 {
+            let net = route_spec(
+                &g,
+                &spec(&[(0, 5), (15, 10)]),
+                &mut cong,
+                &config,
+            )
+            .unwrap();
+            net.validate(16, 16).unwrap();
+        }
+        // The direct bend rows would each carry 12 wires against cap 8
+        // if the router ignored congestion. It must do better.
+        assert!(cong.total_overflow() < 12 * 4, "{}", cong.total_overflow());
+    }
+
+    #[test]
+    fn route_netlist_routes_everything() {
+        let g = grid();
+        let specs = vec![
+            spec(&[(0, 0), (7, 7)]),
+            spec(&[(3, 3), (3, 3)]), // degenerate, dropped
+            spec(&[(1, 5), (9, 5), (5, 12)]),
+        ];
+        let nl = route_netlist(&g, &specs, &RouterConfig::default());
+        assert_eq!(nl.len(), 2);
+        nl.validate(16, 16).unwrap();
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            /// Random pin sets always route into valid trees whose
+            /// wirelength sits between the HPWL lower bound and the
+            /// source-star upper bound.
+            #[test]
+            fn random_nets_route_validly(
+                seed in 0u64..10_000,
+                pins in 2usize..9,
+            ) {
+                let g = grid();
+                let mut cong = CongestionMap::from_grid(&g);
+                let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let mut next = |m: u64| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state % m) as u16
+                };
+                let cells: Vec<(u16, u16)> =
+                    (0..pins).map(|_| (next(16), next(16))).collect();
+                let Some(net) = route_spec(
+                    &g,
+                    &spec(&cells),
+                    &mut cong,
+                    &RouterConfig::default(),
+                ) else {
+                    // All pins collapsed to one cell: acceptable.
+                    return Ok(());
+                };
+                prop_assert!(net.validate(16, 16).is_ok());
+                let distinct: std::collections::HashSet<_> =
+                    cells.iter().collect();
+                let (mut x0, mut x1, mut y0, mut y1) =
+                    (u16::MAX, 0u16, u16::MAX, 0u16);
+                for &(x, y) in &cells {
+                    x0 = x0.min(x);
+                    x1 = x1.max(x);
+                    y0 = y0.min(y);
+                    y1 = y1.max(y);
+                }
+                let hpwl = (x1 - x0) as u64 + (y1 - y0) as u64;
+                let star: u64 = distinct
+                    .iter()
+                    .map(|&&(x, y)| {
+                        Cell::new(cells[0].0, cells[0].1)
+                            .manhattan(Cell::new(x, y)) as u64
+                    })
+                    .sum();
+                let wl = net.tree().wirelength();
+                prop_assert!(wl >= hpwl, "wl {wl} < hpwl {hpwl}");
+                prop_assert!(wl <= star.max(hpwl), "wl {wl} > star {star}");
+            }
+        }
+    }
+
+    #[test]
+    fn pin_on_existing_segment_splits_it() {
+        let g = grid();
+        let mut cong = CongestionMap::from_grid(&g);
+        // Sink (4,0) lies on the segment to (8,0).
+        let net = route_spec(
+            &g,
+            &spec(&[(0, 0), (8, 0), (4, 0)]),
+            &mut cong,
+            &RouterConfig::default(),
+        )
+        .unwrap();
+        net.validate(16, 16).unwrap();
+        assert_eq!(net.tree().wirelength(), 8);
+        assert_eq!(net.tree().num_segments(), 2);
+    }
+}

@@ -1,0 +1,301 @@
+//! Dense symmetric matrices.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense symmetric `n × n` matrix of `f64`, stored full (row-major).
+///
+/// Symmetry is maintained by construction: [`SymMatrix::set`] writes both
+/// `(i, j)` and `(j, i)`. Full storage keeps the eigendecomposition and
+/// ADMM inner loops branch-free at the cost of 2× memory, which is
+/// irrelevant at per-partition problem sizes.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// The zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> SymMatrix {
+        SymMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// The identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> SymMatrix {
+        let mut m = SymMatrix::zeros(n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// A diagonal matrix from the given entries.
+    pub fn from_diagonal(diag: &[f64]) -> SymMatrix {
+        let mut m = SymMatrix::zeros(diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * diag.len() + i] = d;
+        }
+        m
+    }
+
+    /// Dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j]
+    }
+
+    /// Sets entries `(i, j)` and `(j, i)` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Adds `v` to entries `(i, j)` and `(j, i)` (only once on the
+    /// diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn add_to(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j] += v;
+        if i != j {
+            self.data[j * self.n + i] += v;
+        }
+    }
+
+    /// The main diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.data[i * self.n + i]).collect()
+    }
+
+    /// Frobenius inner product `⟨self, other⟩ = Σ_ij A_ij B_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn dot(&self, other: &SymMatrix) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// In-place `self += scale · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn axpy(&mut self, scale: f64, other: &SymMatrix) {
+        assert_eq!(self.n, other.n);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Raw row-major storage (read-only).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+impl Add for &SymMatrix {
+    type Output = SymMatrix;
+    fn add(self, rhs: &SymMatrix) -> SymMatrix {
+        let mut out = self.clone();
+        out.axpy(1.0, rhs);
+        out
+    }
+}
+
+impl Sub for &SymMatrix {
+    type Output = SymMatrix;
+    fn sub(self, rhs: &SymMatrix) -> SymMatrix {
+        let mut out = self.clone();
+        out.axpy(-1.0, rhs);
+        out
+    }
+}
+
+impl Mul<f64> for &SymMatrix {
+    type Output = SymMatrix;
+    fn mul(self, rhs: f64) -> SymMatrix {
+        let mut out = self.clone();
+        out.scale(rhs);
+        out
+    }
+}
+
+impl fmt::Display for SymMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                write!(f, "{:>10.4} ", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Projects a symmetric matrix onto the cone of positive semidefinite
+/// matrices by clamping negative eigenvalues to zero.
+///
+/// This is the Euclidean (Frobenius-norm) projection used by the ADMM
+/// SDP solver's `Z`-update.
+pub fn psd_project(m: &SymMatrix) -> SymMatrix {
+    let eig = crate::eigen_decompose(m);
+    let n = m.dim();
+    // Keep only the positive part of the spectrum: with
+    // B = V·diag(√λ⁺), the projection is B·Bᵀ. Eigenvalues are sorted
+    // descending, so the positive block is a prefix.
+    let kept = eig.values.iter().take_while(|&&l| l > 0.0).count();
+    if kept == 0 {
+        return SymMatrix::zeros(n);
+    }
+    let v = eig.vectors.as_slice();
+    let mut b = vec![0.0f64; n * kept];
+    for (k, row) in b.chunks_exact_mut(kept).enumerate() {
+        for (c, val) in row.iter_mut().enumerate() {
+            *val = v[k * n + c] * eig.values[c].sqrt();
+        }
+    }
+    let mut out = SymMatrix::zeros(n);
+    let data = out.as_mut_slice();
+    for i in 0..n {
+        let bi = &b[i * kept..(i + 1) * kept];
+        for j in i..n {
+            let bj = &b[j * kept..(j + 1) * kept];
+            let dot: f64 = bi.iter().zip(bj).map(|(x, y)| x * y).sum();
+            data[i * n + j] = dot;
+            data[j * n + i] = dot;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_maintains_symmetry() {
+        let mut m = SymMatrix::zeros(3);
+        m.set(0, 2, 5.0);
+        assert_eq!(m.get(2, 0), 5.0);
+        m.add_to(0, 2, 1.0);
+        assert_eq!(m.get(0, 2), 6.0);
+        assert_eq!(m.get(2, 0), 6.0);
+    }
+
+    #[test]
+    fn add_to_diagonal_counts_once() {
+        let mut m = SymMatrix::zeros(2);
+        m.add_to(1, 1, 3.0);
+        assert_eq!(m.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        let mut a = SymMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        let mut b = SymMatrix::zeros(2);
+        b.set(0, 1, 3.0);
+        b.set(1, 1, 4.0);
+        // <A,B> = sum_ij: off-diagonal (0,1) and (1,0) each 2*3.
+        assert_eq!(a.dot(&b), 12.0);
+    }
+
+    #[test]
+    fn mul_vec_identity() {
+        let m = SymMatrix::identity(3);
+        assert_eq!(m.mul_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn psd_projection_of_psd_is_identity() {
+        let m = SymMatrix::from_diagonal(&[1.0, 2.0, 0.5]);
+        let p = psd_project(&m);
+        assert!((&p - &m).norm() < 1e-10);
+    }
+
+    #[test]
+    fn psd_projection_clamps_negative_part() {
+        let m = SymMatrix::from_diagonal(&[1.0, -2.0]);
+        let p = psd_project(&m);
+        assert!((p.get(0, 0) - 1.0).abs() < 1e-10);
+        assert!(p.get(1, 1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn psd_projection_rotated_case() {
+        // [[0, 1], [1, 0]] has eigenvalues ±1; projection keeps the +1
+        // part: 0.5 * [[1, 1], [1, 1]].
+        let mut m = SymMatrix::zeros(2);
+        m.set(0, 1, 1.0);
+        let p = psd_project(&m);
+        for (i, j, want) in
+            [(0, 0, 0.5), (0, 1, 0.5), (1, 0, 0.5), (1, 1, 0.5)]
+        {
+            assert!((p.get(i, j) - want).abs() < 1e-9, "({i},{j})");
+        }
+    }
+
+    #[test]
+    fn operators_compose() {
+        let a = SymMatrix::identity(2);
+        let b = SymMatrix::from_diagonal(&[1.0, 2.0]);
+        let c = &(&a + &b) - &a;
+        assert!((&c - &b).norm() < 1e-12);
+        let d = &b * 2.0;
+        assert_eq!(d.get(1, 1), 4.0);
+    }
+}

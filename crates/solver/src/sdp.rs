@@ -1,0 +1,481 @@
+//! ADMM solver for standard-form semidefinite programs.
+//!
+//! Solves `min ⟨C, X⟩ s.t. ⟨A_k, X⟩ = b_k (k = 1..m), X ⪰ 0` by the
+//! alternating direction method of multipliers with the splitting
+//! `X ∈ affine set`, `Z ∈ PSD cone`, `X = Z`:
+//!
+//! 1. **X-update** — Euclidean projection of `Z − U − C/ρ` onto the
+//!    affine set, via the pre-factorized constraint Gram matrix
+//!    `G_kl = ⟨A_k, A_l⟩`.
+//! 2. **Z-update** — projection of `X + U` onto the PSD cone
+//!    (eigenvalue clamping).
+//! 3. **U-update** — scaled dual ascent `U += X − Z`.
+//!
+//! The returned `x` iterate satisfies the equality constraints to solver
+//! precision; `z` is exactly PSD. CPLA's post-mapping step only *ranks*
+//! diagonal entries, so the modest first-order accuracy of ADMM is
+//! sufficient — this is the substitution for the CSDP C library used by
+//! the paper (see `DESIGN.md` §2).
+
+use crate::{psd_project, Cholesky, SymMatrix};
+
+/// One linear equality constraint `Σ coeff · X_ij = rhs`.
+///
+/// Entries address the symmetric pair `(i, j)`/`(j, i)` as a *single*
+/// variable: a coefficient `c` on an off-diagonal entry contributes
+/// `c · X_ij` to the constraint value (not `2c · X_ij`).
+#[derive(Clone, PartialEq, Debug)]
+struct Constraint {
+    /// `(i, j, coeff)` with `i <= j`, unique per constraint.
+    entries: Vec<(usize, usize, f64)>,
+    rhs: f64,
+}
+
+/// A standard-form SDP: cost matrix plus equality constraints.
+///
+/// Inequalities are expected to be rewritten with slack variables placed
+/// on extra diagonal entries (PSD implies a non-negative diagonal), which
+/// is exactly how the paper folds edge-capacity rows into the objective
+/// matrix.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SdpProblem {
+    cost: SymMatrix,
+    constraints: Vec<Constraint>,
+}
+
+impl SdpProblem {
+    /// Starts a problem with cost matrix `cost` (the paper's `T`).
+    pub fn new(cost: SymMatrix) -> SdpProblem {
+        SdpProblem { cost, constraints: Vec::new() }
+    }
+
+    /// Dimension of the matrix variable.
+    pub fn dim(&self) -> usize {
+        self.cost.dim()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The cost matrix.
+    pub fn cost(&self) -> &SymMatrix {
+        &self.cost
+    }
+
+    /// Adds the equality `Σ coeff · X_ij = rhs`.
+    ///
+    /// Entry indices are normalized to `i <= j` and duplicate entries are
+    /// merged by summing their coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn add_constraint(
+        &mut self,
+        entries: Vec<(usize, usize, f64)>,
+        rhs: f64,
+    ) {
+        let n = self.dim();
+        let mut norm: Vec<(usize, usize, f64)> = Vec::with_capacity(entries.len());
+        for (i, j, c) in entries {
+            assert!(i < n && j < n, "constraint entry ({i},{j}) out of range");
+            let (i, j) = if i <= j { (i, j) } else { (j, i) };
+            if let Some(e) = norm.iter_mut().find(|e| e.0 == i && e.1 == j) {
+                e.2 += c;
+            } else {
+                norm.push((i, j, c));
+            }
+        }
+        self.constraints.push(Constraint { entries: norm, rhs });
+    }
+
+    /// Evaluates `⟨A_k, X⟩` for every constraint.
+    fn apply(&self, x: &SymMatrix) -> Vec<f64> {
+        self.constraints
+            .iter()
+            .map(|c| {
+                c.entries
+                    .iter()
+                    .map(|&(i, j, coeff)| coeff * x.get(i, j))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Accumulates `Σ_k nu_k · A_k` into a symmetric matrix.
+    fn adjoint(&self, nu: &[f64]) -> SymMatrix {
+        let mut out = SymMatrix::zeros(self.dim());
+        for (c, &v) in self.constraints.iter().zip(nu) {
+            for &(i, j, coeff) in &c.entries {
+                if i == j {
+                    out.add_to(i, i, v * coeff);
+                } else {
+                    // Split over the symmetric pair so that
+                    // ⟨adjoint, X⟩ recovers Σ nu_k ⟨A_k, X⟩.
+                    out.add_to(i, j, v * coeff / 2.0);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the constraint Gram matrix `G_kl = ⟨A_k, A_l⟩`.
+    fn gram(&self) -> SymMatrix {
+        let m = self.constraints.len();
+        let mut g = SymMatrix::zeros(m);
+        // Group coefficients by matrix entry, then accumulate pairwise.
+        use std::collections::HashMap;
+        let mut by_entry: HashMap<(usize, usize), Vec<(usize, f64)>> =
+            HashMap::new();
+        for (k, c) in self.constraints.iter().enumerate() {
+            for &(i, j, coeff) in &c.entries {
+                by_entry.entry((i, j)).or_default().push((k, coeff));
+            }
+        }
+        for ((i, j), owners) in by_entry {
+            // ⟨A_k, A_l⟩ restricted to this entry: diagonal entries
+            // contribute c_k·c_l, off-diagonal pairs 2·(c_k/2)(c_l/2).
+            let weight = if i == j { 1.0 } else { 0.5 };
+            for a in 0..owners.len() {
+                for b in a..owners.len() {
+                    let (ka, ca) = owners[a];
+                    let (kb, cb) = owners[b];
+                    let (lo, hi) = if ka <= kb { (ka, kb) } else { (kb, ka) };
+                    g.add_to(lo, hi, weight * ca * cb);
+                }
+            }
+        }
+        g
+    }
+}
+
+/// Configuration of the ADMM iteration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SdpSolver {
+    /// Initial augmented-Lagrangian penalty ρ.
+    pub rho: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Relative stopping tolerance on the primal/dual residuals.
+    pub tolerance: f64,
+    /// Whether to adapt ρ (doubling/halving on residual imbalance).
+    pub adaptive_rho: bool,
+}
+
+impl Default for SdpSolver {
+    fn default() -> SdpSolver {
+        SdpSolver {
+            rho: 1.0,
+            max_iterations: 600,
+            tolerance: 1e-5,
+            adaptive_rho: true,
+        }
+    }
+}
+
+/// Result of an ADMM solve.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SdpSolution {
+    /// The affine-feasible iterate (satisfies the equality constraints to
+    /// solver precision); its diagonal holds the relaxed assignment
+    /// variables CPLA's post-mapping consumes.
+    pub x: SymMatrix,
+    /// The PSD iterate.
+    pub z: SymMatrix,
+    /// `⟨C, x⟩` at termination.
+    pub objective: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final primal residual `‖X − Z‖_F`.
+    pub primal_residual: f64,
+    /// Final constraint violation `‖A(X) − b‖₂` (should be ≈ 0).
+    pub constraint_residual: f64,
+    /// Whether both residuals met the tolerance before the iteration cap.
+    pub converged: bool,
+}
+
+impl SdpSolver {
+    /// Solves `problem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem has dimension 0.
+    pub fn solve(&self, problem: &SdpProblem) -> SdpSolution {
+        let n = problem.dim();
+        assert!(n > 0, "empty SDP");
+        // Normalize the cost so ρ's default scale is meaningful across
+        // wildly different delay magnitudes.
+        let cost_scale = problem.cost.norm().max(1e-12);
+        let mut c = problem.cost.clone();
+        c.scale(1.0 / cost_scale);
+
+        let b: Vec<f64> = problem.constraints.iter().map(|x| x.rhs).collect();
+        let m = b.len();
+
+        // Factor the Gram matrix once (ridge-regularized for safety
+        // against near-duplicate rows).
+        let mut gram = problem.gram();
+        let ridge = 1e-9 * (1.0 + gram.norm());
+        for k in 0..m {
+            gram.add_to(k, k, ridge);
+        }
+        let gram_factor = if m > 0 {
+            Some(Cholesky::factor(&gram).expect(
+                "ridge-regularized Gram matrix must be positive definite",
+            ))
+        } else {
+            None
+        };
+
+        let mut x = SymMatrix::zeros(n);
+        let mut z = SymMatrix::zeros(n);
+        let mut u = SymMatrix::zeros(n);
+        let mut rho = self.rho;
+
+        let project_affine = |target: &SymMatrix, rho: f64| -> SymMatrix {
+            // X = argmin ||X - target|| s.t. A(X) = b
+            //   = target + (1/ρ)·adjoint(ν),  G ν = ρ (b − A(target)).
+            let Some(factor) = &gram_factor else {
+                return target.clone();
+            };
+            let ax = problem.apply(target);
+            let rhs: Vec<f64> =
+                b.iter().zip(&ax).map(|(bi, ai)| rho * (bi - ai)).collect();
+            let nu = factor.solve(&rhs);
+            let mut out = target.clone();
+            out.axpy(1.0 / rho, &problem.adjoint(&nu));
+            out
+        };
+
+        let mut iterations = 0;
+        let mut primal_residual = f64::INFINITY;
+        let mut converged = false;
+        for it in 0..self.max_iterations {
+            iterations = it + 1;
+            // X-update: affine projection of Z − U − C/ρ.
+            let mut target = &z - &u;
+            target.axpy(-1.0 / rho, &c);
+            x = project_affine(&target, rho);
+
+            // Z-update: PSD projection of X + U.
+            let z_old = z.clone();
+            z = psd_project(&(&x + &u));
+
+            // U-update.
+            u.axpy(1.0, &(&x - &z));
+
+            primal_residual = (&x - &z).norm();
+            let dual_residual = rho * (&z - &z_old).norm();
+            let scale = 1.0 + x.norm().max(z.norm());
+            if primal_residual < self.tolerance * scale
+                && dual_residual < self.tolerance * scale
+            {
+                converged = true;
+                break;
+            }
+            if self.adaptive_rho && it % 10 == 9 {
+                if primal_residual > 10.0 * dual_residual {
+                    rho *= 2.0;
+                    u.scale(0.5);
+                } else if dual_residual > 10.0 * primal_residual {
+                    rho *= 0.5;
+                    u.scale(2.0);
+                }
+            }
+        }
+
+        let ax = problem.apply(&x);
+        let constraint_residual = ax
+            .iter()
+            .zip(&b)
+            .map(|(a, bi)| (a - bi).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let objective = problem.cost.dot(&x);
+        SdpSolution {
+            x,
+            z,
+            objective,
+            iterations,
+            primal_residual,
+            constraint_residual,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_constrained_diagonal_cost() {
+        // min x00 + 2 x11 s.t. x00 + x11 = 1, X ⪰ 0  →  x00 = 1.
+        let c = SymMatrix::from_diagonal(&[1.0, 2.0]);
+        let mut p = SdpProblem::new(c);
+        p.add_constraint(vec![(0, 0, 1.0), (1, 1, 1.0)], 1.0);
+        let sol = SdpSolver::default().solve(&p);
+        assert!(sol.converged, "did not converge: {sol:?}");
+        assert!((sol.x.get(0, 0) - 1.0).abs() < 1e-3, "{}", sol.x.get(0, 0));
+        assert!(sol.x.get(1, 1).abs() < 1e-3);
+        assert!((sol.objective - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn correlation_is_bounded_by_psd() {
+        // max X01 with X00 = X11 = 1 → X01 = 1 (PSD bound).
+        let mut c = SymMatrix::zeros(2);
+        c.set(0, 1, -0.5); // ⟨C,X⟩ = -X01
+        let mut p = SdpProblem::new(c);
+        p.add_constraint(vec![(0, 0, 1.0)], 1.0);
+        p.add_constraint(vec![(1, 1, 1.0)], 1.0);
+        let sol = SdpSolver::default().solve(&p);
+        assert!((sol.x.get(0, 1) - 1.0).abs() < 5e-3, "{}", sol.x.get(0, 1));
+    }
+
+    #[test]
+    fn unconstrained_problem_pushes_to_psd_minimum() {
+        // min tr(X) s.t. X ⪰ 0, no constraints → X = 0.
+        let p = SdpProblem::new(SymMatrix::identity(3));
+        let sol = SdpSolver::default().solve(&p);
+        assert!(sol.x.norm() < 1e-3, "{}", sol.x.norm());
+    }
+
+    #[test]
+    fn slack_variable_models_inequality() {
+        // min x00 s.t. x00 ≥ 0.3 modeled as  x00 − s = 0.3 with slack on
+        // the extra diagonal entry s = X11 ≥ 0 (PSD diag).
+        // Wait: x00 − s = 0.3 means x00 = 0.3 + s ≥ 0.3. Minimum at 0.3.
+        let c = SymMatrix::from_diagonal(&[1.0, 0.0]);
+        let mut p = SdpProblem::new(c);
+        p.add_constraint(vec![(0, 0, 1.0), (1, 1, -1.0)], 0.3);
+        let sol = SdpSolver::default().solve(&p);
+        assert!((sol.x.get(0, 0) - 0.3).abs() < 5e-3, "{}", sol.x.get(0, 0));
+    }
+
+    #[test]
+    fn assignment_shape_rows_sum_to_one() {
+        // Two segments, two layers each; cheap layers differ. Assignment
+        // rows must sum to 1; the relaxation should lean toward the
+        // cheaper layer for both.
+        // Variables: (s0,l0)=0 (s0,l1)=1 (s1,l0)=2 (s1,l1)=3.
+        let c = SymMatrix::from_diagonal(&[1.0, 3.0, 4.0, 2.0]);
+        let mut p = SdpProblem::new(c);
+        p.add_constraint(vec![(0, 0, 1.0), (1, 1, 1.0)], 1.0);
+        p.add_constraint(vec![(2, 2, 1.0), (3, 3, 1.0)], 1.0);
+        let sol = SdpSolver::default().solve(&p);
+        let d = sol.x.diagonal();
+        assert!((d[0] + d[1] - 1.0).abs() < 1e-3);
+        assert!((d[2] + d[3] - 1.0).abs() < 1e-3);
+        assert!(d[0] > d[1], "segment 0 should prefer layer 0: {d:?}");
+        assert!(d[3] > d[2], "segment 1 should prefer layer 1: {d:?}");
+    }
+
+    #[test]
+    fn relaxation_lower_bounds_integer_optimum() {
+        // SDP relaxation objective must not exceed the best integer
+        // assignment's cost for the same (capacity-free) problem.
+        let lin = [2.0, 5.0, 7.0, 1.0, 4.0, 4.5];
+        // 3 segments × 2 layers; pair cost between segment 0 and 1 when
+        // both pick layer index 1.
+        let mut c = SymMatrix::from_diagonal(&lin);
+        c.set(1, 3, 1.5); // appears twice in ⟨C,X⟩ → effective 3.0
+        let mut p = SdpProblem::new(c.clone());
+        for s in 0..3 {
+            p.add_constraint(
+                vec![(2 * s, 2 * s, 1.0), (2 * s + 1, 2 * s + 1, 1.0)],
+                1.0,
+            );
+        }
+        let sol = SdpSolver::default().solve(&p);
+        // Brute-force integer optimum of the rank-one evaluation
+        // x = outer(v, v) with binary v honoring the row constraints.
+        let mut best = f64::INFINITY;
+        for a in 0..2 {
+            for b in 0..2 {
+                for d in 0..2 {
+                    let mut v = [0.0; 6];
+                    v[a] = 1.0;
+                    v[2 + b] = 1.0;
+                    v[4 + d] = 1.0;
+                    let mut cost = 0.0;
+                    for i in 0..6 {
+                        for j in 0..6 {
+                            cost += c.get(i, j) * v[i] * v[j];
+                        }
+                    }
+                    best = best.min(cost);
+                }
+            }
+        }
+        assert!(
+            sol.objective <= best + 1e-2,
+            "relaxation {} should lower-bound integer {}",
+            sol.objective,
+            best
+        );
+    }
+
+    #[test]
+    fn duplicate_entries_are_merged() {
+        let mut p = SdpProblem::new(SymMatrix::identity(2));
+        p.add_constraint(vec![(0, 0, 0.5), (0, 0, 0.5)], 1.0);
+        assert_eq!(p.num_constraints(), 1);
+        let sol = SdpSolver::default().solve(&p);
+        assert!((sol.x.get(0, 0) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn argmin_is_invariant_under_cost_scaling() {
+        // Internal normalization: scaling C by 1e6 must not change the
+        // solution (only the objective value).
+        let build = |scale: f64| {
+            let mut c = SymMatrix::from_diagonal(&[1.0, 3.0, 2.0]);
+            c.scale(scale);
+            let mut p = SdpProblem::new(c);
+            p.add_constraint(
+                vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)],
+                1.0,
+            );
+            SdpSolver::default().solve(&p)
+        };
+        let a = build(1.0);
+        let b = build(1e6);
+        for i in 0..3 {
+            assert!(
+                (a.x.get(i, i) - b.x.get(i, i)).abs() < 1e-3,
+                "entry {i}: {} vs {}",
+                a.x.get(i, i),
+                b.x.get(i, i)
+            );
+        }
+        assert!((b.objective / a.objective - 1e6).abs() < 1e4);
+    }
+
+    #[test]
+    fn adaptive_rho_still_converges_from_bad_start() {
+        let c = SymMatrix::from_diagonal(&[1.0, 2.0]);
+        let mut p = SdpProblem::new(c);
+        p.add_constraint(vec![(0, 0, 1.0), (1, 1, 1.0)], 1.0);
+        let solver = SdpSolver {
+            rho: 1e-4, // far from a good penalty; adaptation must fix it
+            max_iterations: 2000,
+            ..SdpSolver::default()
+        };
+        let sol = solver.solve(&p);
+        assert!(sol.converged, "{sol:?}");
+        assert!((sol.x.get(0, 0) - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn x_iterate_is_constraint_feasible_even_unconverged() {
+        let c = SymMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        let mut p = SdpProblem::new(c);
+        p.add_constraint(vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)], 1.0);
+        let tight = SdpSolver { max_iterations: 3, ..SdpSolver::default() };
+        let sol = tight.solve(&p);
+        assert!(sol.constraint_residual < 1e-6, "{}", sol.constraint_residual);
+    }
+}

@@ -1,0 +1,170 @@
+//! Delay-distribution histograms (Fig. 1 of the paper).
+
+use std::fmt;
+
+/// A fixed-bin histogram over pin delays.
+///
+/// Fig. 1 of the paper plots the number of critical-net sink pins per
+/// delay bin on a logarithmic count axis; this type produces exactly that
+/// data series.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DelayHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl DelayHistogram {
+    /// Builds a histogram of `delays` with `bins` equal-width bins
+    /// spanning `[min, max]` of the data. Values equal to the maximum
+    /// land in the last bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn from_delays(delays: &[f64], bins: usize) -> DelayHistogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        if delays.is_empty() {
+            return DelayHistogram { lo: 0.0, hi: 0.0, counts: vec![0; bins] };
+        }
+        let lo = delays.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = delays.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0u64; bins];
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        for &d in delays {
+            let mut b = ((d - lo) / span * bins as f64) as usize;
+            if b >= bins {
+                b = bins - 1;
+            }
+            counts[b] += 1;
+        }
+        DelayHistogram { lo, hi, counts }
+    }
+
+    /// Builds a histogram over an explicit `[lo, hi]` range so that two
+    /// distributions (e.g. TILA vs CPLA) share comparable bins. Values
+    /// outside the range are clamped into the boundary bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi < lo`.
+    pub fn with_range(
+        delays: &[f64],
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    ) -> DelayHistogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi >= lo, "invalid range {lo}..{hi}");
+        let mut counts = vec![0u64; bins];
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        for &d in delays {
+            let b = (((d - lo) / span * bins as f64) as isize)
+                .clamp(0, bins as isize - 1) as usize;
+            counts[b] += 1;
+        }
+        DelayHistogram { lo, hi, counts }
+    }
+
+    /// Bin counts, low delay first.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(bin center, count)` series for plotting.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * width, c))
+            .collect()
+    }
+
+    /// Lower bound of the histogram range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the histogram range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Index of the highest non-empty bin, or `None` when empty — a proxy
+    /// for "how far the distribution's tail reaches", which is the
+    /// quantity Fig. 1 contrasts between TILA and CPLA.
+    pub fn tail_bin(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+}
+
+impl fmt::Display for DelayHistogram {
+    /// Renders an ASCII bar chart, one bin per line, with a
+    /// logarithmically scaled bar like the paper's log-count axis.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (center, count) in self.series() {
+            let bar = if count == 0 {
+                0
+            } else {
+                (count as f64).log2().ceil() as usize + 1
+            };
+            writeln!(f, "{center:>14.1} | {:<12} {count}", "#".repeat(bar))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_samples() {
+        let d = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let h = DelayHistogram::from_delays(&d, 4);
+        assert_eq!(h.total(), 5);
+        // Max lands in last bin.
+        assert_eq!(*h.counts().last().unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let h = DelayHistogram::from_delays(&[], 8);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.tail_bin(), None);
+    }
+
+    #[test]
+    fn shared_range_clamps_outliers() {
+        let h = DelayHistogram::with_range(&[-5.0, 0.5, 99.0], 0.0, 1.0, 2);
+        assert_eq!(h.counts(), &[1, 2]); // -5 clamps low, 99 clamps high
+    }
+
+    #[test]
+    fn tail_bin_tracks_worst_delay() {
+        let short = DelayHistogram::with_range(&[1.0, 2.0], 0.0, 10.0, 10);
+        let long = DelayHistogram::with_range(&[1.0, 9.5], 0.0, 10.0, 10);
+        assert!(long.tail_bin().unwrap() > short.tail_bin().unwrap());
+    }
+
+    #[test]
+    fn constant_data_lands_in_one_bin() {
+        let h = DelayHistogram::from_delays(&[3.0, 3.0, 3.0], 4);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().filter(|&&c| c > 0).count(), 1);
+    }
+
+    #[test]
+    fn display_renders_one_line_per_bin() {
+        let h = DelayHistogram::from_delays(&[1.0, 2.0], 3);
+        let s = h.to_string();
+        assert_eq!(s.lines().count(), 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Required arrival times and slack.
+//!
+//! The paper motivates critical-net selection with *timing budgets*:
+//! a sink violates when its Elmore arrival exceeds its required time.
+//! This module layers required times over [`crate::TimingReport`] so
+//! flows can release exactly the violating nets instead of a fixed
+//! fraction.
+
+use std::collections::HashMap;
+
+use crate::TimingReport;
+
+/// Required arrival times per sink pin.
+///
+/// Keys are `(net index, pin index)`; nets or sinks without an entry
+/// fall back to the default budget.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RequiredTimes {
+    default_budget: f64,
+    per_sink: HashMap<(usize, usize), f64>,
+}
+
+impl RequiredTimes {
+    /// Uniform budget for every sink.
+    pub fn uniform(budget: f64) -> RequiredTimes {
+        RequiredTimes { default_budget: budget, per_sink: HashMap::new() }
+    }
+
+    /// Overrides the budget of one sink.
+    pub fn set(&mut self, net: usize, pin: usize, required: f64) {
+        self.per_sink.insert((net, pin), required);
+    }
+
+    /// The budget of one sink.
+    pub fn required(&self, net: usize, pin: usize) -> f64 {
+        self.per_sink
+            .get(&(net, pin))
+            .copied()
+            .unwrap_or(self.default_budget)
+    }
+
+    /// Budgets derived from the *current* timing: each sink gets
+    /// `scale ×` its present arrival. `scale < 1` manufactures
+    /// violations proportional to each path's length — a common way to
+    /// exercise timing-repair flows without an external constraint file.
+    pub fn from_report(report: &TimingReport, scale: f64) -> RequiredTimes {
+        let mut rt = RequiredTimes::uniform(f64::INFINITY);
+        for (net, timing) in report.iter() {
+            for &(pin, delay) in timing.sink_delays() {
+                rt.set(net, pin, delay * scale);
+            }
+        }
+        rt
+    }
+}
+
+/// Slack analysis of one report against a set of required times.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SlackReport {
+    /// `(net, pin, slack)` for every analyzed sink; negative = violation.
+    slacks: Vec<(usize, usize, f64)>,
+}
+
+impl SlackReport {
+    /// Computes `slack = required − arrival` for every sink of every
+    /// analyzed net.
+    pub fn new(report: &TimingReport, required: &RequiredTimes) -> SlackReport {
+        let mut slacks = Vec::new();
+        for (net, timing) in report.iter() {
+            for &(pin, delay) in timing.sink_delays() {
+                slacks.push((net, pin, required.required(net, pin) - delay));
+            }
+        }
+        SlackReport { slacks }
+    }
+
+    /// All `(net, pin, slack)` entries.
+    pub fn slacks(&self) -> &[(usize, usize, f64)] {
+        &self.slacks
+    }
+
+    /// The worst (most negative) slack, or `None` when empty.
+    pub fn worst_slack(&self) -> Option<f64> {
+        self.slacks
+            .iter()
+            .map(|&(_, _, s)| s)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Total negative slack (0.0 when nothing violates).
+    pub fn total_negative_slack(&self) -> f64 {
+        self.slacks
+            .iter()
+            .map(|&(_, _, s)| s.min(0.0))
+            .sum()
+    }
+
+    /// Number of violating sinks.
+    pub fn violations(&self) -> usize {
+        self.slacks.iter().filter(|&&(_, _, s)| s < 0.0).count()
+    }
+
+    /// Net indices with at least one violating sink, ordered by their
+    /// worst slack (most violating first). This is the release set a
+    /// budget-driven flow hands to the layer-assignment engines.
+    pub fn violating_nets(&self) -> Vec<usize> {
+        let mut worst: HashMap<usize, f64> = HashMap::new();
+        for &(net, _, s) in &self.slacks {
+            if s < 0.0 {
+                let e = worst.entry(net).or_insert(f64::INFINITY);
+                *e = e.min(s);
+            }
+        }
+        let mut nets: Vec<(usize, f64)> = worst.into_iter().collect();
+        nets.sort_by(|a, b| a.1.total_cmp(&b.1));
+        nets.into_iter().map(|(n, _)| n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use grid::{Cell, Direction, GridBuilder};
+    use net::{Assignment, Net, Netlist, Pin, RouteTreeBuilder};
+
+    fn fixture() -> (TimingReport, Netlist) {
+        let grid = GridBuilder::new(32, 8)
+            .alternating_layers(4, Direction::Horizontal)
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new();
+        for (i, len) in [4u16, 20, 10].iter().enumerate() {
+            let y = i as u16;
+            let mut b = RouteTreeBuilder::new(Cell::new(0, y));
+            let e = b.add_segment(b.root(), Cell::new(*len, y)).unwrap();
+            b.attach_pin(b.root(), 0).unwrap();
+            b.attach_pin(e, 1).unwrap();
+            nl.push(Net::new(
+                format!("n{i}"),
+                vec![
+                    Pin::source(Cell::new(0, y), 0.0),
+                    Pin::sink(Cell::new(*len, y), 1.0),
+                ],
+                b.build().unwrap(),
+            ));
+        }
+        let a = Assignment::lowest_layers(&nl, &grid);
+        (analyze(&grid, &nl, &a), nl)
+    }
+
+    #[test]
+    fn uniform_budget_flags_slow_nets_only() {
+        let (report, _) = fixture();
+        // Budget sits between the delay of net 0 (len 4) and net 2
+        // (len 10).
+        let mid = (report.net(0).critical_delay()
+            + report.net(2).critical_delay())
+            / 2.0;
+        let slack =
+            SlackReport::new(&report, &RequiredTimes::uniform(mid));
+        let violating = slack.violating_nets();
+        assert_eq!(violating, vec![1, 2], "worst first");
+        assert_eq!(slack.violations(), 2);
+        assert!(slack.worst_slack().unwrap() < 0.0);
+        assert!(slack.total_negative_slack() < 0.0);
+    }
+
+    #[test]
+    fn generous_budget_has_no_violations() {
+        let (report, _) = fixture();
+        let slack =
+            SlackReport::new(&report, &RequiredTimes::uniform(1e12));
+        assert_eq!(slack.violations(), 0);
+        assert_eq!(slack.total_negative_slack(), 0.0);
+        assert!(slack.violating_nets().is_empty());
+        assert!(slack.worst_slack().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn per_sink_override_beats_default() {
+        let (report, _) = fixture();
+        let mut rt = RequiredTimes::uniform(1e12);
+        rt.set(0, 1, 0.0); // impossible budget for net 0's sink
+        let slack = SlackReport::new(&report, &rt);
+        assert_eq!(slack.violating_nets(), vec![0]);
+    }
+
+    #[test]
+    fn scaled_budgets_violate_everything_below_one() {
+        let (report, _) = fixture();
+        let rt = RequiredTimes::from_report(&report, 0.9);
+        let slack = SlackReport::new(&report, &rt);
+        assert_eq!(slack.violations(), 3, "every sink misses a 0.9 budget");
+        let rt_loose = RequiredTimes::from_report(&report, 1.1);
+        let slack_loose = SlackReport::new(&report, &rt_loose);
+        assert_eq!(slack_loose.violations(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Full flow on a named synthetic ISPD'08-like benchmark: generate,
+//! route, initially assign, then run CPLA on the 0.5% most critical
+//! nets and report the paper's Table-2 metrics for the run.
+//!
+//! Run with: `cargo run --release --example critical_path_opt [name]`
+//! where `name` is one of the 15 paper benchmarks (default `adaptec1`).
+
+use cpla::{Cpla, CplaConfig, Metrics};
+use ispd::SyntheticConfig;
+use route::{initial_assignment, route_netlist, RouterConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name =
+        std::env::args().nth(1).unwrap_or_else(|| "adaptec1".to_string());
+    let config = SyntheticConfig::named(&name)
+        .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+
+    println!("generating {name} ...");
+    let (mut grid, specs) = config.generate()?;
+    println!(
+        "  grid {}x{}x{}, {} nets",
+        grid.width(),
+        grid.height(),
+        grid.num_layers(),
+        specs.len()
+    );
+
+    let t0 = Instant::now();
+    let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+    println!(
+        "routed {} nets ({} segments) in {:.2}s",
+        netlist.len(),
+        netlist.num_segments(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let t1 = Instant::now();
+    let mut assignment = initial_assignment(&mut grid, &netlist);
+    println!(
+        "initial layer assignment in {:.2}s (wire overflow {}, OV# {})",
+        t1.elapsed().as_secs_f64(),
+        grid.total_wire_overflow(),
+        grid.total_via_overflow()
+    );
+
+    let t2 = Instant::now();
+    let report = Cpla::new(CplaConfig::default()).run(
+        &mut grid,
+        &netlist,
+        &mut assignment,
+    );
+    let cpu = t2.elapsed().as_secs_f64();
+
+    let m: &Metrics = &report.final_metrics;
+    println!(
+        "CPLA released {} nets, {} rounds, {:.2}s",
+        report.released.len(),
+        report.rounds.len(),
+        cpu
+    );
+    println!(
+        "  Avg(Tcp) {:>10.1} -> {:>10.1}",
+        report.initial_metrics.avg_tcp, m.avg_tcp
+    );
+    println!(
+        "  Max(Tcp) {:>10.1} -> {:>10.1}",
+        report.initial_metrics.max_tcp, m.max_tcp
+    );
+    println!(
+        "  OV#      {:>10} -> {:>10}",
+        report.initial_metrics.via_overflow, m.via_overflow
+    );
+    println!(
+        "  via#     {:>10} -> {:>10}",
+        report.initial_metrics.via_count, m.via_count
+    );
+    assignment.validate(&netlist, &grid)?;
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! ISPD'08 file flow: write a miniature benchmark in the actual ISPD'08
+//! text format, parse it back, and run the full layer-assignment flow on
+//! the parsed design — the path a user with real contest files would
+//! take.
+//!
+//! Run with: `cargo run --release --example ispd_flow`
+
+use cpla::{Cpla, CplaConfig};
+use ispd::SyntheticConfig;
+use route::{initial_assignment, route_netlist, RouterConfig};
+use std::io::BufReader;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Produce a miniature design and serialize it to the ISPD'08 format.
+    let design = SyntheticConfig::small(2024).design()?;
+    let mut file_bytes = Vec::new();
+    ispd::write(&design, &mut file_bytes)?;
+    println!(
+        "wrote ISPD'08 file: {} bytes, {} nets",
+        file_bytes.len(),
+        design.nets.len()
+    );
+    println!("--- head of the file ---");
+    for line in String::from_utf8_lossy(&file_bytes).lines().take(8) {
+        println!("{line}");
+    }
+    println!("------------------------");
+
+    // Parse it back, exactly as a real benchmark file would be loaded.
+    let parsed = ispd::parse(BufReader::new(file_bytes.as_slice()))?;
+    let mut grid = parsed.to_grid()?;
+    println!(
+        "parsed grid {}x{}x{}",
+        grid.width(),
+        grid.height(),
+        grid.num_layers()
+    );
+
+    // Standard flow on the parsed design.
+    let netlist =
+        route_netlist(&grid, parsed.net_specs(), &RouterConfig::default());
+    let mut assignment = initial_assignment(&mut grid, &netlist);
+    let report = Cpla::new(CplaConfig {
+        critical_ratio: 0.05,
+        ..CplaConfig::default()
+    })
+    .run(&mut grid, &netlist, &mut assignment);
+
+    println!(
+        "CPLA on {} critical nets: Avg(Tcp) {:.1} -> {:.1}",
+        report.released.len(),
+        report.initial_metrics.avg_tcp,
+        report.final_metrics.avg_tcp
+    );
+    assignment.validate(&netlist, &grid)?;
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: build a small grid, route a few nets, and run critical
+//! path layer assignment end to end.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cpla::{Cpla, CplaConfig};
+use grid::{Cell, Direction, GridBuilder};
+use net::{NetSpec, Pin};
+use route::{initial_assignment, route_netlist, RouterConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 24×24 tile grid with six alternating metal layers.
+    let mut grid = GridBuilder::new(24, 24)
+        .alternating_layers(6, Direction::Horizontal)
+        .uniform_capacity(4)
+        .build()?;
+
+    // Three nets: one long two-pin net, one multi-fanout net, one local.
+    let specs = vec![
+        NetSpec::new(
+            "long",
+            vec![
+                Pin::source(Cell::new(1, 2), 0.0),
+                Pin::sink(Cell::new(22, 20), 3.0),
+            ],
+        ),
+        NetSpec::new(
+            "fanout",
+            vec![
+                Pin::source(Cell::new(4, 12), 0.0),
+                Pin::sink(Cell::new(18, 12), 2.0),
+                Pin::sink(Cell::new(10, 4), 1.5),
+                Pin::sink(Cell::new(10, 20), 1.0),
+            ],
+        ),
+        NetSpec::new(
+            "local",
+            vec![
+                Pin::source(Cell::new(6, 6), 0.0),
+                Pin::sink(Cell::new(8, 7), 1.0),
+            ],
+        ),
+    ];
+
+    // 1. Route the 2-D topologies.
+    let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+    netlist.validate(grid.width(), grid.height())?;
+
+    // 2. Initial (timing-oblivious) layer assignment.
+    let mut assignment = initial_assignment(&mut grid, &netlist);
+
+    // 3. Report timing before optimization.
+    let before = timing::analyze(&grid, &netlist, &assignment);
+    println!("before CPLA:");
+    for (i, t) in before.iter() {
+        println!(
+            "  {:<8} critical delay {:>10.2}",
+            netlist.net(i).name(),
+            t.critical_delay()
+        );
+    }
+
+    // 4. Release every net as critical and optimize.
+    let config = CplaConfig { critical_ratio: 1.0, ..CplaConfig::default() };
+    let report = Cpla::new(config).run(&mut grid, &netlist, &mut assignment);
+
+    // 5. Report the outcome.
+    let after = timing::analyze(&grid, &netlist, &assignment);
+    println!("after CPLA ({} rounds):", report.rounds.len());
+    for (i, t) in after.iter() {
+        println!(
+            "  {:<8} critical delay {:>10.2}  (layers {:?})",
+            netlist.net(i).name(),
+            t.critical_delay(),
+            assignment.net_layers(i)
+        );
+    }
+    println!(
+        "average critical delay: {:.2} -> {:.2}",
+        report.initial_metrics.avg_tcp, report.final_metrics.avg_tcp
+    );
+    assignment.validate(&netlist, &grid)?;
+    Ok(())
+}

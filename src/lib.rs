@@ -1,0 +1,14 @@
+//! Umbrella crate for the CPLA reproduction workspace.
+//!
+//! Re-exports every subsystem crate so integration tests and examples can
+//! use a single dependency. See the workspace `README.md` for the overall
+//! architecture and `DESIGN.md` for the paper-to-module map.
+
+pub use cpla;
+pub use grid;
+pub use ispd;
+pub use net;
+pub use route;
+pub use solver;
+pub use tila;
+pub use timing;

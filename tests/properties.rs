@@ -1,0 +1,102 @@
+//! Cross-crate property-based tests: randomized pipelines must uphold
+//! structural and algorithmic invariants for every seed.
+
+use ispd::SyntheticConfig;
+use proptest::prelude::*;
+use route::{initial_assignment, route_netlist, RouterConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every generated benchmark routes into valid topologies and a
+    /// direction-consistent assignment, whatever the seed.
+    #[test]
+    fn random_benchmarks_route_validly(seed in 0u64..10_000) {
+        let mut config = SyntheticConfig::small(seed);
+        config.num_nets = 150;
+        let (mut grid, specs) = config.generate().expect("valid config");
+        let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+        prop_assert!(netlist.validate(grid.width(), grid.height()).is_ok());
+        let assignment = initial_assignment(&mut grid, &netlist);
+        prop_assert!(assignment.validate(&netlist, &grid).is_ok());
+    }
+
+    /// Elmore timing is monotone in sink capacitance: enlarging one
+    /// sink's load can only increase delays on its path.
+    #[test]
+    fn timing_monotone_in_sink_load(seed in 0u64..1_000) {
+        let mut config = SyntheticConfig::small(seed);
+        config.num_nets = 30;
+        let (mut grid, specs) = config.generate().expect("valid config");
+        let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+        let assignment = initial_assignment(&mut grid, &netlist);
+        let before = timing::analyze(&grid, &netlist, &assignment);
+
+        // Double every sink load of net 0.
+        let mut heavier = netlist.clone();
+        let net0 = heavier.net_mut(0);
+        // Clone, modify pins via reconstruction.
+        let mut pins = net0.pins().to_vec();
+        for p in pins.iter_mut().skip(1) {
+            p.capacitance *= 2.0;
+        }
+        let tree = net0.tree().clone();
+        let name = net0.name().to_string();
+        *net0 = net::Net::new(name, pins, tree);
+
+        let after = timing::analyze(&grid, &heavier, &assignment);
+        prop_assert!(
+            after.net(0).critical_delay()
+                >= before.net(0).critical_delay() - 1e-9
+        );
+    }
+
+    /// Via counting matches between the per-net enumeration and the
+    /// grid-usage bookkeeping: applying then removing any net leaves
+    /// usage untouched.
+    #[test]
+    fn usage_roundtrip_every_net(seed in 0u64..1_000) {
+        let mut config = SyntheticConfig::small(seed);
+        config.num_nets = 60;
+        let (mut grid, specs) = config.generate().expect("valid config");
+        let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+        let assignment = initial_assignment(&mut grid, &netlist);
+        let snapshot = grid.snapshot_usage();
+        for i in 0..netlist.len() {
+            net::remove_net_from_grid(
+                &mut grid,
+                netlist.net(i),
+                assignment.net_layers(i),
+            );
+            net::restore_net_to_grid(
+                &mut grid,
+                netlist.net(i),
+                assignment.net_layers(i),
+            );
+        }
+        prop_assert_eq!(grid.snapshot_usage(), snapshot);
+    }
+
+    /// The critical-net selector returns exactly the requested fraction
+    /// (rounded, min 1) in criticality order.
+    #[test]
+    fn selector_counts_and_orders(seed in 0u64..1_000, pct in 1u32..50) {
+        let mut config = SyntheticConfig::small(seed);
+        config.num_nets = 80;
+        let (mut grid, specs) = config.generate().expect("valid config");
+        let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+        let assignment = initial_assignment(&mut grid, &netlist);
+        let report = timing::analyze(&grid, &netlist, &assignment);
+        let ratio = pct as f64 / 100.0;
+        let selected = cpla::select_critical_nets(&report, ratio);
+        let expect =
+            ((report.len() as f64 * ratio).round() as usize).max(1);
+        prop_assert_eq!(selected.len(), expect.min(report.len()));
+        // Decreasing criticality.
+        for w in selected.windows(2) {
+            let a = report.net(w[0]).critical_delay();
+            let b = report.net(w[1]).critical_delay();
+            prop_assert!(a >= b);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Budget-driven flow: derive required times, release exactly the
+//! violating nets, repair with CPLA, and verify the slack picture
+//! improves — the timing-closure loop the paper's introduction
+//! motivates.
+
+use cpla::{Cpla, CplaConfig};
+use ispd::SyntheticConfig;
+use route::{initial_assignment, route_netlist, RouterConfig};
+use timing::{RequiredTimes, SlackReport};
+
+#[test]
+fn cpla_repairs_budget_violations() {
+    let mut config = SyntheticConfig::small(77);
+    config.num_nets = 300;
+    config.capacity = 5;
+    let (mut grid, specs) = config.generate().expect("valid config");
+    let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+    let mut assignment = initial_assignment(&mut grid, &netlist);
+
+    // Budgets at 60% of the current arrivals of the slowest nets: the
+    // top decile violates, everything else has margin.
+    let report = timing::analyze(&grid, &netlist, &assignment);
+    let order = report.nets_by_criticality();
+    let mut required = RequiredTimes::uniform(f64::INFINITY);
+    for &ni in order.iter().take(netlist.len() / 10) {
+        for &(pin, delay) in report.net(ni).sink_delays() {
+            required.set(ni, pin, delay * 0.6);
+        }
+    }
+    let before = SlackReport::new(&report, &required);
+    assert!(before.violations() > 0, "fixture must start violating");
+    let released = before.violating_nets();
+
+    Cpla::new(CplaConfig::default()).run_released(
+        &mut grid,
+        &netlist,
+        &mut assignment,
+        &released,
+    );
+
+    let after_report = timing::analyze(&grid, &netlist, &assignment);
+    let after = SlackReport::new(&after_report, &required);
+    assert!(
+        after.total_negative_slack() > before.total_negative_slack(),
+        "TNS must improve: {} -> {}",
+        before.total_negative_slack(),
+        after.total_negative_slack()
+    );
+    assert!(
+        after.worst_slack().unwrap() >= before.worst_slack().unwrap(),
+        "WNS must not regress"
+    );
+}
+
+#[test]
+fn slack_selection_matches_ratio_selection_on_scaled_budgets() {
+    // When budgets are a uniform scale of current arrivals, the
+    // violating set under scale s equals the set of all nets (s < 1) or
+    // none (s > 1): consistency between the two selection APIs.
+    let config = SyntheticConfig::small(78);
+    let (mut grid, specs) = config.generate().expect("valid config");
+    let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+    let assignment = initial_assignment(&mut grid, &netlist);
+    let report = timing::analyze(&grid, &netlist, &assignment);
+
+    let tight = RequiredTimes::from_report(&report, 0.5);
+    let all = SlackReport::new(&report, &tight).violating_nets();
+    assert_eq!(all.len(), report.len());
+
+    let loose = RequiredTimes::from_report(&report, 2.0);
+    assert!(SlackReport::new(&report, &loose).violating_nets().is_empty());
+}
