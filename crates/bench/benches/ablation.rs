@@ -2,60 +2,71 @@
 //! each variant disables one mechanism of the CPLA engine so its runtime
 //! contribution is measurable (the quality side of these ablations is
 //! printed by the `ablation` binary).
+//!
+//! Compiled as a no-op stub unless the `criterion-benches` feature is
+//! enabled:
+//!
+//! ```text
+//! cargo bench -p cpla-bench --features criterion-benches --bench ablation
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(feature = "criterion-benches")]
+mod real {
+    use cpla::problem::ProblemConfig;
+    use cpla::CplaConfig;
+    use cpla_bench::harness::Harness;
+    use cpla_bench::{run_cpla, Prepared};
+    use ispd::SyntheticConfig;
+    use solver::SdpSolver;
 
-use cpla::problem::ProblemConfig;
-use cpla::CplaConfig;
-use cpla_bench::{run_cpla, Prepared};
-use ispd::SyntheticConfig;
-use solver::SdpSolver;
+    fn reduced() -> Prepared {
+        let mut config = SyntheticConfig::small(31337);
+        config.num_nets = 500;
+        config.capacity = 4;
+        Prepared::from_config(&config)
+    }
 
-fn reduced() -> Prepared {
-    let mut config = SyntheticConfig::small(31337);
-    config.num_nets = 500;
-    config.capacity = 4;
-    Prepared::from_config(&config)
-}
+    pub fn main() {
+        let prepared = reduced();
+        let released = prepared.released(0.05);
+        let mut h = Harness::new();
 
-fn bench_ablation(c: &mut Criterion) {
-    let prepared = reduced();
-    let released = prepared.released(0.05);
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
+        h.bench("ablation/default", || {
+            run_cpla(&prepared, &released, CplaConfig::default())
+        });
 
-    group.bench_function("default", |b| {
-        b.iter(|| run_cpla(&prepared, &released, CplaConfig::default()))
-    });
-
-    // Self-adaptive quadtree off: one huge bound keeps the uniform K×K
-    // division only (paper Fig. 8 / §3.2 ablation).
-    group.bench_function("uniform_partition_only", |b| {
-        let config = CplaConfig {
+        // Self-adaptive quadtree off: one huge bound keeps the uniform
+        // K×K division only (paper Fig. 8 / §3.2 ablation).
+        let uniform = CplaConfig {
             max_segments_per_partition: usize::MAX / 2,
             ..CplaConfig::default()
         };
-        b.iter(|| run_cpla(&prepared, &released, config))
-    });
+        h.bench("ablation/uniform_partition_only", || {
+            run_cpla(&prepared, &released, uniform)
+        });
 
-    // Via-capacity penalty off (paper §3.3: penalty folded into T).
-    group.bench_function("no_via_penalty", |b| {
-        let config = CplaConfig {
-            problem: ProblemConfig { via_penalty_weight: 0.0 },
+        // Via-capacity penalty off (paper §3.3: penalty folded into T).
+        let no_penalty = CplaConfig {
+            problem: ProblemConfig {
+                via_penalty_weight: 0.0,
+            },
             ..CplaConfig::default()
         };
-        b.iter(|| run_cpla(&prepared, &released, config))
-    });
+        h.bench("ablation/no_via_penalty", || {
+            run_cpla(&prepared, &released, no_penalty)
+        });
 
-    // Uniform (TILA-style) objective instead of critical-path focus.
-    group.bench_function("focus_zero", |b| {
-        let config = CplaConfig { focus: 0.0, ..CplaConfig::default() };
-        b.iter(|| run_cpla(&prepared, &released, config))
-    });
+        // Uniform (TILA-style) objective instead of critical-path focus.
+        let focus0 = CplaConfig {
+            focus: 0.0,
+            ..CplaConfig::default()
+        };
+        h.bench("ablation/focus_zero", || {
+            run_cpla(&prepared, &released, focus0)
+        });
 
-    // Tight vs loose ADMM iteration budget.
-    for iters in [50usize, 200, 600] {
-        group.bench_function(format!("admm_iters_{iters}"), |b| {
+        // Tight vs loose ADMM iteration budget.
+        for iters in [50usize, 200, 600] {
             let config = CplaConfig {
                 solver: cpla::SolverKind::Sdp(SdpSolver {
                     max_iterations: iters,
@@ -64,11 +75,16 @@ fn bench_ablation(c: &mut Criterion) {
                 }),
                 ..CplaConfig::default()
             };
-            b.iter(|| run_cpla(&prepared, &released, config))
-        });
+            h.bench(&format!("ablation/admm_iters_{iters}"), || {
+                run_cpla(&prepared, &released, config)
+            });
+        }
     }
-    group.finish();
 }
 
-criterion_group!(ablation, bench_ablation);
-criterion_main!(ablation);
+fn main() {
+    #[cfg(feature = "criterion-benches")]
+    real::main();
+    #[cfg(not(feature = "criterion-benches"))]
+    eprintln!("ablation: bench stub; rerun with --features criterion-benches");
+}

@@ -1,79 +1,70 @@
 //! Full-flow benchmarks: one group per paper experiment, on reduced
-//! inputs so Criterion's repeated sampling stays affordable.
+//! inputs so repeated sampling stays affordable.
 //!
 //! * `table2/*` — the TILA-vs-SDP comparison flows (Table 2's engines).
 //! * `fig7/*`  — ILP vs SDP at the Fig. 7 partition bound.
 //! * `fig9/*`  — the critical-ratio scaling of the SDP flow.
+//!
+//! Compiled as a no-op stub unless the `criterion-benches` feature is
+//! enabled:
+//!
+//! ```text
+//! cargo bench -p cpla-bench --features criterion-benches --bench flow
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#[cfg(feature = "criterion-benches")]
+mod real {
+    use cpla::{CplaConfig, SolverKind};
+    use cpla_bench::harness::Harness;
+    use cpla_bench::{run_cpla, run_tila, Prepared};
+    use ispd::SyntheticConfig;
+    use tila::TilaConfig;
 
-use cpla::{CplaConfig, SolverKind};
-use cpla_bench::{run_cpla, run_tila, Prepared};
-use ispd::SyntheticConfig;
-use tila::TilaConfig;
-
-fn reduced() -> Prepared {
-    let mut config = SyntheticConfig::small(424242);
-    config.num_nets = 500;
-    config.capacity = 4;
-    Prepared::from_config(&config)
-}
-
-fn bench_table2(c: &mut Criterion) {
-    let prepared = reduced();
-    let released = prepared.released(0.05);
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
-    group.bench_function("tila", |b| {
-        b.iter(|| run_tila(&prepared, &released, TilaConfig::default()))
-    });
-    group.bench_function("cpla_sdp", |b| {
-        b.iter(|| run_cpla(&prepared, &released, CplaConfig::default()))
-    });
-    group.finish();
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    let prepared = reduced();
-    let released = prepared.released(0.05);
-    let mut group = c.benchmark_group("fig7");
-    group.sample_size(10);
-    group.bench_function("ilp_bound24", |b| {
-        let config = CplaConfig {
-            solver: SolverKind::Ilp { node_budget: 5_000_000 },
-            max_segments_per_partition: 24,
-            ..CplaConfig::default()
-        };
-        b.iter(|| run_cpla(&prepared, &released, config))
-    });
-    group.bench_function("sdp_bound24", |b| {
-        let config = CplaConfig {
-            max_segments_per_partition: 24,
-            ..CplaConfig::default()
-        };
-        b.iter(|| run_cpla(&prepared, &released, config))
-    });
-    group.finish();
-}
-
-fn bench_fig9(c: &mut Criterion) {
-    let prepared = reduced();
-    let mut group = c.benchmark_group("fig9");
-    group.sample_size(10);
-    for pct in [2u32, 5, 10] {
-        let released = prepared.released(pct as f64 / 100.0);
-        group.bench_with_input(
-            BenchmarkId::new("sdp_ratio_pct", pct),
-            &released,
-            |b, released| {
-                b.iter(|| {
-                    run_cpla(&prepared, released, CplaConfig::default())
-                })
-            },
-        );
+    fn reduced() -> Prepared {
+        let mut config = SyntheticConfig::small(424242);
+        config.num_nets = 500;
+        config.capacity = 4;
+        Prepared::from_config(&config)
     }
-    group.finish();
+
+    pub fn main() {
+        let prepared = reduced();
+        let released = prepared.released(0.05);
+        let mut h = Harness::new();
+
+        h.bench("table2/tila", || {
+            run_tila(&prepared, &released, TilaConfig::default())
+        });
+        h.bench("table2/cpla_sdp", || {
+            run_cpla(&prepared, &released, CplaConfig::default())
+        });
+
+        let ilp24 = CplaConfig {
+            solver: SolverKind::Ilp {
+                node_budget: 5_000_000,
+            },
+            max_segments_per_partition: 24,
+            ..CplaConfig::default()
+        };
+        h.bench("fig7/ilp_bound24", || run_cpla(&prepared, &released, ilp24));
+        let sdp24 = CplaConfig {
+            max_segments_per_partition: 24,
+            ..CplaConfig::default()
+        };
+        h.bench("fig7/sdp_bound24", || run_cpla(&prepared, &released, sdp24));
+
+        for pct in [2u32, 5, 10] {
+            let released = prepared.released(pct as f64 / 100.0);
+            h.bench(&format!("fig9/sdp_ratio_pct/{pct}"), || {
+                run_cpla(&prepared, &released, CplaConfig::default())
+            });
+        }
+    }
 }
 
-criterion_group!(flows, bench_table2, bench_fig7, bench_fig9);
-criterion_main!(flows);
+fn main() {
+    #[cfg(feature = "criterion-benches")]
+    real::main();
+    #[cfg(not(feature = "criterion-benches"))]
+    eprintln!("flow: bench stub; rerun with --features criterion-benches");
+}

@@ -1,82 +1,93 @@
 //! Per-stage microbenchmarks: one group per pipeline stage, sized like
 //! the per-partition work items the engine actually schedules.
+//!
+//! Compiled as a no-op stub unless the `criterion-benches` feature is
+//! enabled (the default build must stay hermetic and fast):
+//!
+//! ```text
+//! cargo bench -p cpla-bench --features criterion-benches --bench stages
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+#[cfg(feature = "criterion-benches")]
+mod real {
+    use cpla::problem::{PartitionProblem, ProblemConfig};
+    use cpla_bench::harness::Harness;
+    use cpla_bench::Prepared;
+    use ispd::SyntheticConfig;
+    use net::SegmentRef;
+    use solver::{SdpSolver, SymMatrix};
 
-use cpla::problem::{PartitionProblem, ProblemConfig};
-use cpla_bench::Prepared;
-use ispd::SyntheticConfig;
-use net::SegmentRef;
-use solver::{SdpSolver, SymMatrix};
+    /// Shared fixture: a routed small benchmark plus one representative
+    /// partition problem of the default (10-segment) size.
+    struct Fixture {
+        prepared: Prepared,
+        released: Vec<usize>,
+        segments: Vec<SegmentRef>,
+        problem: PartitionProblem,
+    }
 
-/// Shared fixture: a routed small benchmark plus one representative
-/// partition problem of the default (10-segment) size.
-struct Fixture {
-    prepared: Prepared,
-    released: Vec<usize>,
-    segments: Vec<SegmentRef>,
-    problem: PartitionProblem,
-}
+    fn fixture() -> Fixture {
+        let mut config = SyntheticConfig::small(99);
+        config.num_nets = 400;
+        let prepared = Prepared::from_config(&config);
+        let released = prepared.released(0.05);
+        let segments: Vec<SegmentRef> = released
+            .iter()
+            .flat_map(|&ni| {
+                (0..prepared.netlist.net(ni).tree().num_segments())
+                    .map(move |s| SegmentRef::new(ni as u32, s as u32))
+            })
+            .collect();
+        let ctx = cpla::timing_context(
+            &prepared.grid,
+            &prepared.netlist,
+            &prepared.assignment,
+            &released,
+            4.0,
+        );
+        let (parts, _) = cpla::partition::partition_segments(
+            &prepared.netlist,
+            &segments,
+            prepared.grid.width(),
+            prepared.grid.height(),
+            4,
+            10,
+        );
+        let part = parts
+            .iter()
+            .max_by_key(|p| p.segments.len())
+            .expect("non-empty partitioning")
+            .clone();
+        let problem = PartitionProblem::extract(
+            &prepared.grid,
+            &prepared.netlist,
+            &prepared.assignment,
+            &part.segments,
+            &|r| ctx[&r],
+            &ProblemConfig::default(),
+        );
+        Fixture {
+            prepared,
+            released,
+            segments,
+            problem,
+        }
+    }
 
-fn fixture() -> Fixture {
-    let mut config = SyntheticConfig::small(99);
-    config.num_nets = 400;
-    let prepared = Prepared::from_config(&config);
-    let released = prepared.released(0.05);
-    let segments: Vec<SegmentRef> = released
-        .iter()
-        .flat_map(|&ni| {
-            (0..prepared.netlist.net(ni).tree().num_segments())
-                .map(move |s| SegmentRef::new(ni as u32, s as u32))
-        })
-        .collect();
-    let ctx = cpla::timing_context(
-        &prepared.grid,
-        &prepared.netlist,
-        &prepared.assignment,
-        &released,
-        4.0,
-    );
-    let (parts, _) = cpla::partition::partition_segments(
-        &prepared.netlist,
-        &segments,
-        prepared.grid.width(),
-        prepared.grid.height(),
-        4,
-        10,
-    );
-    let part = parts
-        .iter()
-        .max_by_key(|p| p.segments.len())
-        .expect("non-empty partitioning")
-        .clone();
-    let problem = PartitionProblem::extract(
-        &prepared.grid,
-        &prepared.netlist,
-        &prepared.assignment,
-        &part.segments,
-        &|r| ctx[&r],
-        &ProblemConfig::default(),
-    );
-    Fixture { prepared, released, segments, problem }
-}
+    pub fn main() {
+        let f = fixture();
+        let mut h = Harness::new();
 
-fn bench_stages(c: &mut Criterion) {
-    let f = fixture();
-
-    c.bench_function("timing/analyze_released", |b| {
-        b.iter(|| {
+        h.bench("timing/analyze_released", || {
             timing::analyze_nets(
                 &f.prepared.grid,
                 &f.prepared.netlist,
                 &f.prepared.assignment,
                 f.released.iter().copied(),
             )
-        })
-    });
+        });
 
-    c.bench_function("context/timing_context", |b| {
-        b.iter(|| {
+        h.bench("context/timing_context", || {
             cpla::timing_context(
                 &f.prepared.grid,
                 &f.prepared.netlist,
@@ -84,11 +95,9 @@ fn bench_stages(c: &mut Criterion) {
                 &f.released,
                 4.0,
             )
-        })
-    });
+        });
 
-    c.bench_function("partition/quadtree", |b| {
-        b.iter(|| {
+        h.bench("partition/quadtree", || {
             cpla::partition::partition_segments(
                 &f.prepared.netlist,
                 &f.segments,
@@ -97,18 +106,16 @@ fn bench_stages(c: &mut Criterion) {
                 4,
                 10,
             )
-        })
-    });
+        });
 
-    let ctx = cpla::timing_context(
-        &f.prepared.grid,
-        &f.prepared.netlist,
-        &f.prepared.assignment,
-        &f.released,
-        4.0,
-    );
-    c.bench_function("problem/extract", |b| {
-        b.iter(|| {
+        let ctx = cpla::timing_context(
+            &f.prepared.grid,
+            &f.prepared.netlist,
+            &f.prepared.assignment,
+            &f.released,
+            4.0,
+        );
+        h.bench("problem/extract", || {
             PartitionProblem::extract(
                 &f.prepared.grid,
                 &f.prepared.netlist,
@@ -117,72 +124,60 @@ fn bench_stages(c: &mut Criterion) {
                 &|r| ctx[&r],
                 &ProblemConfig::default(),
             )
-        })
-    });
+        });
 
-    c.bench_function("solver/sdp_partition", |b| {
-        let (sdp, _) = f.problem.to_sdp();
-        let solver = SdpSolver {
-            max_iterations: 200,
-            tolerance: 1e-4,
-            ..SdpSolver::default()
+        {
+            let (sdp, _) = f.problem.to_sdp();
+            let solver = SdpSolver {
+                max_iterations: 200,
+                tolerance: 1e-4,
+                ..SdpSolver::default()
+            };
+            h.bench("solver/sdp_partition", || solver.solve(&sdp));
+        }
+
+        {
+            let choice = f.problem.to_choice_problem();
+            h.bench("solver/ilp_partition", || choice.solve(1_000_000));
+        }
+
+        {
+            let (sdp, _) = f.problem.to_sdp();
+            let sol = SdpSolver {
+                max_iterations: 200,
+                tolerance: 1e-4,
+                ..SdpSolver::default()
+            }
+            .solve(&sdp);
+            let diag = sol.x.diagonal();
+            h.bench("mapping/post_map", || {
+                cpla::mapping::post_map(&f.problem, &diag)
+            });
+        }
+
+        let dense64 = || {
+            let mut m = SymMatrix::zeros(64);
+            let mut v = 1.0f64;
+            for i in 0..64 {
+                for j in i..64 {
+                    v = (v * 1.31 + 0.7) % 5.0;
+                    m.set(i, j, v - 2.5);
+                }
+            }
+            m
         };
-        b.iter(|| solver.solve(&sdp))
-    });
-
-    c.bench_function("solver/ilp_partition", |b| {
-        let choice = f.problem.to_choice_problem();
-        b.iter(|| choice.solve(1_000_000))
-    });
-
-    c.bench_function("mapping/post_map", |b| {
-        let (sdp, _) = f.problem.to_sdp();
-        let sol = SdpSolver {
-            max_iterations: 200,
-            tolerance: 1e-4,
-            ..SdpSolver::default()
-        }
-        .solve(&sdp);
-        let diag = sol.x.diagonal();
-        b.iter(|| cpla::mapping::post_map(&f.problem, &diag))
-    });
-
-    c.bench_function("solver/eigen_ql_64", |b| {
-        let mut m = SymMatrix::zeros(64);
-        let mut v = 1.0f64;
-        for i in 0..64 {
-            for j in i..64 {
-                v = (v * 1.31 + 0.7) % 5.0;
-                m.set(i, j, v - 2.5);
-            }
-        }
-        b.iter_batched(
-            || m.clone(),
-            |m| solver::eigen_decompose(&m),
-            BatchSize::SmallInput,
-        )
-    });
-
-    c.bench_function("solver/eigen_jacobi_64", |b| {
-        let mut m = SymMatrix::zeros(64);
-        let mut v = 1.0f64;
-        for i in 0..64 {
-            for j in i..64 {
-                v = (v * 1.31 + 0.7) % 5.0;
-                m.set(i, j, v - 2.5);
-            }
-        }
-        b.iter_batched(
-            || m.clone(),
-            |m| solver::eigen_decompose_jacobi(&m),
-            BatchSize::SmallInput,
-        )
-    });
+        h.bench_batched("solver/eigen_ql_64", dense64, |m| {
+            solver::eigen_decompose(&m)
+        });
+        h.bench_batched("solver/eigen_jacobi_64", dense64, |m| {
+            solver::eigen_decompose_jacobi(&m)
+        });
+    }
 }
 
-criterion_group! {
-    name = stages;
-    config = Criterion::default().sample_size(20);
-    targets = bench_stages
+fn main() {
+    #[cfg(feature = "criterion-benches")]
+    real::main();
+    #[cfg(not(feature = "criterion-benches"))]
+    eprintln!("stages: bench stub; rerun with --features criterion-benches");
 }
-criterion_main!(stages);

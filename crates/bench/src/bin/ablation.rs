@@ -47,13 +47,18 @@ fn main() {
             (
                 "no-via-penalty",
                 CplaConfig {
-                    problem: ProblemConfig { via_penalty_weight: 0.0 },
+                    problem: ProblemConfig {
+                        via_penalty_weight: 0.0,
+                    },
                     ..CplaConfig::default()
                 },
             ),
             (
                 "focus-0 (sum objective)",
-                CplaConfig { focus: 0.0, ..CplaConfig::default() },
+                CplaConfig {
+                    focus: 0.0,
+                    ..CplaConfig::default()
+                },
             ),
             (
                 "admm-50-iters",
@@ -68,7 +73,10 @@ fn main() {
             ),
             (
                 "single-round",
-                CplaConfig { max_rounds: 1, ..CplaConfig::default() },
+                CplaConfig {
+                    max_rounds: 1,
+                    ..CplaConfig::default()
+                },
             ),
             (
                 "uniform-x-postmap",

@@ -8,9 +8,7 @@
 //! Usage: `fig1 [benchmark]` (default adaptec1).
 
 use cpla::CplaConfig;
-use cpla_bench::{
-    benchmarks_from_args, released_sink_delays, run_cpla, run_tila, Prepared,
-};
+use cpla_bench::{benchmarks_from_args, released_sink_delays, run_cpla, run_tila, Prepared};
 use tila::TilaConfig;
 use timing::DelayHistogram;
 
@@ -25,15 +23,11 @@ fn main() {
             released.len()
         );
 
-        let (tila_run, _) =
-            run_tila(&prepared, &released, TilaConfig::default());
-        let (cpla_run, _) =
-            run_cpla(&prepared, &released, CplaConfig::default());
+        let (tila_run, _) = run_tila(&prepared, &released, TilaConfig::default());
+        let (cpla_run, _) = run_cpla(&prepared, &released, CplaConfig::default());
 
-        let tila_delays =
-            released_sink_delays(&tila_run, &prepared.netlist, &released);
-        let cpla_delays =
-            released_sink_delays(&cpla_run, &prepared.netlist, &released);
+        let tila_delays = released_sink_delays(&tila_run, &prepared.netlist, &released);
+        let cpla_delays = released_sink_delays(&cpla_run, &prepared.netlist, &released);
 
         let hi = tila_delays
             .iter()

@@ -17,8 +17,7 @@ use cpla_bench::{benchmarks_from_args, row, run_cpla, Prepared};
 
 fn main() {
     let configs = benchmarks_from_args(&[
-        "adaptec1", "adaptec2", "bigblue1", "newblue1", "newblue2",
-        "newblue4",
+        "adaptec1", "adaptec2", "bigblue1", "newblue1", "newblue2", "newblue4",
     ]);
     let partition_bound = 24;
     let widths = [9usize, 12, 12, 9, 12, 12, 9];
@@ -41,7 +40,9 @@ fn main() {
         let prepared = Prepared::from_config(config);
         let released = prepared.released(0.005);
         let ilp_config = CplaConfig {
-            solver: SolverKind::Ilp { node_budget: 50_000_000 },
+            solver: SolverKind::Ilp {
+                node_budget: 50_000_000,
+            },
             max_segments_per_partition: partition_bound,
             ..CplaConfig::default()
         };

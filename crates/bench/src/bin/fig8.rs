@@ -13,8 +13,7 @@ use cpla::CplaConfig;
 use cpla_bench::{benchmarks_from_args, row, run_cpla, Prepared};
 
 fn main() {
-    let configs =
-        benchmarks_from_args(&["adaptec1", "adaptec2", "bigblue1"]);
+    let configs = benchmarks_from_args(&["adaptec1", "adaptec2", "bigblue1"]);
     let bounds = [5usize, 10, 20, 40, 80];
     let widths = [9usize, 8, 12, 12, 9, 7];
     println!(

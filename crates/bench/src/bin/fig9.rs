@@ -36,10 +36,8 @@ fn main() {
         let prepared = Prepared::from_config(config);
         for &ratio in &ratios {
             let released = prepared.released(ratio);
-            let (t, _) =
-                run_tila(&prepared, &released, TilaConfig::default());
-            let (s, _) =
-                run_cpla(&prepared, &released, CplaConfig::default());
+            let (t, _) = run_tila(&prepared, &released, TilaConfig::default());
+            let (s, _) = run_cpla(&prepared, &released, CplaConfig::default());
             println!(
                 "{}",
                 row(

@@ -51,22 +51,13 @@ fn main() {
 
         let released = prepared.released(0.005);
         println!("released {} nets (0.5%)", released.len());
-        let initial = Metrics::measure(
-            &prepared.grid,
-            nl,
-            &prepared.assignment,
-            &released,
-        );
+        let initial = Metrics::measure(&prepared.grid, nl, &prepared.assignment, &released);
         println!(
             "initial : avg {:.1} max {:.1} OV# {} via# {}",
-            initial.avg_tcp,
-            initial.max_tcp,
-            initial.via_overflow,
-            initial.via_count
+            initial.avg_tcp, initial.max_tcp, initial.via_overflow, initial.via_count
         );
 
-        let (tila_run, tila_res) =
-            run_tila(&prepared, &released, TilaConfig::default());
+        let (tila_run, tila_res) = run_tila(&prepared, &released, TilaConfig::default());
         println!(
             "  TILA wire overflow: {}",
             tila_run.grid.total_wire_overflow()
@@ -82,8 +73,7 @@ fn main() {
             tila_res.final_objective,
         );
 
-        let (sdp_run, report) =
-            run_cpla(&prepared, &released, CplaConfig::default());
+        let (sdp_run, report) = run_cpla(&prepared, &released, CplaConfig::default());
         println!(
             "  CPLA wire overflow: {}",
             sdp_run.grid.total_wire_overflow()
@@ -117,7 +107,9 @@ fn main() {
             &prepared,
             &released,
             CplaConfig {
-                solver: cpla::SolverKind::Ilp { node_budget: 500_000 },
+                solver: cpla::SolverKind::Ilp {
+                    node_budget: 500_000,
+                },
                 ..CplaConfig::default()
             },
         );

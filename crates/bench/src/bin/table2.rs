@@ -12,9 +12,9 @@ use tila::TilaConfig;
 
 fn main() {
     let configs = benchmarks_from_args(&[
-        "adaptec1", "adaptec2", "adaptec3", "adaptec4", "adaptec5",
-        "bigblue1", "bigblue2", "bigblue3", "bigblue4", "newblue1",
-        "newblue2", "newblue4", "newblue5", "newblue6", "newblue7",
+        "adaptec1", "adaptec2", "adaptec3", "adaptec4", "adaptec5", "bigblue1", "bigblue2",
+        "bigblue3", "bigblue4", "newblue1", "newblue2", "newblue4", "newblue5", "newblue6",
+        "newblue7",
     ]);
     let ratio = 0.005;
 
@@ -44,10 +44,8 @@ fn main() {
     for config in &configs {
         let prepared = Prepared::from_config(config);
         let released = prepared.released(ratio);
-        let (tila_run, _) =
-            run_tila(&prepared, &released, TilaConfig::default());
-        let (sdp_run, _) =
-            run_cpla(&prepared, &released, CplaConfig::default());
+        let (tila_run, _) = run_tila(&prepared, &released, TilaConfig::default());
+        let (sdp_run, _) = run_cpla(&prepared, &released, CplaConfig::default());
 
         let t = &tila_run.metrics;
         let s = &sdp_run.metrics;
@@ -96,7 +94,11 @@ fn main() {
         // Ratio row: SDP normalized to TILA = 1.00 (paper reports 0.86 /
         // 0.96 / 0.90 / 1.00 / 3.16).
         let ratio_of = |i: usize| {
-            if avg[i] > 0.0 { avg[i + 5] / avg[i] } else { f64::NAN }
+            if avg[i] > 0.0 {
+                avg[i + 5] / avg[i]
+            } else {
+                f64::NAN
+            }
         };
         println!(
             "{}",

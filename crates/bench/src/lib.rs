@@ -6,6 +6,8 @@
 //! comparisons are apples-to-apples, exactly as the paper releases the
 //! same net set for both TILA and SDP.
 
+pub mod harness;
+
 use std::time::Instant;
 
 use cpla::{Cpla, CplaConfig, CplaReport, Metrics};
@@ -35,18 +37,21 @@ impl Prepared {
     ///
     /// Panics if the configuration is degenerate.
     pub fn from_config(config: &SyntheticConfig) -> Prepared {
-        let (mut grid, specs) =
-            config.generate().expect("benchmark configs are valid");
+        let (mut grid, specs) = config.generate().expect("benchmark configs are valid");
         let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
         let assignment = initial_assignment(&mut grid, &netlist);
-        Prepared { name: config.name.clone(), grid, netlist, assignment }
+        Prepared {
+            name: config.name.clone(),
+            grid,
+            netlist,
+            assignment,
+        }
     }
 
     /// The released net set for a given critical ratio, from the
     /// prepared state's timing.
     pub fn released(&self, ratio: f64) -> Vec<usize> {
-        let report =
-            timing::analyze(&self.grid, &self.netlist, &self.assignment);
+        let report = timing::analyze(&self.grid, &self.netlist, &self.assignment);
         cpla::select_critical_nets(&report, ratio)
     }
 }
@@ -73,16 +78,18 @@ pub fn run_tila(
     let mut grid = prepared.grid.clone();
     let mut assignment = prepared.assignment.clone();
     let start = Instant::now();
-    let result = Tila::new(config).run(
-        &mut grid,
-        &prepared.netlist,
-        &mut assignment,
-        released,
-    );
+    let result = Tila::new(config).run(&mut grid, &prepared.netlist, &mut assignment, released);
     let seconds = start.elapsed().as_secs_f64();
-    let metrics =
-        Metrics::measure(&grid, &prepared.netlist, &assignment, released);
-    (EngineRun { metrics, seconds, assignment, grid }, result)
+    let metrics = Metrics::measure(&grid, &prepared.netlist, &assignment, released);
+    (
+        EngineRun {
+            metrics,
+            seconds,
+            assignment,
+            grid,
+        },
+        result,
+    )
 }
 
 /// Runs CPLA on a clone of `prepared` over `released`.
@@ -94,25 +101,24 @@ pub fn run_cpla(
     let mut grid = prepared.grid.clone();
     let mut assignment = prepared.assignment.clone();
     let start = Instant::now();
-    let report = Cpla::new(config).run_released(
-        &mut grid,
-        &prepared.netlist,
-        &mut assignment,
-        released,
-    );
+    let report =
+        Cpla::new(config).run_released(&mut grid, &prepared.netlist, &mut assignment, released);
     let seconds = start.elapsed().as_secs_f64();
-    let metrics =
-        Metrics::measure(&grid, &prepared.netlist, &assignment, released);
-    (EngineRun { metrics, seconds, assignment, grid }, report)
+    let metrics = Metrics::measure(&grid, &prepared.netlist, &assignment, released);
+    (
+        EngineRun {
+            metrics,
+            seconds,
+            assignment,
+            grid,
+        },
+        report,
+    )
 }
 
 /// Collects every sink delay of the released nets under a final state
 /// (the Fig. 1 distribution).
-pub fn released_sink_delays(
-    run: &EngineRun,
-    netlist: &Netlist,
-    released: &[usize],
-) -> Vec<f64> {
+pub fn released_sink_delays(run: &EngineRun, netlist: &Netlist, released: &[usize]) -> Vec<f64> {
     timing::analyze_nets(
         &run.grid,
         netlist,

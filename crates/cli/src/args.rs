@@ -95,41 +95,28 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "generate" => {
-            let benchmark = it
-                .next()
-                .ok_or("generate: missing <benchmark>")?
-                .clone();
+            let benchmark = it.next().ok_or("generate: missing <benchmark>")?.clone();
             let mut output = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "-o" | "--output" => {
-                        output = Some(
-                            it.next()
-                                .ok_or("generate: -o needs a path")?
-                                .clone(),
-                        );
+                        output = Some(it.next().ok_or("generate: -o needs a path")?.clone());
                     }
-                    other => {
-                        return Err(format!(
-                            "generate: unknown argument `{other}`"
-                        ))
-                    }
+                    other => return Err(format!("generate: unknown argument `{other}`")),
                 }
             }
             let output = output.ok_or("generate: -o <file> is required")?;
             Ok(Command::Generate { benchmark, output })
         }
         "report" => {
-            let input =
-                it.next().ok_or("report: missing <file>")?.clone();
+            let input = it.next().ok_or("report: missing <file>")?.clone();
             if let Some(extra) = it.next() {
                 return Err(format!("report: unexpected `{extra}`"));
             }
             Ok(Command::Report { input })
         }
         "optimize" => {
-            let input =
-                it.next().ok_or("optimize: missing <file>")?.clone();
+            let input = it.next().ok_or("optimize: missing <file>")?.clone();
             let mut ratio = 0.005f64;
             let mut engine = Engine::Sdp;
             let mut neighbors = false;
@@ -138,13 +125,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 match a.as_str() {
                     "--ratio" => {
                         let v = it.next().ok_or("--ratio needs a value")?;
-                        ratio = v
-                            .parse()
-                            .map_err(|_| format!("bad ratio `{v}`"))?;
+                        ratio = v.parse().map_err(|_| format!("bad ratio `{v}`"))?;
                         if !(0.0..=1.0).contains(&ratio) {
-                            return Err(format!(
-                                "ratio {ratio} outside 0..=1"
-                            ));
+                            return Err(format!("ratio {ratio} outside 0..=1"));
                         }
                     }
                     "--engine" => {
@@ -153,31 +136,27 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             "sdp" => Engine::Sdp,
                             "ilp" => Engine::Ilp,
                             "tila" => Engine::Tila,
-                            other => {
-                                return Err(format!(
-                                    "unknown engine `{other}`"
-                                ))
-                            }
+                            other => return Err(format!("unknown engine `{other}`")),
                         };
                     }
                     "--neighbors" => neighbors = true,
                     "--threads" => {
                         let v = it.next().ok_or("--threads needs a value")?;
-                        threads = v
-                            .parse()
-                            .map_err(|_| format!("bad thread count `{v}`"))?;
+                        threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
                         if threads == 0 {
                             return Err("--threads must be positive".into());
                         }
                     }
-                    other => {
-                        return Err(format!(
-                            "optimize: unknown argument `{other}`"
-                        ))
-                    }
+                    other => return Err(format!("optimize: unknown argument `{other}`")),
                 }
             }
-            Ok(Command::Optimize { input, ratio, engine, neighbors, threads })
+            Ok(Command::Optimize {
+                input,
+                ratio,
+                engine,
+                neighbors,
+                threads,
+            })
         }
         "svg" => {
             let input = it.next().ok_or("svg: missing <file>")?.clone();
@@ -186,23 +165,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "-o" | "--output" => {
-                        output = Some(
-                            it.next().ok_or("svg: -o needs a path")?.clone(),
-                        );
+                        output = Some(it.next().ok_or("svg: -o needs a path")?.clone());
                     }
                     "--ratio" => {
                         let v = it.next().ok_or("--ratio needs a value")?;
-                        ratio = v
-                            .parse()
-                            .map_err(|_| format!("bad ratio `{v}`"))?;
+                        ratio = v.parse().map_err(|_| format!("bad ratio `{v}`"))?;
                     }
-                    other => {
-                        return Err(format!("svg: unknown argument `{other}`"))
-                    }
+                    other => return Err(format!("svg: unknown argument `{other}`")),
                 }
             }
             let output = output.ok_or("svg: -o <file> is required")?;
-            Ok(Command::Svg { input, output, ratio })
+            Ok(Command::Svg {
+                input,
+                output,
+                ratio,
+            })
         }
         other => Err(format!("unknown command `{other}` (try `help`)")),
     }
@@ -226,8 +203,7 @@ mod tests {
     fn generate_requires_output() {
         let err = parse(&v(&["generate", "adaptec1"])).unwrap_err();
         assert!(err.contains("-o"), "{err}");
-        let ok =
-            parse(&v(&["generate", "adaptec1", "-o", "x.ispd"])).unwrap();
+        let ok = parse(&v(&["generate", "adaptec1", "-o", "x.ispd"])).unwrap();
         assert_eq!(
             ok,
             Command::Generate {
@@ -251,8 +227,15 @@ mod tests {
             }
         );
         let c = parse(&v(&[
-            "optimize", "d.ispd", "--ratio", "0.02", "--engine", "tila",
-            "--neighbors", "--threads", "4",
+            "optimize",
+            "d.ispd",
+            "--ratio",
+            "0.02",
+            "--engine",
+            "tila",
+            "--neighbors",
+            "--threads",
+            "4",
         ]))
         .unwrap();
         assert_eq!(

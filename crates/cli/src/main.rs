@@ -47,10 +47,8 @@ fn run(command: Command) -> Result<(), String> {
         Command::Generate { benchmark, output } => {
             let config = resolve_benchmark(&benchmark)?;
             let design = config.design()?;
-            let file = File::create(&output)
-                .map_err(|e| format!("cannot create {output}: {e}"))?;
-            ispd::write(&design, BufWriter::new(file))
-                .map_err(|e| format!("write failed: {e}"))?;
+            let file = File::create(&output).map_err(|e| format!("cannot create {output}: {e}"))?;
+            ispd::write(&design, BufWriter::new(file)).map_err(|e| format!("write failed: {e}"))?;
             println!(
                 "wrote {output}: {}x{}x{} grid, {} nets",
                 design.grid_x,
@@ -63,8 +61,7 @@ fn run(command: Command) -> Result<(), String> {
         Command::Report { input } => {
             let (mut grid, specs) = load(&input)?;
             let t0 = Instant::now();
-            let netlist =
-                route_netlist(&grid, &specs, &RouterConfig::default());
+            let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
             let assignment = initial_assignment(&mut grid, &netlist);
             let report = timing::analyze(&grid, &netlist, &assignment);
             println!(
@@ -102,16 +99,18 @@ fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Svg { input, output, ratio } => {
+        Command::Svg {
+            input,
+            output,
+            ratio,
+        } => {
             let (mut grid, specs) = load(&input)?;
-            let netlist =
-                route_netlist(&grid, &specs, &RouterConfig::default());
+            let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
             let assignment = initial_assignment(&mut grid, &netlist);
             let report = timing::analyze(&grid, &netlist, &assignment);
             let highlight = cpla::select_critical_nets(&report, ratio);
             let doc = svg::render(&grid, &netlist, &assignment, &highlight);
-            std::fs::write(&output, doc)
-                .map_err(|e| format!("cannot write {output}: {e}"))?;
+            std::fs::write(&output, doc).map_err(|e| format!("cannot write {output}: {e}"))?;
             println!(
                 "wrote {output} ({} layers, {} highlighted nets)",
                 grid.num_layers(),
@@ -119,15 +118,19 @@ fn run(command: Command) -> Result<(), String> {
             );
             Ok(())
         }
-        Command::Optimize { input, ratio, engine, neighbors, threads } => {
+        Command::Optimize {
+            input,
+            ratio,
+            engine,
+            neighbors,
+            threads,
+        } => {
             let (mut grid, specs) = load(&input)?;
-            let netlist =
-                route_netlist(&grid, &specs, &RouterConfig::default());
+            let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
             let mut assignment = initial_assignment(&mut grid, &netlist);
             let full = timing::analyze(&grid, &netlist, &assignment);
             let released = cpla::select_critical_nets(&full, ratio);
-            let initial =
-                Metrics::measure(&grid, &netlist, &assignment, &released);
+            let initial = Metrics::measure(&grid, &netlist, &assignment, &released);
             println!(
                 "{input}: {} nets, releasing {} ({:.2}%), engine {engine}",
                 netlist.len(),
@@ -147,9 +150,9 @@ fn run(command: Command) -> Result<(), String> {
                 }
                 Engine::Sdp | Engine::Ilp => {
                     let solver = match engine {
-                        Engine::Ilp => {
-                            SolverKind::Ilp { node_budget: 5_000_000 }
-                        }
+                        Engine::Ilp => SolverKind::Ilp {
+                            node_budget: 5_000_000,
+                        },
                         _ => CplaConfig::default().solver,
                     };
                     Cpla::new(CplaConfig {
@@ -172,23 +175,17 @@ fn run(command: Command) -> Result<(), String> {
                 "Avg(Tcp) {:>10.1} -> {:>10.1}  ({:+.1}%)",
                 initial.avg_tcp,
                 m.avg_tcp,
-                100.0 * (m.avg_tcp - initial.avg_tcp)
-                    / initial.avg_tcp.max(1e-12)
+                100.0 * (m.avg_tcp - initial.avg_tcp) / initial.avg_tcp.max(1e-12)
             );
             println!(
                 "Max(Tcp) {:>10.1} -> {:>10.1}  ({:+.1}%)",
                 initial.max_tcp,
                 m.max_tcp,
-                100.0 * (m.max_tcp - initial.max_tcp)
-                    / initial.max_tcp.max(1e-12)
+                100.0 * (m.max_tcp - initial.max_tcp) / initial.max_tcp.max(1e-12)
             );
             println!(
                 "OV# {} -> {}   via# {} -> {}   {:.2}s",
-                initial.via_overflow,
-                m.via_overflow,
-                initial.via_count,
-                m.via_count,
-                secs
+                initial.via_overflow, m.via_overflow, initial.via_count, m.via_count, secs
             );
             assignment
                 .validate(&netlist, &grid)
@@ -201,8 +198,7 @@ fn run(command: Command) -> Result<(), String> {
 /// Resolves a benchmark name: a named paper config or `small:<seed>`.
 fn resolve_benchmark(name: &str) -> Result<SyntheticConfig, String> {
     if let Some(seed) = name.strip_prefix("small:") {
-        let seed: u64 =
-            seed.parse().map_err(|_| format!("bad seed in `{name}`"))?;
+        let seed: u64 = seed.parse().map_err(|_| format!("bad seed in `{name}`"))?;
         return Ok(SyntheticConfig::small(seed));
     }
     SyntheticConfig::named(name).ok_or_else(|| {
@@ -219,10 +215,8 @@ fn resolve_benchmark(name: &str) -> Result<SyntheticConfig, String> {
 
 /// Loads an ISPD'08 file into a grid plus net specs.
 fn load(path: &str) -> Result<(grid::Grid, Vec<net::NetSpec>), String> {
-    let file =
-        File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let design = ispd::parse(BufReader::new(file))
-        .map_err(|e| format!("{path}: {e}"))?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let design = ispd::parse(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
     let grid = design.to_grid().map_err(|e| format!("{path}: {e}"))?;
     Ok((grid, design.nets))
 }

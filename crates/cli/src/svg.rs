@@ -101,11 +101,7 @@ pub fn render(
 }
 
 /// Pixel endpoints of a routing edge inside a panel.
-fn edge_pixels(
-    e: grid::Edge2d,
-    x_off: f64,
-    y_off: f64,
-) -> (f64, f64, f64, f64) {
+fn edge_pixels(e: grid::Edge2d, x_off: f64, y_off: f64) -> (f64, f64, f64, f64) {
     let (a, b) = e.endpoints();
     let center = |c: grid::Cell| {
         (

@@ -103,8 +103,7 @@ pub fn timing_context(
             let (base, entry_layer) = match tree.parent_segment(from) {
                 Some(p) => {
                     let lay = grid.layer(layers[p]);
-                    let r_wire = lay.unit_resistance
-                        * tree.segment_length(p) as f64;
+                    let r_wire = lay.unit_resistance * tree.segment_length(p) as f64;
                     (upstream[p] + weight[p] * r_wire, layers[p])
                 }
                 None => (0.0, net.source().layer),

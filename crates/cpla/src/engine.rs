@@ -8,14 +8,17 @@
 //! critical-path delay stops improving (the paper's "stops when no
 //! further optimizations can be achieved").
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use grid::Grid;
 use net::{Assignment, Netlist, SegmentRef};
-use solver::SdpSolver;
+use solver::{SdpSolver, SymMatrix};
+use timing::TimingModel;
 
 use crate::context::{timing_context, SegCtx};
-use crate::mapping::post_map;
+use crate::mapping::{post_map, timing_gate};
 use crate::partition::{partition_segments_shifted, PartitionStats};
 use crate::problem::{PartitionProblem, ProblemConfig};
 use crate::{select_critical_nets, Metrics};
@@ -38,6 +41,24 @@ pub enum SolverKind {
     /// [`SolverKind::Sdp`] isolates how much the relaxation's ranking
     /// actually contributes.
     UniformRelaxation,
+}
+
+/// Which evaluation pipeline the engine runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PipelineMode {
+    /// The pre-optimization pipeline: every partition is re-extracted
+    /// and re-solved from scratch each round, the ADMM solver always
+    /// cold-starts and runs to its residual tolerance, and mapped
+    /// solutions land without per-net timing verification. Kept as the
+    /// honest baseline `cpla-bench` compares against.
+    Legacy,
+    /// The incremental pipeline: partition results are cached across
+    /// rounds (the alternating division origin makes the same segment
+    /// sets recur), re-solves warm-start ADMM from the cached iterates
+    /// and stop early once the diagonal ranking settles, and every
+    /// touched critical net passes an exact incremental timing gate
+    /// before its changes land.
+    Incremental,
 }
 
 /// Engine configuration.
@@ -76,6 +97,8 @@ pub struct CplaConfig {
     pub neighbor_weight: f64,
     /// Worker threads for partition solving.
     pub threads: usize,
+    /// Evaluation pipeline (see [`PipelineMode`]).
+    pub mode: PipelineMode,
 }
 
 impl Default for CplaConfig {
@@ -91,6 +114,10 @@ impl Default for CplaConfig {
             solver: SolverKind::Sdp(SdpSolver {
                 max_iterations: 200,
                 tolerance: 1e-4,
+                // Stop once the diagonal ordering has been stable for
+                // two consecutive samples (the incremental pipeline's
+                // default; [`PipelineMode::Legacy`] forces this off).
+                rank_stop_window: 2,
                 ..SdpSolver::default()
             }),
             problem: ProblemConfig::default(),
@@ -99,6 +126,7 @@ impl Default for CplaConfig {
             release_neighbors: false,
             neighbor_weight: 0.2,
             threads: 1,
+            mode: PipelineMode::Incremental,
         }
     }
 }
@@ -118,6 +146,51 @@ pub struct RoundStats {
     pub improved: bool,
 }
 
+/// Wall-time and work counters for one engine run, per pipeline stage.
+///
+/// `cpla-bench` serializes this as JSON; the counters are what make the
+/// incremental pipeline's savings auditable (cache hit rate, gate
+/// outcomes, objective evaluations).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct PipelineStats {
+    /// Seconds freezing the per-round timing contexts.
+    pub context_secs: f64,
+    /// Seconds partitioning the released segments.
+    pub partition_secs: f64,
+    /// Seconds extracting partition problems (serial phase).
+    pub extract_secs: f64,
+    /// Seconds solving partition programs (parallel phase).
+    pub solve_secs: f64,
+    /// Seconds applying accepted changes, including the timing gate.
+    pub apply_secs: f64,
+    /// Seconds measuring round metrics.
+    pub metrics_secs: f64,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Partitions solved from scratch (cache misses).
+    pub partitions_solved: usize,
+    /// Partitions whose cached result was reused (cache hits).
+    pub partitions_reused: usize,
+    /// Partition-objective evaluations performed.
+    pub evaluations: u64,
+    /// Nets whose proposals passed the incremental timing gate.
+    pub gate_accepted: usize,
+    /// Nets whose proposals the gate rejected.
+    pub gate_rejected: usize,
+}
+
+impl PipelineStats {
+    /// Fraction of partition solves avoided by the cross-round cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.partitions_solved + self.partitions_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.partitions_reused as f64 / total as f64
+        }
+    }
+}
+
 /// Result of a full CPLA run.
 #[derive(Clone, PartialEq, Debug)]
 pub struct CplaReport {
@@ -131,6 +204,27 @@ pub struct CplaReport {
     pub rounds: Vec<RoundStats>,
     /// Partitioning statistics of the first round.
     pub partition_stats: PartitionStats,
+    /// Pipeline instrumentation for the whole run.
+    pub stats: PipelineStats,
+}
+
+/// Cross-round cache entry for one partition, keyed by its segment set.
+///
+/// A hit requires the freshly extracted problem to compare equal to
+/// `problem` — any drift in costs, candidates or capacities (because a
+/// neighboring partition's acceptance moved segments or usage) misses
+/// and re-solves, warm-started from `warm`.
+struct CacheEntry {
+    problem: PartitionProblem,
+    result: Vec<(SegmentRef, usize)>,
+    warm: Option<(SymMatrix, SymMatrix)>,
+}
+
+/// Output of solving one partition.
+struct SolveOutcome {
+    result: Vec<(SegmentRef, usize)>,
+    warm: Option<(SymMatrix, SymMatrix)>,
+    evaluations: u64,
 }
 
 /// The CPLA engine. Construct with a config, then [`Cpla::run`].
@@ -179,18 +273,24 @@ impl Cpla {
         assignment: &mut Assignment,
         released: &[usize],
     ) -> CplaReport {
-        let initial_metrics =
-            Metrics::measure(grid, netlist, assignment, released);
+        let initial_metrics = Metrics::measure(grid, netlist, assignment, released);
         let mut report = CplaReport {
             released: released.to_vec(),
             initial_metrics,
             final_metrics: initial_metrics,
             rounds: Vec::new(),
             partition_stats: PartitionStats::default(),
+            stats: PipelineStats::default(),
         };
         if released.is_empty() {
             return report;
         }
+        let mut stats = PipelineStats::default();
+        // Electrical parameters are usage-independent, so one snapshot
+        // serves the timing gate for the whole run.
+        let model = TimingModel::from_grid(grid);
+        let is_released: HashSet<usize> = released.iter().copied().collect();
+        let mut cache: HashMap<Vec<SegmentRef>, CacheEntry> = HashMap::new();
 
         let mut segments: Vec<SegmentRef> = released
             .iter()
@@ -213,8 +313,7 @@ impl Cpla {
                         .segment_edges(r.seg as usize)
                 })
                 .collect();
-            let is_released: std::collections::HashSet<usize> =
-                released.iter().copied().collect();
+            let is_released: std::collections::HashSet<usize> = released.iter().copied().collect();
             let mut nets = Vec::new();
             for ni in 0..netlist.len() {
                 if is_released.contains(&ni) {
@@ -223,11 +322,7 @@ impl Cpla {
                 let tree = netlist.net(ni).tree();
                 let mut touched = false;
                 for s in 0..tree.num_segments() {
-                    if tree
-                        .segment_edges(s)
-                        .iter()
-                        .any(|e| covered.contains(e))
-                    {
+                    if tree.segment_edges(s).iter().any(|e| covered.contains(e)) {
                         segments.push(SegmentRef::new(ni as u32, s as u32));
                         touched = true;
                     }
@@ -251,21 +346,11 @@ impl Cpla {
 
         for round in 1..=self.config.max_rounds {
             // Freeze the weighted timing context for this round.
-            let mut cd = timing_context(
-                grid,
-                netlist,
-                assignment,
-                released,
-                self.config.focus,
-            );
+            let context_t = Instant::now();
+            let mut cd = timing_context(grid, netlist, assignment, released, self.config.focus);
             if !neighbor_nets.is_empty() {
-                let neighbor_ctx = timing_context(
-                    grid,
-                    netlist,
-                    assignment,
-                    &neighbor_nets,
-                    self.config.focus,
-                );
+                let neighbor_ctx =
+                    timing_context(grid, netlist, assignment, &neighbor_nets, self.config.focus);
                 let w = self.config.neighbor_weight;
                 for (r, mut c) in neighbor_ctx {
                     c.weight *= w;
@@ -274,18 +359,20 @@ impl Cpla {
                     cd.insert(r, c);
                 }
             }
+            stats.context_secs += context_t.elapsed().as_secs_f64();
 
             // Alternate the division origin between rounds so segments
             // frozen at a partition boundary become jointly optimizable
             // in the next round.
-            let bw = (grid.width() as usize)
-                .div_ceil(self.config.uniform_divisions)
-                as u16;
-            let bh = (grid.height() as usize)
-                .div_ceil(self.config.uniform_divisions)
-                as u16;
-            let offset = if round % 2 == 0 { (bw / 2, bh / 2) } else { (0, 0) };
-            let (partitions, stats) = partition_segments_shifted(
+            let bw = (grid.width() as usize).div_ceil(self.config.uniform_divisions) as u16;
+            let bh = (grid.height() as usize).div_ceil(self.config.uniform_divisions) as u16;
+            let offset = if round % 2 == 0 {
+                (bw / 2, bh / 2)
+            } else {
+                (0, 0)
+            };
+            let partition_t = Instant::now();
+            let (partitions, pstats) = partition_segments_shifted(
                 netlist,
                 &segments,
                 grid.width(),
@@ -294,45 +381,78 @@ impl Cpla {
                 self.config.max_segments_per_partition,
                 offset,
             );
+            stats.partition_secs += partition_t.elapsed().as_secs_f64();
             if round == 1 {
-                report.partition_stats = stats;
+                report.partition_stats = pstats;
             }
 
             // Solve partitions (in parallel when configured).
-            let proposals =
-                self.solve_partitions(grid, netlist, assignment, &cd, &partitions);
+            let proposals = self.solve_partitions(
+                grid,
+                netlist,
+                assignment,
+                &cd,
+                &partitions,
+                &mut cache,
+                &mut stats,
+            );
 
-            // Apply per net: group accepted changes.
-            let mut by_net: HashMap<usize, Vec<(usize, usize)>> =
-                HashMap::new();
+            // Apply per net: group accepted changes, visiting nets in
+            // index order so the application is deterministic.
+            let apply_t = Instant::now();
+            let mut by_net: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
             for (sref, layer) in proposals {
                 by_net
                     .entry(sref.net as usize)
                     .or_default()
                     .push((sref.seg as usize, layer));
             }
-            for (ni, changes) in by_net {
+            let mut nets: Vec<(usize, Vec<(usize, usize)>)> = by_net.into_iter().collect();
+            nets.sort_unstable_by_key(|(ni, _)| *ni);
+            for (ni, changes) in nets {
                 let net = netlist.net(ni);
-                let mut layers = assignment.net_layers(ni).to_vec();
-                let mut any = false;
-                for (s, l) in changes {
-                    if layers[s] != l {
-                        layers[s] = l;
-                        any = true;
+                let current = assignment.net_layers(ni).to_vec();
+                let real: Vec<(usize, usize)> = changes
+                    .into_iter()
+                    .filter(|&(s, l)| current[s] != l)
+                    .collect();
+                if real.is_empty() {
+                    continue;
+                }
+                // Gate *critical* nets on their exact Elmore delay: the
+                // partition objective ranks with frozen downstream caps,
+                // so a mapped win can still be an exact-timing loss.
+                // Neighbor nets bypass the gate — demoting them off
+                // premium layers raises their own delay by design.
+                let gated =
+                    self.config.mode == PipelineMode::Incremental && is_released.contains(&ni);
+                let layers = if gated {
+                    match timing_gate(&model, net, &current, &real) {
+                        Some(layers) => {
+                            stats.gate_accepted += 1;
+                            layers
+                        }
+                        None => {
+                            stats.gate_rejected += 1;
+                            continue;
+                        }
                     }
-                }
-                if any {
-                    net::remove_net_from_grid(
-                        grid,
-                        net,
-                        assignment.net_layers(ni),
-                    );
-                    net::restore_net_to_grid(grid, net, &layers);
-                    assignment.set_net_layers(ni, layers);
-                }
+                } else {
+                    let mut layers = current.clone();
+                    for (s, l) in real {
+                        layers[s] = l;
+                    }
+                    layers
+                };
+                net::remove_net_from_grid(grid, net, &current);
+                net::restore_net_to_grid(grid, net, &layers);
+                assignment.set_net_layers(ni, layers);
             }
+            stats.apply_secs += apply_t.elapsed().as_secs_f64();
 
+            let metrics_t = Instant::now();
             let m = Metrics::measure(grid, netlist, assignment, released);
+            stats.metrics_secs += metrics_t.elapsed().as_secs_f64();
             let improved = m.avg_tcp < best_avg - 1e-12;
             report.rounds.push(RoundStats {
                 round,
@@ -357,13 +477,29 @@ impl Cpla {
         // Restore the best accepted state.
         *assignment = best_assignment;
         grid.restore_usage(best_usage);
-        report.final_metrics =
-            Metrics::measure(grid, netlist, assignment, released);
+        report.final_metrics = Metrics::measure(grid, netlist, assignment, released);
+        stats.rounds = report.rounds.len();
+        report.stats = stats;
         report
     }
 
     /// Solves every partition, returning the accepted per-segment layer
-    /// proposals.
+    /// proposals in partition order.
+    ///
+    /// Three phases keep the result independent of the thread schedule:
+    ///
+    /// 1. **Extract** (serial) — build each partition's problem and
+    ///    consult the cross-round cache; an entry whose problem compares
+    ///    equal short-circuits the solve entirely.
+    /// 2. **Solve** (parallel) — cache misses, sorted by descending
+    ///    segment count, are claimed off an atomic counter by the worker
+    ///    pool (work stealing: no thread idles while a heavy partition
+    ///    pins another). Each miss is a pure function of its extracted
+    ///    problem and frozen warm start, so the claim order cannot
+    ///    change any result.
+    /// 3. **Merge** (serial) — results rejoin in partition order and the
+    ///    cache is updated.
+    #[allow(clippy::too_many_arguments)]
     fn solve_partitions(
         &self,
         grid: &Grid,
@@ -371,12 +507,21 @@ impl Cpla {
         assignment: &Assignment,
         cd: &HashMap<SegmentRef, SegCtx>,
         partitions: &[crate::partition::Partition],
+        cache: &mut HashMap<Vec<SegmentRef>, CacheEntry>,
+        stats: &mut PipelineStats,
     ) -> Vec<(SegmentRef, usize)> {
-        let threads = self.config.threads.max(1).min(partitions.len().max(1));
-        let solve_one = |part: &crate::partition::Partition| {
-            let lookup = |r: SegmentRef| -> SegCtx {
-                *cd.get(&r).expect("released segment has a frozen context")
-            };
+        let use_cache = self.config.mode == PipelineMode::Incremental;
+
+        // Phase 1: extract problems serially, splitting into cache hits
+        // and misses (with their warm-start iterates, if any).
+        let extract_t = Instant::now();
+        let lookup = |r: SegmentRef| -> SegCtx {
+            *cd.get(&r).expect("released segment has a frozen context")
+        };
+        let mut results: Vec<Vec<(SegmentRef, usize)>> = vec![Vec::new(); partitions.len()];
+        type Miss = (usize, PartitionProblem, Option<(SymMatrix, SymMatrix)>);
+        let mut misses: Vec<Miss> = Vec::new();
+        for (pi, part) in partitions.iter().enumerate() {
             let problem = PartitionProblem::extract(
                 grid,
                 netlist,
@@ -385,76 +530,145 @@ impl Cpla {
                 &lookup,
                 &self.config.problem,
             );
-            let choices = match self.config.solver {
-                SolverKind::Sdp(sdp_config) => {
-                    let (sdp, _) = problem.to_sdp();
-                    let sol = sdp_config.solve(&sdp);
-                    post_map(&problem, &sol.x.diagonal())
-                }
-                SolverKind::Ilp { node_budget } => {
-                    match problem.to_choice_problem().solve(node_budget) {
-                        Some(sol) => sol.choices,
-                        None => problem.current.clone(),
+            let mut warm = None;
+            if use_cache {
+                if let Some(entry) = cache.get(&part.segments) {
+                    if entry.problem == problem {
+                        stats.partitions_reused += 1;
+                        results[pi] = entry.result.clone();
+                        continue;
                     }
+                    warm = entry.warm.clone();
                 }
-                SolverKind::UniformRelaxation => {
-                    let x = vec![0.5; problem.num_variables()];
-                    post_map(&problem, &x)
-                }
-            };
-            // Accept only if the partition objective does not regress.
-            let new_cost = self.soft_cost(&problem, &choices);
-            let cur_cost = self.soft_cost(&problem, &problem.current);
-            let accepted =
-                if new_cost <= cur_cost { choices } else { problem.current.clone() };
-            let layers = problem.choices_to_layers(&accepted);
-            problem
-                .segments
-                .iter()
-                .copied()
-                .zip(layers)
-                .collect::<Vec<_>>()
-        };
+            }
+            misses.push((pi, problem, warm));
+        }
+        stats.extract_secs += extract_t.elapsed().as_secs_f64();
 
-        if threads <= 1 || partitions.len() <= 1 {
-            partitions.iter().flat_map(solve_one).collect()
+        // Phase 2: solve the misses, heaviest first under work stealing.
+        let solve_t = Instant::now();
+        let threads = self.config.threads.max(1).min(misses.len());
+        let outcomes: Vec<Option<SolveOutcome>> = if threads <= 1 {
+            misses
+                .iter()
+                .map(|(_, p, w)| Some(self.solve_one(p, w.as_ref())))
+                .collect()
         } else {
-            let results: Vec<Vec<(SegmentRef, usize)>> =
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for chunk_id in 0..threads {
-                        let solve_ref = &solve_one;
-                        handles.push(scope.spawn(move || {
-                            partitions
-                                .iter()
-                                .enumerate()
-                                .filter(|(i, _)| i % threads == chunk_id)
-                                .map(|(i, p)| (i, solve_ref(p)))
-                                .collect::<Vec<_>>()
-                        }));
+            let mut order: Vec<usize> = (0..misses.len()).collect();
+            order.sort_unstable_by(|&a, &b| {
+                misses[b]
+                    .1
+                    .segments
+                    .len()
+                    .cmp(&misses[a].1.segments.len())
+                    .then(a.cmp(&b))
+            });
+            let next = AtomicUsize::new(0);
+            let mut outcomes: Vec<Option<SolveOutcome>> = (0..misses.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for _ in 0..threads {
+                    let next = &next;
+                    let order = &order;
+                    let misses = &misses;
+                    handles.push(scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&mi) = order.get(k) else { break };
+                            let (_, p, w) = &misses[mi];
+                            local.push((mi, self.solve_one(p, w.as_ref())));
+                        }
+                        local
+                    }));
+                }
+                for h in handles {
+                    for (mi, out) in h.join().expect("partition worker panicked") {
+                        outcomes[mi] = Some(out);
                     }
-                    let mut indexed: Vec<(usize, Vec<(SegmentRef, usize)>)> =
-                        handles
-                            .into_iter()
-                            .flat_map(|h| {
-                                h.join().expect("partition worker panicked")
-                            })
-                            .collect();
-                    // Deterministic application order.
-                    indexed.sort_by_key(|(i, _)| *i);
-                    indexed.into_iter().map(|(_, v)| v).collect()
-                });
-            results.into_iter().flatten().collect()
+                }
+            });
+            outcomes
+        };
+        stats.solve_secs += solve_t.elapsed().as_secs_f64();
+
+        // Phase 3: merge in partition order and refresh the cache.
+        for ((pi, problem, _), out) in misses.into_iter().zip(outcomes) {
+            let out = out.expect("every miss is solved");
+            stats.partitions_solved += 1;
+            stats.evaluations += out.evaluations;
+            if use_cache {
+                cache.insert(
+                    problem.segments.clone(),
+                    CacheEntry {
+                        result: out.result.clone(),
+                        warm: out.warm,
+                        problem,
+                    },
+                );
+            }
+            results[pi] = out.result;
+        }
+        results.into_iter().flatten().collect()
+    }
+
+    /// Solves one extracted partition problem, returning the accepted
+    /// per-segment layers (the current assignment when the proposal
+    /// regresses the partition objective or the solver fails).
+    fn solve_one(
+        &self,
+        problem: &PartitionProblem,
+        warm: Option<&(SymMatrix, SymMatrix)>,
+    ) -> SolveOutcome {
+        let mut evaluations = 0u64;
+        let mut warm_out = None;
+        let proposed: Option<Vec<usize>> = match self.config.solver {
+            SolverKind::Sdp(mut sdp_config) => {
+                if self.config.mode == PipelineMode::Legacy {
+                    sdp_config.rank_stop_window = 0;
+                } else {
+                    // Rank only the assignment-variable prefix: the
+                    // slack rows behind it never influence post-mapping.
+                    sdp_config.rank_stop_vars = problem.num_variables();
+                }
+                let (sdp, _) = problem.to_sdp();
+                let sol = sdp_config.solve_from(&sdp, warm.map(|w| (&w.0, &w.1)));
+                let mapped = post_map(problem, &sol.x.diagonal());
+                warm_out = Some((sol.z, sol.u));
+                Some(mapped)
+            }
+            SolverKind::Ilp { node_budget } => problem
+                .choice_problem()
+                .solve(node_budget)
+                .map(|s| s.choices),
+            SolverKind::UniformRelaxation => {
+                let x = vec![0.5; problem.num_variables()];
+                Some(post_map(problem, &x))
+            }
+        };
+        // Accept only if the partition objective does not regress.
+        let accepted: &[usize] = match &proposed {
+            Some(choices) => {
+                evaluations += 2;
+                if self.soft_cost(problem, choices) <= self.soft_cost(problem, &problem.current) {
+                    choices
+                } else {
+                    &problem.current
+                }
+            }
+            None => &problem.current,
+        };
+        let layers = problem.choices_to_layers(accepted);
+        SolveOutcome {
+            result: problem.segments.iter().copied().zip(layers).collect(),
+            warm: warm_out,
+            evaluations,
         }
     }
 
     /// Partition objective with soft overflow: linear + pair costs plus
     /// α·(mean linear cost)·overflow units.
-    fn soft_cost(
-        &self,
-        problem: &PartitionProblem,
-        choices: &[usize],
-    ) -> f64 {
+    fn soft_cost(&self, problem: &PartitionProblem, choices: &[usize]) -> f64 {
         let mut cost = 0.0;
         for (i, &c) in choices.iter().enumerate() {
             cost += problem.linear_cost[i][c];
@@ -463,19 +677,17 @@ impl Cpla {
             cost += pair.costs[choices[pair.a]][choices[pair.b]];
         }
         let mean_linear = {
-            let total: f64 =
-                problem.linear_cost.iter().flat_map(|c| c.iter()).sum();
-            let count: usize =
-                problem.linear_cost.iter().map(|c| c.len()).sum();
-            if count == 0 { 0.0 } else { total / count as f64 }
+            let total: f64 = problem.linear_cost.iter().flat_map(|c| c.iter()).sum();
+            let count: usize = problem.linear_cost.iter().map(|c| c.len()).sum();
+            if count == 0 {
+                0.0
+            } else {
+                total / count as f64
+            }
         };
         let mut overflow = 0u32;
         for ec in &problem.edge_constraints {
-            let used = ec
-                .members
-                .iter()
-                .filter(|&&(i, c)| choices[i] == c)
-                .count() as u32;
+            let used = ec.members.iter().filter(|&&(i, c)| choices[i] == c).count() as u32;
             overflow += used.saturating_sub(ec.limit);
         }
         cost + self.config.alpha * mean_linear * overflow as f64
@@ -522,13 +734,13 @@ mod tests {
         let config = CplaConfig {
             critical_ratio: 0.05,
             max_rounds: 2,
-            solver: SolverKind::Ilp { node_budget: 200_000 },
+            solver: SolverKind::Ilp {
+                node_budget: 200_000,
+            },
             ..CplaConfig::default()
         };
         let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
-        assert!(
-            report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp
-        );
+        assert!(report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp);
         a.validate(&nl, &grid).unwrap();
     }
 
@@ -561,22 +773,79 @@ mod tests {
             threads: 1,
             ..CplaConfig::default()
         };
-        let parallel = CplaConfig { threads: 4, ..serial };
+        let parallel = CplaConfig {
+            threads: 4,
+            ..serial
+        };
         Cpla::new(serial).run(&mut g1, &nl1, &mut a1);
         Cpla::new(parallel).run(&mut g2, &nl2, &mut a2);
         assert_eq!(a1, a2, "thread count must not change the result");
     }
 
     #[test]
+    fn incremental_pipeline_caches_and_instruments() {
+        let (mut grid, nl, mut a) = fixture(3);
+        let config = CplaConfig {
+            critical_ratio: 0.05,
+            max_rounds: 10,
+            ..CplaConfig::default()
+        };
+        let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
+        let s = &report.stats;
+        assert_eq!(s.rounds, report.rounds.len());
+        assert!(s.partitions_solved > 0);
+        assert!(
+            s.partitions_reused > 0,
+            "alternating offsets must make partitions recur: {s:?}"
+        );
+        assert!(s.cache_hit_rate() > 0.0 && s.cache_hit_rate() < 1.0);
+        assert!(s.evaluations > 0);
+        assert!(s.solve_secs > 0.0 && s.extract_secs > 0.0);
+    }
+
+    #[test]
+    fn legacy_mode_reports_no_cache_or_gate_activity() {
+        let (mut grid, nl, mut a) = fixture(3);
+        let config = CplaConfig {
+            critical_ratio: 0.05,
+            max_rounds: 3,
+            mode: PipelineMode::Legacy,
+            ..CplaConfig::default()
+        };
+        let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
+        assert_eq!(report.stats.partitions_reused, 0);
+        assert_eq!(report.stats.gate_accepted, 0);
+        assert_eq!(report.stats.gate_rejected, 0);
+        assert!(report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp);
+        a.validate(&nl, &grid).unwrap();
+    }
+
+    #[test]
+    fn both_modes_leave_a_valid_assignment() {
+        // The pipelines may accept different (both non-regressing)
+        // states; each must end consistent with the grid.
+        for mode in [PipelineMode::Legacy, PipelineMode::Incremental] {
+            let (mut grid, nl, mut a) = fixture(9);
+            let config = CplaConfig {
+                critical_ratio: 0.05,
+                max_rounds: 2,
+                mode,
+                ..CplaConfig::default()
+            };
+            let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
+            assert!(
+                report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp,
+                "{mode:?}"
+            );
+            a.validate(&nl, &grid).unwrap();
+        }
+    }
+
+    #[test]
     fn empty_released_set_is_a_no_op() {
         let (mut grid, nl, mut a) = fixture(7);
         let before = a.clone();
-        let report = Cpla::new(CplaConfig::default()).run_released(
-            &mut grid,
-            &nl,
-            &mut a,
-            &[],
-        );
+        let report = Cpla::new(CplaConfig::default()).run_released(&mut grid, &nl, &mut a, &[]);
         assert_eq!(a, before);
         assert!(report.rounds.is_empty());
     }
@@ -618,9 +887,7 @@ mod tests {
         a.set_net_layers(0, vec![0]);
         net::restore_net_to_grid(&mut grid, nl.net(0), a.net_layers(0));
 
-        let run = |neighbors: bool,
-                   grid: &mut Grid,
-                   a: &mut Assignment| {
+        let run = |neighbors: bool, grid: &mut Grid, a: &mut Assignment| {
             Cpla::new(CplaConfig {
                 release_neighbors: neighbors,
                 ..CplaConfig::default()
@@ -661,8 +928,10 @@ mod tests {
         )];
         let nl = route_netlist(&grid, &specs, &RouterConfig::default());
         let mut a = initial_assignment(&mut grid, &nl);
-        let config =
-            CplaConfig { critical_ratio: 1.0, ..CplaConfig::default() };
+        let config = CplaConfig {
+            critical_ratio: 1.0,
+            ..CplaConfig::default()
+        };
         let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
         assert!(a.net_layers(0)[0] >= 2, "stayed on {:?}", a.net_layers(0));
         assert!(report.final_metrics.avg_tcp < report.initial_metrics.avg_tcp);

@@ -51,6 +51,8 @@ pub mod problem;
 mod select;
 
 pub use context::{timing_context, SegCtx};
-pub use engine::{Cpla, CplaConfig, CplaReport, RoundStats, SolverKind};
+pub use engine::{
+    Cpla, CplaConfig, CplaReport, PipelineMode, PipelineStats, RoundStats, SolverKind,
+};
 pub use metrics::Metrics;
 pub use select::select_critical_nets;

@@ -15,8 +15,48 @@
 use std::collections::{HashMap, HashSet};
 
 use grid::Edge2d;
+use net::Net;
+use timing::{IncrementalTiming, TimingModel};
 
 use crate::problem::PartitionProblem;
+
+/// Per-net timing gate applied after Algorithm-1 post-mapping.
+///
+/// Partition objectives approximate each segment's delay with frozen
+/// downstream capacitances, so a mapped solution that improves the
+/// partition objective can still regress the *exact* Elmore delay of a
+/// net. The gate re-times each touched net incrementally — O(changes ×
+/// path-to-root) instead of a full O(net) recompute — and accepts the
+/// proposed `changes` only if the net's critical delay does not get
+/// worse.
+///
+/// Returns the full new layer vector on acceptance, `None` on rejection
+/// (the caller keeps `layers` as-is). Only *critical* (released) nets
+/// should be gated: neighbor nets are deliberately demoted to free
+/// capacity, which raises their own delay by design.
+///
+/// # Panics
+///
+/// Panics if `layers` does not cover the net's segments or a change
+/// indexes out of range.
+pub fn timing_gate(
+    model: &TimingModel,
+    net: &Net,
+    layers: &[usize],
+    changes: &[(usize, usize)],
+) -> Option<Vec<usize>> {
+    let mut inc = IncrementalTiming::new(model, net, layers);
+    let before = inc.critical_delay();
+    for &(s, l) in changes {
+        inc.set_layer(s, l);
+    }
+    if inc.critical_delay() <= before + 1e-12 {
+        inc.commit();
+        Some(inc.layers().to_vec())
+    } else {
+        None
+    }
+}
 
 /// Maps relaxed diagonal values to an integral candidate choice per
 /// segment.
@@ -31,7 +71,10 @@ use crate::problem::PartitionProblem;
 /// the variables are permitted and ignored).
 pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
     let n = problem.segments.len();
-    assert!(x.len() >= problem.num_variables(), "solution vector too short");
+    assert!(
+        x.len() >= problem.num_variables(),
+        "solution vector too short"
+    );
     let mut offsets = Vec::with_capacity(n);
     {
         let mut acc = 0;
@@ -61,17 +104,12 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
     let mut edges: Vec<Edge2d> = segs_of.keys().copied().collect();
     edges.sort();
 
-    let fits = |i: usize,
-                layer: usize,
-                remaining: &HashMap<(usize, Edge2d), i64>|
-     -> bool {
-        edges_of[i].iter().all(|e| {
-            remaining.get(&(layer, *e)).map(|r| *r > 0).unwrap_or(true)
-        })
+    let fits = |i: usize, layer: usize, remaining: &HashMap<(usize, Edge2d), i64>| -> bool {
+        edges_of[i]
+            .iter()
+            .all(|e| remaining.get(&(layer, *e)).map(|r| *r > 0).unwrap_or(true))
     };
-    let consume = |i: usize,
-                   layer: usize,
-                   remaining: &mut HashMap<(usize, Edge2d), i64>| {
+    let consume = |i: usize, layer: usize, remaining: &mut HashMap<(usize, Edge2d), i64>| {
         for e in &edges_of[i] {
             if let Some(r) = remaining.get_mut(&(layer, *e)) {
                 *r -= 1;
@@ -83,7 +121,9 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
         // Layers available on this edge, highest first: take them from
         // any member segment's candidate list (all segments on an edge
         // share a direction and hence a candidate set).
-        let Some(seg_set) = segs_of.get(&edge) else { continue };
+        let Some(seg_set) = segs_of.get(&edge) else {
+            continue;
+        };
         let probe = *seg_set.iter().next().expect("non-empty");
         let mut layers: Vec<usize> = problem.candidates[probe].clone();
         layers.sort_unstable_by(|a, b| b.cmp(a));
@@ -100,14 +140,9 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
                         .map(|c| (value(i, c), i, c))
                 })
                 .collect();
-            cands.sort_by(|a, b| {
-                b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1))
-            });
+            cands.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
             for (_, i, c) in cands {
-                let slots = remaining
-                    .get(&(layer, edge))
-                    .copied()
-                    .unwrap_or(i64::MAX);
+                let slots = remaining.get(&(layer, edge)).copied().unwrap_or(i64::MAX);
                 if slots <= 0 {
                     break;
                 }
@@ -133,9 +168,7 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
         ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
         let picked = ranked
             .iter()
-            .find(|&&(_, c)| {
-                fits(i, problem.candidates[i][c], &remaining)
-            })
+            .find(|&&(_, c)| fits(i, problem.candidates[i][c], &remaining))
             .or_else(|| ranked.first())
             .map(|&(_, c)| c)
             .expect("segments always have candidates");
@@ -143,7 +176,10 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
         consume(i, problem.candidates[i][picked], &mut remaining);
     }
 
-    choice.into_iter().map(|c| c.expect("all assigned")).collect()
+    choice
+        .into_iter()
+        .map(|c| c.expect("all assigned"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -154,20 +190,12 @@ mod tests {
 
     /// Hand-built problem: `n` segments all covering one horizontal
     /// edge, two candidate layers (0 = low, 2 = high), per-layer limits.
-    fn shared_edge_problem(
-        n: usize,
-        limit_high: u32,
-        limit_low: u32,
-    ) -> PartitionProblem {
+    fn shared_edge_problem(n: usize, limit_high: u32, limit_low: u32) -> PartitionProblem {
         let edge = Edge2d::horizontal(0, 0);
-        let members: Vec<(usize, usize)> =
-            (0..n).map(|i| (i, 1)).collect();
-        let members_low: Vec<(usize, usize)> =
-            (0..n).map(|i| (i, 0)).collect();
+        let members: Vec<(usize, usize)> = (0..n).map(|i| (i, 1)).collect();
+        let members_low: Vec<(usize, usize)> = (0..n).map(|i| (i, 0)).collect();
         PartitionProblem {
-            segments: (0..n)
-                .map(|i| SegmentRef::new(i as u32, 0))
-                .collect(),
+            segments: (0..n).map(|i| SegmentRef::new(i as u32, 0)).collect(),
             candidates: vec![vec![0, 2]; n],
             linear_cost: vec![vec![2.0, 1.0]; n],
             pairs: Vec::<SegmentPair>::new(),
@@ -178,9 +206,61 @@ mod tests {
                     edge,
                     layer: 0,
                 },
-                EdgeConstraint { members, limit: limit_high, edge, layer: 2 },
+                EdgeConstraint {
+                    members,
+                    limit: limit_high,
+                    edge,
+                    layer: 2,
+                },
             ],
             current: vec![0; n],
+            choice: Default::default(),
+        }
+    }
+
+    mod gate {
+        use super::*;
+        use grid::{Cell, Direction, GridBuilder};
+        use net::{Pin, RouteTreeBuilder};
+
+        fn one_segment_net() -> (grid::Grid, Net) {
+            let grid = GridBuilder::new(16, 4)
+                .alternating_layers(6, Direction::Horizontal)
+                .build()
+                .unwrap();
+            let mut b = RouteTreeBuilder::new(Cell::new(0, 1));
+            let end = b.add_segment(b.root(), Cell::new(12, 1)).unwrap();
+            b.attach_pin(b.root(), 0).unwrap();
+            b.attach_pin(end, 1).unwrap();
+            let mut net = Net::new(
+                "n",
+                vec![
+                    Pin::source(Cell::new(0, 1), 0.0),
+                    Pin::sink(Cell::new(12, 1), 2.0),
+                ],
+                b.build().unwrap(),
+            );
+            net.driver_resistance = 1.0;
+            (grid, net)
+        }
+
+        #[test]
+        fn accepts_promotions_and_rejects_demotions() {
+            let (grid, net) = one_segment_net();
+            let model = TimingModel::from_grid(&grid);
+            // Promotion to the faster top layer must pass.
+            let promoted = timing_gate(&model, &net, &[0], &[(0, 4)]);
+            assert_eq!(promoted, Some(vec![4]));
+            // Demotion back down must be rejected.
+            assert_eq!(timing_gate(&model, &net, &[4], &[(0, 0)]), None);
+        }
+
+        #[test]
+        fn no_op_change_passes() {
+            let (grid, net) = one_segment_net();
+            let model = TimingModel::from_grid(&grid);
+            assert_eq!(timing_gate(&model, &net, &[2], &[]), Some(vec![2]));
+            assert_eq!(timing_gate(&model, &net, &[2], &[(0, 2)]), Some(vec![2]));
         }
     }
 
@@ -255,64 +335,81 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            /// Whenever total capacity covers all segments, post-mapping
-            /// never overflows a limit; and every segment is assigned.
-            #[test]
-            fn respects_limits_when_feasible(
-                n in 1usize..12,
-                extra_high in 0u32..4,
-                seed in 0u64..1000,
-            ) {
-                let limit_high = (n as u32).div_ceil(2) + extra_high;
-                let limit_low = n as u32; // low layer always fits the rest
-                let p = shared_edge_problem(n, limit_high, limit_low);
-                let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-                let x: Vec<f64> = (0..2 * n)
-                    .map(|_| {
-                        state ^= state << 13;
-                        state ^= state >> 7;
-                        state ^= state << 17;
-                        (state % 1000) as f64 / 1000.0
-                    })
-                    .collect();
-                let choices = post_map(&p, &x);
-                prop_assert_eq!(choices.len(), n);
-                prop_assert!(
-                    p.evaluate(&choices).is_some(),
-                    "feasible instance must map feasibly: {:?}",
-                    choices
-                );
+        /// Cases per sweep; the off-by-default `proptest` feature
+        /// widens the deterministic sampling.
+        fn sweep_cases() -> usize {
+            if cfg!(feature = "proptest") {
+                1024
+            } else {
+                256
             }
+        }
 
-            /// The winner on a contended layer always has the highest
-            /// relaxed value among candidates.
-            #[test]
-            fn contended_slot_goes_to_max_value(seed in 0u64..1000) {
-                let p = shared_edge_problem(4, 1, 4);
-                let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
-                let x: Vec<f64> = (0..8)
-                    .map(|_| {
-                        state ^= state << 13;
-                        state ^= state >> 7;
-                        state ^= state << 17;
-                        (state % 997) as f64 / 997.0
-                    })
-                    .collect();
-                let choices = post_map(&p, &x);
-                let winners: Vec<usize> = (0..4)
-                    .filter(|&i| choices[i] == 1)
-                    .collect();
-                prop_assert!(winners.len() <= 1);
-                if let Some(&w) = winners.first() {
-                    for i in 0..4 {
-                        prop_assert!(
-                            x[2 * w + 1] >= x[2 * i + 1] - 1e-12,
-                            "winner {w} not maximal"
-                        );
-                    }
+        /// Whenever total capacity covers all segments, post-mapping
+        /// never overflows a limit; and every segment is assigned.
+        #[test]
+        fn respects_limits_when_feasible() {
+            let mut picker = prng::Rng::seed_from_u64(0xfea5);
+            for _ in 0..sweep_cases() {
+                let n = picker.range_usize(1, 11);
+                let extra_high = picker.range_u32(0, 3);
+                let seed = picker.range_u64(0, 999);
+                check_respects_limits(n, extra_high, seed);
+            }
+        }
+
+        fn check_respects_limits(n: usize, extra_high: u32, seed: u64) {
+            let limit_high = (n as u32).div_ceil(2) + extra_high;
+            let limit_low = n as u32; // low layer always fits the rest
+            let p = shared_edge_problem(n, limit_high, limit_low);
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let x: Vec<f64> = (0..2 * n)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state % 1000) as f64 / 1000.0
+                })
+                .collect();
+            let choices = post_map(&p, &x);
+            assert_eq!(choices.len(), n);
+            assert!(
+                p.evaluate(&choices).is_some(),
+                "feasible instance must map feasibly: {choices:?}"
+            );
+        }
+
+        /// The winner on a contended layer always has the highest
+        /// relaxed value among candidates.
+        #[test]
+        fn contended_slot_goes_to_max_value() {
+            let mut picker = prng::Rng::seed_from_u64(0xc0de);
+            for _ in 0..sweep_cases() {
+                check_contended_slot(picker.range_u64(0, 999));
+            }
+        }
+
+        fn check_contended_slot(seed: u64) {
+            let p = shared_edge_problem(4, 1, 4);
+            let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+            let x: Vec<f64> = (0..8)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state % 997) as f64 / 997.0
+                })
+                .collect();
+            let choices = post_map(&p, &x);
+            let winners: Vec<usize> = (0..4).filter(|&i| choices[i] == 1).collect();
+            assert!(winners.len() <= 1);
+            if let Some(&w) = winners.first() {
+                for i in 0..4 {
+                    assert!(
+                        x[2 * w + 1] >= x[2 * i + 1] - 1e-12,
+                        "winner {w} not maximal"
+                    );
                 }
             }
         }

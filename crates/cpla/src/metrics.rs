@@ -32,12 +32,7 @@ impl Metrics {
         assignment: &Assignment,
         released: &[usize],
     ) -> Metrics {
-        let report = timing::analyze_nets(
-            grid,
-            netlist,
-            assignment,
-            released.iter().copied(),
-        );
+        let report = timing::analyze_nets(grid, netlist, assignment, released.iter().copied());
         Metrics {
             avg_tcp: report.avg_critical_delay(),
             max_tcp: report.max_critical_delay(),

@@ -95,15 +95,7 @@ pub fn partition_segments(
     k: usize,
     max_segments: usize,
 ) -> (Vec<Partition>, PartitionStats) {
-    partition_segments_shifted(
-        netlist,
-        segments,
-        width,
-        height,
-        k,
-        max_segments,
-        (0, 0),
-    )
+    partition_segments_shifted(netlist, segments, width, height, k, max_segments, (0, 0))
 }
 
 /// [`partition_segments`] with the uniform division origin shifted by
@@ -203,10 +195,30 @@ pub fn partition_segments_shifted(
             region.y1
         };
         let quads = [
-            Region { x0: region.x0, y0: region.y0, x1: mx, y1: my },
-            Region { x0: mx, y0: region.y0, x1: region.x1, y1: my },
-            Region { x0: region.x0, y0: my, x1: mx, y1: region.y1 },
-            Region { x0: mx, y0: my, x1: region.x1, y1: region.y1 },
+            Region {
+                x0: region.x0,
+                y0: region.y0,
+                x1: mx,
+                y1: my,
+            },
+            Region {
+                x0: mx,
+                y0: region.y0,
+                x1: region.x1,
+                y1: my,
+            },
+            Region {
+                x0: region.x0,
+                y0: my,
+                x1: mx,
+                y1: region.y1,
+            },
+            Region {
+                x0: mx,
+                y0: my,
+                x1: region.x1,
+                y1: region.y1,
+            },
         ];
         for q in quads {
             if q.x0 >= q.x1 || q.y0 >= q.y1 {
@@ -266,14 +278,12 @@ mod tests {
     fn all_segments_end_up_in_exactly_one_leaf() {
         let nl = netlist_at(&[(5, 5), (5, 6), (40, 40), (60, 3), (33, 33)]);
         let segs = refs(&nl);
-        let (leaves, stats) =
-            partition_segments(&nl, &segs, 64, 64, 3, 2);
+        let (leaves, stats) = partition_segments(&nl, &segs, 64, 64, 3, 2);
         let total: usize = leaves.iter().map(|l| l.segments.len()).sum();
         assert_eq!(total, segs.len());
         assert_eq!(stats.total_segments, segs.len());
         // No duplicates.
-        let mut all: Vec<SegmentRef> =
-            leaves.iter().flat_map(|l| l.segments.clone()).collect();
+        let mut all: Vec<SegmentRef> = leaves.iter().flat_map(|l| l.segments.clone()).collect();
         all.sort();
         all.dedup();
         assert_eq!(all.len(), segs.len());
@@ -283,14 +293,14 @@ mod tests {
     fn dense_cluster_forces_subdivision() {
         // 9 segments all near (10,10): with max 2 per leaf, the K×K block
         // containing them must split.
-        let cells: Vec<(u16, u16)> =
-            (0..9).map(|i| (8 + (i % 3) * 2, 8 + (i / 3) * 2)).collect();
+        let cells: Vec<(u16, u16)> = (0..9).map(|i| (8 + (i % 3) * 2, 8 + (i / 3) * 2)).collect();
         let nl = netlist_at(&cells);
         let segs = refs(&nl);
         let (leaves, stats) = partition_segments(&nl, &segs, 64, 64, 2, 2);
         assert!(stats.max_depth >= 1, "{stats:?}");
-        assert!(leaves.iter().all(|l| l.segments.len() <= 2
-            || (l.region.width() == 1 && l.region.height() == 1)));
+        assert!(leaves
+            .iter()
+            .all(|l| l.segments.len() <= 2 || (l.region.width() == 1 && l.region.height() == 1)));
     }
 
     #[test]
@@ -309,8 +319,7 @@ mod tests {
         let nl = netlist_at(&[(9, 9); 5]);
         let segs = refs(&nl);
         let (leaves, _) = partition_segments(&nl, &segs, 64, 64, 4, 1);
-        let crowded: Vec<_> =
-            leaves.iter().filter(|l| l.segments.len() > 1).collect();
+        let crowded: Vec<_> = leaves.iter().filter(|l| l.segments.len() > 1).collect();
         assert_eq!(crowded.len(), 1);
         assert_eq!(crowded[0].region.width(), 1);
         assert_eq!(crowded[0].region.height(), 1);
@@ -337,21 +346,16 @@ mod tests {
         let nl = netlist_at(&[(5, 5), (40, 40), (60, 3), (20, 50), (63, 63)]);
         let segs = refs(&nl);
         for offset in [(0u16, 0u16), (3, 3), (8, 1), (15, 15)] {
-            let (leaves, _) = partition_segments_shifted(
-                &nl, &segs, 64, 64, 4, 2, offset,
-            );
-            let mut all: Vec<SegmentRef> =
-                leaves.iter().flat_map(|l| l.segments.clone()).collect();
+            let (leaves, _) = partition_segments_shifted(&nl, &segs, 64, 64, 4, 2, offset);
+            let mut all: Vec<SegmentRef> = leaves.iter().flat_map(|l| l.segments.clone()).collect();
             all.sort();
             all.dedup();
             assert_eq!(all.len(), segs.len(), "offset {offset:?}");
             // Regions must not overlap.
             for (i, a) in leaves.iter().enumerate() {
                 for b in &leaves[i + 1..] {
-                    let overlap_x =
-                        a.region.x0 < b.region.x1 && b.region.x0 < a.region.x1;
-                    let overlap_y =
-                        a.region.y0 < b.region.y1 && b.region.y0 < a.region.y1;
+                    let overlap_x = a.region.x0 < b.region.x1 && b.region.x0 < a.region.x1;
+                    let overlap_y = a.region.y0 < b.region.y1 && b.region.y0 < a.region.y1;
                     assert!(
                         !(overlap_x && overlap_y),
                         "regions overlap at offset {offset:?}"
@@ -367,13 +371,9 @@ mod tests {
         // end up in one leaf once the origin shifts by half a block.
         let nl = netlist_at(&[(15, 8), (17, 8)]);
         let segs = refs(&nl);
-        let (plain, _) =
-            partition_segments_shifted(&nl, &segs, 64, 64, 4, 10, (0, 0));
-        let (shifted, _) =
-            partition_segments_shifted(&nl, &segs, 64, 64, 4, 10, (8, 8));
-        let together = |leaves: &[Partition]| {
-            leaves.iter().any(|l| l.segments.len() == 2)
-        };
+        let (plain, _) = partition_segments_shifted(&nl, &segs, 64, 64, 4, 10, (0, 0));
+        let (shifted, _) = partition_segments_shifted(&nl, &segs, 64, 64, 4, 10, (8, 8));
+        let together = |leaves: &[Partition]| leaves.iter().any(|l| l.segments.len() == 2);
         assert!(!together(&plain), "x=16 cut separates the pair");
         assert!(together(&shifted), "shifted cut reunites the pair");
     }

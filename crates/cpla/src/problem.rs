@@ -66,12 +66,14 @@ pub struct ProblemConfig {
 
 impl Default for ProblemConfig {
     fn default() -> ProblemConfig {
-        ProblemConfig { via_penalty_weight: 0.25 }
+        ProblemConfig {
+            via_penalty_weight: 0.25,
+        }
     }
 }
 
 /// A partition's extracted assignment problem.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Debug, Default)]
 pub struct PartitionProblem {
     /// The segments being re-assigned.
     pub segments: Vec<SegmentRef>,
@@ -87,6 +89,39 @@ pub struct PartitionProblem {
     pub edge_constraints: Vec<EdgeConstraint>,
     /// Candidate index of each segment's current layer.
     pub current: Vec<usize>,
+    /// Lazily built ILP lowering, shared by every
+    /// [`PartitionProblem::choice_problem`] caller (the pre-memoization
+    /// code rebuilt the full dense problem on *every* `evaluate` call).
+    pub(crate) choice: std::sync::OnceLock<ChoiceProblem>,
+}
+
+// Clone and PartialEq deliberately exclude the memo cell: a freshly
+// extracted problem and a cached one with a populated memo must compare
+// equal (the engine's partition cache keys on problem equality), and a
+// clone can rebuild the lowering on demand.
+impl Clone for PartitionProblem {
+    fn clone(&self) -> PartitionProblem {
+        PartitionProblem {
+            segments: self.segments.clone(),
+            candidates: self.candidates.clone(),
+            linear_cost: self.linear_cost.clone(),
+            pairs: self.pairs.clone(),
+            edge_constraints: self.edge_constraints.clone(),
+            current: self.current.clone(),
+            choice: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for PartitionProblem {
+    fn eq(&self, other: &PartitionProblem) -> bool {
+        self.segments == other.segments
+            && self.candidates == other.candidates
+            && self.linear_cost == other.linear_cost
+            && self.pairs == other.pairs
+            && self.edge_constraints == other.edge_constraints
+            && self.current == other.current
+    }
 }
 
 impl PartitionProblem {
@@ -109,15 +144,10 @@ impl PartitionProblem {
         ctx: &dyn Fn(SegmentRef) -> SegCtx,
         config: &ProblemConfig,
     ) -> PartitionProblem {
-        let index: HashMap<SegmentRef, usize> = segments
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (s, i))
-            .collect();
-        let h_layers: Vec<usize> =
-            grid.layers_in_direction(Direction::Horizontal).collect();
-        let v_layers: Vec<usize> =
-            grid.layers_in_direction(Direction::Vertical).collect();
+        let index: HashMap<SegmentRef, usize> =
+            segments.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let h_layers: Vec<usize> = grid.layers_in_direction(Direction::Horizontal).collect();
+        let v_layers: Vec<usize> = grid.layers_in_direction(Direction::Vertical).collect();
 
         let mut candidates = Vec::with_capacity(segments.len());
         let mut linear_cost = Vec::with_capacity(segments.len());
@@ -156,14 +186,7 @@ impl PartitionProblem {
             let costs: Vec<f64> = cands
                 .iter()
                 .map(|&l| {
-                    c.weight
-                        * timing::segment_delay_on_layer(
-                            grid,
-                            net,
-                            sref.seg as usize,
-                            l,
-                            c.cd,
-                        )
+                    c.weight * timing::segment_delay_on_layer(grid, net, sref.seg as usize, l, c.cd)
                         + c.upstream * grid.layer(l).unit_capacitance * len
                 })
                 .collect();
@@ -179,10 +202,13 @@ impl PartitionProblem {
 
         // Delay scale for the via-capacity penalty.
         let mean_linear = {
-            let total: f64 =
-                linear_cost.iter().flat_map(|c| c.iter()).sum();
+            let total: f64 = linear_cost.iter().flat_map(|c| c.iter()).sum();
             let count: usize = linear_cost.iter().map(|c| c.len()).sum();
-            if count == 0 { 0.0 } else { total / count as f64 }
+            if count == 0 {
+                0.0
+            } else {
+                total / count as f64
+            }
         };
         let penalty_scale = config.via_penalty_weight * mean_linear;
 
@@ -219,10 +245,7 @@ impl PartitionProblem {
                                         .iter()
                                         .map(|&lc| {
                                             via_delay(lp, lc, drive)
-                                                + penalty_scale
-                                                    * penalty_ratio(
-                                                        from_cell, lp, lc,
-                                                    )
+                                                + penalty_scale * penalty_ratio(from_cell, lp, lc)
                                         })
                                         .collect()
                                 })
@@ -232,11 +255,9 @@ impl PartitionProblem {
                         None => {
                             // Fixed neighbor: fold into linear cost.
                             let lp = assignment.layer_of(pref);
-                            for (c, &lc) in candidates[i].iter().enumerate()
-                            {
+                            for (c, &lc) in candidates[i].iter().enumerate() {
                                 linear_cost[i][c] += via_delay(lp, lc, drive)
-                                    + penalty_scale
-                                        * penalty_ratio(from_cell, lp, lc);
+                                    + penalty_scale * penalty_ratio(from_cell, lp, lc);
                             }
                         }
                     }
@@ -245,12 +266,8 @@ impl PartitionProblem {
                     // Root segment: entry via from the source pin layer.
                     let src = net.source();
                     for (c, &lc) in candidates[i].iter().enumerate() {
-                        linear_cost[i][c] += via_delay(
-                            src.layer,
-                            lc,
-                            ci.weight * ci.cd,
-                        ) + penalty_scale
-                            * penalty_ratio(from_cell, src.layer, lc);
+                        linear_cost[i][c] += via_delay(src.layer, lc, ci.weight * ci.cd)
+                            + penalty_scale * penalty_ratio(from_cell, src.layer, lc);
                     }
                 }
             }
@@ -266,8 +283,8 @@ impl PartitionProblem {
                 let cc = ctx(cref);
                 let drive = cc.weight * ci.cd.min(cc.cd);
                 for (c, &l) in candidates[i].iter().enumerate() {
-                    linear_cost[i][c] += via_delay(l, lc, drive)
-                        + penalty_scale * penalty_ratio(to_cell, l, lc);
+                    linear_cost[i][c] +=
+                        via_delay(l, lc, drive) + penalty_scale * penalty_ratio(to_cell, l, lc);
                 }
             }
 
@@ -276,20 +293,15 @@ impl PartitionProblem {
             if let Some(p) = tree.node(to_node).pin {
                 let pin = &net.pins()[p as usize];
                 for (c, &l) in candidates[i].iter().enumerate() {
-                    linear_cost[i][c] += via_delay(
-                        pin.layer,
-                        l,
-                        ci.pin_weight * pin.capacitance,
-                    ) + penalty_scale
-                        * penalty_ratio(to_cell, pin.layer, l);
+                    linear_cost[i][c] += via_delay(pin.layer, l, ci.pin_weight * pin.capacitance)
+                        + penalty_scale * penalty_ratio(to_cell, pin.layer, l);
                 }
             }
         }
 
         // ---- pass 3: edge-capacity constraints ----
         // Group (layer, edge) -> members.
-        let mut groups: HashMap<(usize, Edge2d), Vec<(usize, usize)>> =
-            HashMap::new();
+        let mut groups: HashMap<(usize, Edge2d), Vec<(usize, usize)>> = HashMap::new();
         for (i, &sref) in segments.iter().enumerate() {
             let tree = netlist.net(sref.net as usize).tree();
             for e in tree.segment_edges(sref.seg as usize) {
@@ -304,20 +316,19 @@ impl PartitionProblem {
                 // Wires on this (layer, edge) that belong to partition
                 // segments currently assigned here — they will be
                 // re-decided, so they don't count against the residual.
-                let ours = members
-                    .iter()
-                    .filter(|&&(i, c)| {
-                        current[i] == c
-                    })
-                    .count() as u32;
+                let ours = members.iter().filter(|&&(i, c)| current[i] == c).count() as u32;
                 let usage = grid.edge_usage(layer, edge);
                 let cap = grid.edge_capacity(layer, edge);
-                let residual =
-                    (cap + ours).saturating_sub(usage);
+                let residual = (cap + ours).saturating_sub(usage);
                 // Keep the no-op solution feasible even under inherited
                 // overflow.
                 let limit = residual.max(ours);
-                EdgeConstraint { members, limit, edge, layer }
+                EdgeConstraint {
+                    members,
+                    limit,
+                    edge,
+                    layer,
+                }
             })
             .collect();
         edge_constraints.sort_by_key(|c| (c.layer, c.edge));
@@ -329,6 +340,7 @@ impl PartitionProblem {
             pairs,
             edge_constraints,
             current,
+            choice: std::sync::OnceLock::new(),
         }
     }
 
@@ -362,6 +374,12 @@ impl PartitionProblem {
         p
     }
 
+    /// The memoized ILP lowering: built on first use, reused by every
+    /// later call (and by [`PartitionProblem::evaluate`]-heavy loops).
+    pub fn choice_problem(&self) -> &ChoiceProblem {
+        self.choice.get_or_init(|| self.to_choice_problem())
+    }
+
     /// Lowers to the SDP relaxation (5)–(7): `x_ij` on the diagonal,
     /// via costs split across the symmetric off-diagonal entries,
     /// assignment rows, and edge-capacity rows closed with slack
@@ -393,11 +411,7 @@ impl PartitionProblem {
             for (ca, row) in pair.costs.iter().enumerate() {
                 for (cb, &cost) in row.iter().enumerate() {
                     // ⟨T, X⟩ visits both symmetric entries, so halve.
-                    t.add_to(
-                        offsets[pair.a] + ca,
-                        offsets[pair.b] + cb,
-                        cost / 2.0,
-                    );
+                    t.add_to(offsets[pair.a] + ca, offsets[pair.b] + cb, cost / 2.0);
                 }
             }
         }
@@ -414,9 +428,7 @@ impl PartitionProblem {
             let mut entries: Vec<(usize, usize, f64)> = ec
                 .members
                 .iter()
-                .map(|&(i, c)| {
-                    (offsets[i] + c, offsets[i] + c, 1.0)
-                })
+                .map(|&(i, c)| (offsets[i] + c, offsets[i] + c, 1.0))
                 .collect();
             entries.push((slack, slack, 1.0));
             sdp.add_constraint(entries, ec.limit as f64);
@@ -425,14 +437,31 @@ impl PartitionProblem {
     }
 
     /// Evaluates a candidate-index assignment: total cost, or `None` if
-    /// an edge constraint is violated. Mirrors the ILP objective.
+    /// an edge constraint is violated. Mirrors the ILP objective
+    /// ([`solver::ChoiceProblem::evaluate`]) without materializing the
+    /// dense lowering — the pre-memoization implementation rebuilt a
+    /// full [`ChoiceProblem`] on every call.
     ///
     /// # Panics
     ///
     /// Panics if `choices` has the wrong length or an index is out of
     /// range.
     pub fn evaluate(&self, choices: &[usize]) -> Option<f64> {
-        self.to_choice_problem().evaluate(choices)
+        assert_eq!(choices.len(), self.candidates.len());
+        let mut cost = 0.0;
+        for (i, &c) in choices.iter().enumerate() {
+            cost += self.linear_cost[i][c];
+        }
+        for pair in &self.pairs {
+            cost += pair.costs[choices[pair.a]][choices[pair.b]];
+        }
+        for ec in &self.edge_constraints {
+            let used = ec.members.iter().filter(|&&(i, c)| choices[i] == c).count();
+            if used > ec.limit as usize {
+                return None;
+            }
+        }
+        Some(cost)
     }
 
     /// Translates candidate indices back to layer numbers.
@@ -503,11 +532,7 @@ mod tests {
 
     /// Frozen context with uniform criticality (focus 0) so unit tests
     /// can reason about raw delays.
-    fn caps(
-        grid: &Grid,
-        nl: &Netlist,
-        a: &Assignment,
-    ) -> impl Fn(SegmentRef) -> SegCtx {
+    fn caps(grid: &Grid, nl: &Netlist, a: &Assignment) -> impl Fn(SegmentRef) -> SegCtx {
         let released: Vec<usize> = (0..nl.len()).collect();
         let map = crate::timing_context(grid, nl, a, &released, 0.0);
         move |r| map[&r]
@@ -518,14 +543,7 @@ mod tests {
         let (grid, nl, a) = fixture();
         let segs: Vec<SegmentRef> = nl.segment_refs().collect();
         let cd = caps(&grid, &nl, &a);
-        let p = PartitionProblem::extract(
-            &grid,
-            &nl,
-            &a,
-            &segs,
-            &cd,
-            &ProblemConfig::default(),
-        );
+        let p = PartitionProblem::extract(&grid, &nl, &a, &segs, &cd, &ProblemConfig::default());
         assert_eq!(p.segments.len(), 3);
         assert_eq!(p.candidates.len(), 3);
         // Horizontal segments get the 2 H layers, vertical the 2 V.
@@ -549,27 +567,14 @@ mod tests {
         let cd = caps(&grid, &nl, &a);
         // Only the vertical segment of the L-net is released.
         let segs = vec![SegmentRef::new(0, 1)];
-        let p = PartitionProblem::extract(
-            &grid,
-            &nl,
-            &a,
-            &segs,
-            &cd,
-            &ProblemConfig::default(),
-        );
+        let p = PartitionProblem::extract(&grid, &nl, &a, &segs, &cd, &ProblemConfig::default());
         assert!(p.pairs.is_empty());
         // Candidate on layer 3 must carry a larger via cost than layer 1
         // (parent fixed on layer 0): stack 0..3 vs 0..1.
         let base: Vec<f64> = p.candidates[0]
             .iter()
             .map(|&l| {
-                timing::segment_delay_on_layer(
-                    &grid,
-                    nl.net(0),
-                    1,
-                    l,
-                    cd(SegmentRef::new(0, 1)).cd,
-                )
+                timing::segment_delay_on_layer(&grid, nl.net(0), 1, l, cd(SegmentRef::new(0, 1)).cd)
             })
             .collect();
         let extra0 = p.linear_cost[0][0] - base[0];
@@ -584,32 +589,21 @@ mod tests {
         // Only release the straight net; the L-net's horizontal segment
         // occupies row 0 on layer 0 as background.
         let segs = vec![SegmentRef::new(1, 0)];
-        let p = PartitionProblem::extract(
-            &grid,
-            &nl,
-            &a,
-            &segs,
-            &cd,
-            &ProblemConfig::default(),
-        );
+        let p = PartitionProblem::extract(&grid, &nl, &a, &segs, &cd, &ProblemConfig::default());
         // Find the layer-0 constraint on an edge shared with the L-net
         // (x in 0..6, y=0). Capacity 2, background usage 1, our wire 1:
         // limit = 2 + 1 - 2 = 1.
         let ec = p
             .edge_constraints
             .iter()
-            .find(|ec| {
-                ec.layer == 0 && ec.edge == Edge2d::horizontal(2, 0)
-            })
+            .find(|ec| ec.layer == 0 && ec.edge == Edge2d::horizontal(2, 0))
             .expect("constraint exists");
         assert_eq!(ec.limit, 1);
         // On an edge beyond the L-net (x in 6..8): only our wire: limit 2.
         let ec2 = p
             .edge_constraints
             .iter()
-            .find(|ec| {
-                ec.layer == 0 && ec.edge == Edge2d::horizontal(7, 0)
-            })
+            .find(|ec| ec.layer == 0 && ec.edge == Edge2d::horizontal(7, 0))
             .expect("constraint exists");
         assert_eq!(ec2.limit, 2);
         let _ = &mut grid;
@@ -620,14 +614,7 @@ mod tests {
         let (grid, nl, a) = fixture();
         let cd = caps(&grid, &nl, &a);
         let segs: Vec<SegmentRef> = nl.segment_refs().collect();
-        let p = PartitionProblem::extract(
-            &grid,
-            &nl,
-            &a,
-            &segs,
-            &cd,
-            &ProblemConfig::default(),
-        );
+        let p = PartitionProblem::extract(&grid, &nl, &a, &segs, &cd, &ProblemConfig::default());
         let (sdp, offsets) = p.to_sdp();
         let binding = p
             .edge_constraints
@@ -644,14 +631,7 @@ mod tests {
         let (grid, nl, a) = fixture();
         let cd = caps(&grid, &nl, &a);
         let segs: Vec<SegmentRef> = nl.segment_refs().collect();
-        let p = PartitionProblem::extract(
-            &grid,
-            &nl,
-            &a,
-            &segs,
-            &cd,
-            &ProblemConfig::default(),
-        );
+        let p = PartitionProblem::extract(&grid, &nl, &a, &segs, &cd, &ProblemConfig::default());
         let sol = p.to_choice_problem().solve(1_000_000).expect("feasible");
         let cur_cost = p.evaluate(&p.current).expect("no-op feasible");
         assert!(sol.objective <= cur_cost + 1e-9);
@@ -659,18 +639,46 @@ mod tests {
     }
 
     #[test]
+    fn direct_evaluate_matches_choice_problem() {
+        let (grid, nl, a) = fixture();
+        let cd = caps(&grid, &nl, &a);
+        let segs: Vec<SegmentRef> = nl.segment_refs().collect();
+        let p = PartitionProblem::extract(&grid, &nl, &a, &segs, &cd, &ProblemConfig::default());
+        let lowered = p.choice_problem();
+        // Exhaustive: 3 segments × 2 candidates.
+        for mask in 0..8usize {
+            let choices = vec![mask & 1, (mask >> 1) & 1, (mask >> 2) & 1];
+            let direct = p.evaluate(&choices);
+            let via_ilp = lowered.evaluate(&choices);
+            match (direct, via_ilp) {
+                (Some(x), Some(y)) => {
+                    assert!((x - y).abs() < 1e-12, "{x} vs {y}")
+                }
+                (None, None) => {}
+                other => panic!("feasibility mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn memo_is_excluded_from_equality_and_clone() {
+        let (grid, nl, a) = fixture();
+        let cd = caps(&grid, &nl, &a);
+        let segs: Vec<SegmentRef> = nl.segment_refs().collect();
+        let p = PartitionProblem::extract(&grid, &nl, &a, &segs, &cd, &ProblemConfig::default());
+        let fresh = p.clone();
+        let _ = p.choice_problem(); // populate the memo on one side only
+        assert_eq!(p, fresh, "memo state must not affect equality");
+        let again = p.clone();
+        assert!(again.choice.get().is_none(), "clones start unmemoized");
+    }
+
+    #[test]
     fn sdp_relaxation_lower_bounds_ilp() {
         let (grid, nl, a) = fixture();
         let cd = caps(&grid, &nl, &a);
         let segs: Vec<SegmentRef> = nl.segment_refs().collect();
-        let p = PartitionProblem::extract(
-            &grid,
-            &nl,
-            &a,
-            &segs,
-            &cd,
-            &ProblemConfig::default(),
-        );
+        let p = PartitionProblem::extract(&grid, &nl, &a, &segs, &cd, &ProblemConfig::default());
         let ilp = p.to_choice_problem().solve(1_000_000).expect("feasible");
         let (sdp, _) = p.to_sdp();
         let sol = solver::SdpSolver::default().solve(&sdp);

@@ -18,8 +18,7 @@ pub fn select_critical_nets(report: &TimingReport, ratio: f64) -> Vec<usize> {
     if report.is_empty() || ratio == 0.0 {
         return Vec::new();
     }
-    let count =
-        ((report.len() as f64 * ratio).round() as usize).clamp(1, report.len());
+    let count = ((report.len() as f64 * ratio).round() as usize).clamp(1, report.len());
     let mut order = report.nets_by_criticality();
     order.truncate(count);
     order

@@ -75,11 +75,7 @@ impl GridBuilder {
     /// and capacitance `1 + 0.15·l` fF/tile, mirroring the industrial
     /// observation that higher layers are wider and less resistive.
     #[must_use]
-    pub fn alternating_layers(
-        mut self,
-        count: usize,
-        first: Direction,
-    ) -> GridBuilder {
+    pub fn alternating_layers(mut self, count: usize, first: Direction) -> GridBuilder {
         let mut dir = first;
         for l in 0..count {
             let resistance = 8.0 / f64::powi(2.0, (l / 2) as i32);
@@ -124,9 +120,7 @@ impl GridBuilder {
     /// routing edges, no layers, a missing direction, non-positive layer
     /// parameters, or a via-resistance table of the wrong length.
     pub fn build(self) -> Result<Grid, BuildGridError> {
-        if (self.width < 2 || self.height < 1)
-            && (self.width < 1 || self.height < 2)
-        {
+        if (self.width < 2 || self.height < 1) && (self.width < 1 || self.height < 2) {
             return Err(BuildGridError::DegenerateDims {
                 width: self.width,
                 height: self.height,
@@ -149,10 +143,7 @@ impl GridBuilder {
             ] {
                 // `is_nan` guard folded in: NaN must be rejected too.
                 if value.is_nan() || value <= 0.0 {
-                    return Err(BuildGridError::InvalidLayerParameter {
-                        layer: i,
-                        what,
-                    });
+                    return Err(BuildGridError::InvalidLayerParameter { layer: i, what });
                 }
             }
         }
@@ -241,7 +232,10 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            BuildGridError::ViaResistanceLength { got: 1, expected: 3 }
+            BuildGridError::ViaResistanceLength {
+                got: 1,
+                expected: 3
+            }
         );
     }
 
@@ -254,7 +248,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            BuildGridError::InvalidLayerParameter { layer: 0, what: "resistance" }
+            BuildGridError::InvalidLayerParameter {
+                layer: 0,
+                what: "resistance"
+            }
         ));
     }
 

@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn messages_are_lowercase_and_informative() {
-        let e = BuildGridError::DegenerateDims { width: 1, height: 1 };
+        let e = BuildGridError::DegenerateDims {
+            width: 1,
+            height: 1,
+        };
         let msg = e.to_string();
         assert!(msg.contains("1x1"));
         assert!(msg.chars().next().unwrap().is_lowercase());

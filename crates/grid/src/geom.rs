@@ -95,12 +95,18 @@ pub struct Edge2d {
 impl Edge2d {
     /// Creates a horizontal edge between `(x, y)` and `(x + 1, y)`.
     pub fn horizontal(x: u16, y: u16) -> Edge2d {
-        Edge2d { cell: Cell::new(x, y), dir: Direction::Horizontal }
+        Edge2d {
+            cell: Cell::new(x, y),
+            dir: Direction::Horizontal,
+        }
     }
 
     /// Creates a vertical edge between `(x, y)` and `(x, y + 1)`.
     pub fn vertical(x: u16, y: u16) -> Edge2d {
-        Edge2d { cell: Cell::new(x, y), dir: Direction::Vertical }
+        Edge2d {
+            cell: Cell::new(x, y),
+            dir: Direction::Vertical,
+        }
     }
 
     /// The two endpoints of this edge, lower coordinate first.
@@ -129,11 +135,21 @@ impl Edge2d {
     /// assert_eq!(Edge2d::between(Cell::new(0, 0), Cell::new(1, 1)), None);
     /// ```
     pub fn between(a: Cell, b: Cell) -> Option<Edge2d> {
-        let (lo, hi) = if (a.x, a.y) <= (b.x, b.y) { (a, b) } else { (b, a) };
+        let (lo, hi) = if (a.x, a.y) <= (b.x, b.y) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         if lo.y == hi.y && lo.x + 1 == hi.x {
-            Some(Edge2d { cell: lo, dir: Direction::Horizontal })
+            Some(Edge2d {
+                cell: lo,
+                dir: Direction::Horizontal,
+            })
         } else if lo.x == hi.x && lo.y + 1 == hi.y {
-            Some(Edge2d { cell: lo, dir: Direction::Vertical })
+            Some(Edge2d {
+                cell: lo,
+                dir: Direction::Vertical,
+            })
         } else {
             None
         }

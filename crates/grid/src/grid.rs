@@ -103,10 +103,7 @@ impl Grid {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn layers_in_direction(
-        &self,
-        dir: Direction,
-    ) -> impl Iterator<Item = usize> + '_ {
+    pub fn layers_in_direction(&self, dir: Direction) -> impl Iterator<Item = usize> + '_ {
         self.layers
             .iter()
             .enumerate()
@@ -157,26 +154,22 @@ impl Grid {
     /// Whether `edge` is a valid routing edge of this grid.
     pub fn contains_edge(&self, edge: Edge2d) -> bool {
         match edge.dir {
-            Direction::Horizontal => {
-                edge.cell.x + 1 < self.width && edge.cell.y < self.height
-            }
-            Direction::Vertical => {
-                edge.cell.x < self.width && edge.cell.y + 1 < self.height
-            }
+            Direction::Horizontal => edge.cell.x + 1 < self.width && edge.cell.y < self.height,
+            Direction::Vertical => edge.cell.x < self.width && edge.cell.y + 1 < self.height,
         }
     }
 
     /// Iterates over every routing edge of orientation `dir`.
-    pub fn edges_in_direction(
-        &self,
-        dir: Direction,
-    ) -> impl Iterator<Item = Edge2d> + '_ {
+    pub fn edges_in_direction(&self, dir: Direction) -> impl Iterator<Item = Edge2d> + '_ {
         let (nx, ny) = match dir {
             Direction::Horizontal => (self.width - 1, self.height),
             Direction::Vertical => (self.width, self.height - 1),
         };
         (0..ny).flat_map(move |y| {
-            (0..nx).map(move |x| Edge2d { cell: Cell::new(x, y), dir })
+            (0..nx).map(move |x| Edge2d {
+                cell: Cell::new(x, y),
+                dir,
+            })
         })
     }
 
@@ -189,12 +182,8 @@ impl Grid {
     /// Number of routing edges of orientation `dir`.
     pub fn num_edges(&self, dir: Direction) -> usize {
         match dir {
-            Direction::Horizontal => {
-                (self.width as usize - 1) * self.height as usize
-            }
-            Direction::Vertical => {
-                self.width as usize * (self.height as usize - 1)
-            }
+            Direction::Horizontal => (self.width as usize - 1) * self.height as usize,
+            Direction::Vertical => self.width as usize * (self.height as usize - 1),
         }
     }
 
@@ -225,8 +214,7 @@ impl Grid {
         debug_assert!(self.contains_edge(edge), "edge {edge} out of bounds");
         match edge.dir {
             Direction::Horizontal => {
-                edge.cell.y as usize * (self.width as usize - 1)
-                    + edge.cell.x as usize
+                edge.cell.y as usize * (self.width as usize - 1) + edge.cell.x as usize
             }
             Direction::Vertical => {
                 edge.cell.y as usize * self.width as usize + edge.cell.x as usize
@@ -354,12 +342,8 @@ impl Grid {
         let mut edge_cap_sum = 0u64;
         // The "previous" edge (left of / below the cell)...
         let prev = match dir {
-            Direction::Horizontal if cell.x > 0 => {
-                Some(Edge2d::horizontal(cell.x - 1, cell.y))
-            }
-            Direction::Vertical if cell.y > 0 => {
-                Some(Edge2d::vertical(cell.x, cell.y - 1))
-            }
+            Direction::Horizontal if cell.x > 0 => Some(Edge2d::horizontal(cell.x - 1, cell.y)),
+            Direction::Vertical if cell.y > 0 => Some(Edge2d::vertical(cell.x, cell.y - 1)),
             _ => None,
         };
         // ...and the "next" edge (right of / above the cell).
@@ -381,8 +365,7 @@ impl Grid {
             Direction::Horizontal => self.tile_width,
             Direction::Vertical => self.tile_height,
         };
-        let cap = lay.pitch() * tile_extent * edge_cap_sum as f64
-            / (via_pitch * via_pitch);
+        let cap = lay.pitch() * tile_extent * edge_cap_sum as f64 / (via_pitch * via_pitch);
         cap.floor().max(0.0) as u32
     }
 
@@ -474,7 +457,9 @@ impl Grid {
     pub fn projected_capacity(&self, edge: Edge2d) -> u32 {
         assert!(self.contains_edge(edge), "edge {edge} out of bounds");
         let idx = self.edge_index(edge);
-        self.layers_in_direction(edge.dir).map(|l| self.cap[l][idx]).sum()
+        self.layers_in_direction(edge.dir)
+            .map(|l| self.cap[l][idx])
+            .sum()
     }
 
     /// Combined wire usage of `edge` over all layers of its direction.
@@ -485,7 +470,9 @@ impl Grid {
     pub fn projected_usage(&self, edge: Edge2d) -> u32 {
         assert!(self.contains_edge(edge), "edge {edge} out of bounds");
         let idx = self.edge_index(edge);
-        self.layers_in_direction(edge.dir).map(|l| self.usage[l][idx]).sum()
+        self.layers_in_direction(edge.dir)
+            .map(|l| self.usage[l][idx])
+            .sum()
     }
 
     // ------------------------------------------------------------------

@@ -2,8 +2,7 @@
 
 use grid::{Cell, Direction, Grid, GridBuilder};
 use net::{NetSpec, Pin};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::Rng;
 
 use crate::IspdDesign;
 
@@ -79,11 +78,9 @@ impl SyntheticConfig {
         };
         // Seed derived from the name so each benchmark is distinct but
         // reproducible.
-        let seed = name
-            .bytes()
-            .fold(0xcbf29ce484222325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x100000001b3)
-            });
+        let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
         Some(SyntheticConfig {
             name: name.to_string(),
             width: w,
@@ -100,9 +97,9 @@ impl SyntheticConfig {
     /// All 15 benchmarks of the paper's Table 2, in table order.
     pub fn all_paper_benchmarks() -> Vec<SyntheticConfig> {
         [
-            "adaptec1", "adaptec2", "adaptec3", "adaptec4", "adaptec5",
-            "bigblue1", "bigblue2", "bigblue3", "bigblue4", "newblue1",
-            "newblue2", "newblue4", "newblue5", "newblue6", "newblue7",
+            "adaptec1", "adaptec2", "adaptec3", "adaptec4", "adaptec5", "bigblue1", "bigblue2",
+            "bigblue3", "bigblue4", "newblue1", "newblue2", "newblue4", "newblue5", "newblue6",
+            "newblue7",
         ]
         .iter()
         .map(|n| SyntheticConfig::named(n).expect("known name"))
@@ -112,11 +109,12 @@ impl SyntheticConfig {
     /// The six "small test cases" the paper uses for the ILP-vs-SDP
     /// comparison (Fig. 7).
     pub fn small_paper_benchmarks() -> Vec<SyntheticConfig> {
-        ["adaptec1", "adaptec2", "bigblue1", "newblue1", "newblue2",
-         "newblue4"]
-            .iter()
-            .map(|n| SyntheticConfig::named(n).expect("known name"))
-            .collect()
+        [
+            "adaptec1", "adaptec2", "bigblue1", "newblue1", "newblue2", "newblue4",
+        ]
+        .iter()
+        .map(|n| SyntheticConfig::named(n).expect("known name"))
+        .collect()
     }
 
     /// Generates the grid and net specs.
@@ -145,7 +143,7 @@ impl SyntheticConfig {
             .via_geometry(7.0, 7.0)
             .build()
             .map_err(|e| e.to_string())?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut specs = Vec::with_capacity(self.num_nets);
         for i in 0..self.num_nets {
             specs.push(self.generate_net(i, &mut rng));
@@ -187,16 +185,16 @@ impl SyntheticConfig {
         })
     }
 
-    fn generate_net(&self, index: usize, rng: &mut StdRng) -> NetSpec {
+    fn generate_net(&self, index: usize, rng: &mut Rng) -> NetSpec {
         // Pin count: mostly 2-3 pins with a geometric tail, as in the
         // real suite.
         let mut pins_wanted = 2;
-        while pins_wanted < self.max_pins && rng.gen_bool(0.38) {
+        while pins_wanted < self.max_pins && rng.bool(0.38) {
             pins_wanted += 1;
         }
 
         // Locality class decides the window the net lives in.
-        let class = rng.gen::<f64>();
+        let class = rng.f64();
         let (min_span, max_span) = if class < self.local_fraction {
             (3u16, (self.width / 6).max(4))
         } else if class < self.local_fraction + 0.25 {
@@ -204,19 +202,16 @@ impl SyntheticConfig {
         } else {
             (self.width / 3, self.width - 1)
         };
-        let span_x = rng.gen_range(min_span..=max_span.max(min_span));
-        let span_y = rng.gen_range(min_span..=max_span.max(min_span));
-        let x0 = rng.gen_range(0..=self.width.saturating_sub(span_x + 1));
-        let y0 = rng.gen_range(0..=self.height.saturating_sub(span_y + 1));
+        let span_x = rng.range_u16(min_span, max_span.max(min_span));
+        let span_y = rng.range_u16(min_span, max_span.max(min_span));
+        let x0 = rng.range_u16(0, self.width.saturating_sub(span_x + 1));
+        let y0 = rng.range_u16(0, self.height.saturating_sub(span_y + 1));
 
         let mut cells: Vec<Cell> = Vec::with_capacity(pins_wanted);
         let mut guard = 0;
         while cells.len() < pins_wanted && guard < pins_wanted * 20 {
             guard += 1;
-            let c = Cell::new(
-                x0 + rng.gen_range(0..=span_x),
-                y0 + rng.gen_range(0..=span_y),
-            );
+            let c = Cell::new(x0 + rng.range_u16(0, span_x), y0 + rng.range_u16(0, span_y));
             if !cells.contains(&c) {
                 cells.push(c);
             }
@@ -228,7 +223,7 @@ impl SyntheticConfig {
             if k == 0 {
                 pins.push(Pin::source(*c, 0.0));
             } else {
-                pins.push(Pin::sink(*c, rng.gen_range(1.0..4.0)));
+                pins.push(Pin::sink(*c, rng.range_f64(1.0, 4.0)));
             }
         }
         let mut spec = NetSpec::new(format!("n{index}"), pins);
@@ -259,8 +254,14 @@ mod tests {
     fn different_seeds_differ() {
         let (_, a) = SyntheticConfig::small(1).generate().unwrap();
         let (_, b) = SyntheticConfig::small(2).generate().unwrap();
-        let ac: Vec<_> = a.iter().flat_map(|n| n.pins.iter().map(|p| p.cell)).collect();
-        let bc: Vec<_> = b.iter().flat_map(|n| n.pins.iter().map(|p| p.cell)).collect();
+        let ac: Vec<_> = a
+            .iter()
+            .flat_map(|n| n.pins.iter().map(|p| p.cell))
+            .collect();
+        let bc: Vec<_> = b
+            .iter()
+            .flat_map(|n| n.pins.iter().map(|p| p.cell))
+            .collect();
         assert_ne!(ac, bc);
     }
 
@@ -304,10 +305,7 @@ mod tests {
     fn pin_count_distribution_is_mostly_small() {
         let c = SyntheticConfig::named("adaptec1").unwrap();
         let (_, specs) = c.generate().unwrap();
-        let two_or_three = specs
-            .iter()
-            .filter(|s| s.pins.len() <= 3)
-            .count() as f64;
+        let two_or_three = specs.iter().filter(|s| s.pins.len() <= 3).count() as f64;
         let frac = two_or_three / specs.len() as f64;
         assert!(frac > 0.5, "2-3 pin nets should dominate, got {frac}");
         let max = specs.iter().map(|s| s.pins.len()).max().unwrap();

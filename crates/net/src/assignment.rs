@@ -33,13 +33,7 @@ impl Assignment {
         let layers = netlist
             .nets()
             .iter()
-            .map(|n| {
-                n.tree()
-                    .segments()
-                    .iter()
-                    .map(|s| lowest(s.dir))
-                    .collect()
-            })
+            .map(|n| n.tree().segments().iter().map(|s| lowest(s.dir)).collect())
             .collect();
         Assignment { layers }
     }
@@ -119,11 +113,7 @@ impl Assignment {
     /// # Errors
     ///
     /// Returns a description of the first mismatch.
-    pub fn validate(
-        &self,
-        netlist: &Netlist,
-        grid: &Grid,
-    ) -> Result<(), String> {
+    pub fn validate(&self, netlist: &Netlist, grid: &Grid) -> Result<(), String> {
         if self.layers.len() != netlist.len() {
             return Err(format!(
                 "assignment covers {} nets, netlist has {}",
@@ -131,9 +121,7 @@ impl Assignment {
                 netlist.len()
             ));
         }
-        for (ni, (n, ls)) in
-            netlist.nets().iter().zip(&self.layers).enumerate()
-        {
+        for (ni, (n, ls)) in netlist.nets().iter().zip(&self.layers).enumerate() {
             if ls.len() != n.tree().num_segments() {
                 return Err(format!(
                     "net {ni}: {} layers for {} segments",
@@ -141,13 +129,9 @@ impl Assignment {
                     n.tree().num_segments()
                 ));
             }
-            for (si, (&l, seg)) in
-                ls.iter().zip(n.tree().segments()).enumerate()
-            {
+            for (si, (&l, seg)) in ls.iter().zip(n.tree().segments()).enumerate() {
                 if l >= grid.num_layers() {
-                    return Err(format!(
-                        "net {ni} segment {si}: layer {l} out of range"
-                    ));
+                    return Err(format!("net {ni} segment {si}: layer {l} out of range"));
                 }
                 if grid.layer(l).direction != seg.dir {
                     return Err(format!(
@@ -231,7 +215,10 @@ mod tests {
         b.attach_pin(e, 1).unwrap();
         let net = Net::new(
             "n",
-            vec![Pin::source(Cell::new(1, 1), 10.0), Pin::sink(Cell::new(4, 5), 1.0)],
+            vec![
+                Pin::source(Cell::new(1, 1), 10.0),
+                Pin::sink(Cell::new(4, 5), 1.0),
+            ],
             b.build().unwrap(),
         );
         let mut nl = Netlist::new();

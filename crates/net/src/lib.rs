@@ -41,14 +41,10 @@ mod netlist;
 mod pin;
 mod tree;
 
-pub use assignment::{
-    apply_to_grid, remove_net_from_grid, restore_net_to_grid, Assignment,
-};
+pub use assignment::{apply_to_grid, remove_net_from_grid, restore_net_to_grid, Assignment};
 pub use netlist::{Netlist, SegmentRef};
 pub use pin::Pin;
-pub use tree::{
-    BuildTreeError, RouteTree, RouteTreeBuilder, Segment, TreeNode,
-};
+pub use tree::{BuildTreeError, RouteTree, RouteTreeBuilder, Segment, TreeNode};
 
 use grid::Cell;
 
@@ -74,7 +70,11 @@ impl NetSpec {
     /// Panics if `pins` is empty.
     pub fn new(name: impl Into<String>, pins: Vec<Pin>) -> NetSpec {
         assert!(!pins.is_empty(), "net spec must have at least one pin");
-        NetSpec { name: name.into(), pins, driver_resistance: 0.0 }
+        NetSpec {
+            name: name.into(),
+            pins,
+            driver_resistance: 0.0,
+        }
     }
 }
 
@@ -100,13 +100,14 @@ impl Net {
     /// # Panics
     ///
     /// Panics if `pins` is empty.
-    pub fn new(
-        name: impl Into<String>,
-        pins: Vec<Pin>,
-        tree: RouteTree,
-    ) -> Net {
+    pub fn new(name: impl Into<String>, pins: Vec<Pin>, tree: RouteTree) -> Net {
         assert!(!pins.is_empty(), "net must have at least one pin");
-        Net { name: name.into(), pins, tree, driver_resistance: 0.0 }
+        Net {
+            name: name.into(),
+            pins,
+            tree,
+            driver_resistance: 0.0,
+        }
     }
 
     /// The net's name.
@@ -161,10 +162,7 @@ impl Net {
                     ));
                 }
                 if seen[p] {
-                    return Err(format!(
-                        "net {}: pin {p} attached to two nodes",
-                        self.name
-                    ));
+                    return Err(format!("net {}: pin {p} attached to two nodes", self.name));
                 }
                 if self.pins[p].cell != node.cell {
                     return Err(format!(
@@ -256,7 +254,10 @@ mod tests {
         b.attach_pin(end, 1).unwrap();
         Net::new(
             "l",
-            vec![Pin::source(Cell::new(0, 0), 20.0), Pin::sink(Cell::new(2, 2), 1.5)],
+            vec![
+                Pin::source(Cell::new(0, 0), 20.0),
+                Pin::sink(Cell::new(2, 2), 1.5),
+            ],
             b.build().unwrap(),
         )
     }
@@ -287,46 +288,42 @@ mod tests {
 
     mod via_properties {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            /// For random assignments of the L-net: (1) via_count equals
-            /// the summed stack spans, (2) every stack covers all layers
-            /// of metal incident at its node, (3) stacks are at tree
-            /// node cells only.
-            #[test]
-            fn stacks_are_consistent(h in 0usize..2, v in 0usize..2) {
-                let net = l_net();
-                // Horizontal candidates 0/2, vertical 1/3.
-                let layers = [h * 2, 1 + v * 2];
-                let stacks = net.via_stacks(&layers);
-                let span_sum: u64 =
-                    stacks.iter().map(|&(_, lo, hi)| (hi - lo) as u64).sum();
-                prop_assert_eq!(net.via_count(&layers), span_sum);
-                let node_cells: Vec<_> = net
-                    .tree()
-                    .nodes()
-                    .iter()
-                    .map(|n| n.cell)
-                    .collect();
-                for &(cell, lo, hi) in &stacks {
-                    prop_assert!(lo < hi);
-                    prop_assert!(node_cells.contains(&cell));
+        /// For every assignment of the L-net: (1) via_count equals
+        /// the summed stack spans, (2) every stack covers all layers
+        /// of metal incident at its node, (3) stacks are at tree
+        /// node cells only. The candidate space is tiny, so this is
+        /// exhaustive rather than sampled.
+        #[test]
+        fn stacks_are_consistent() {
+            for h in 0usize..2 {
+                for v in 0usize..2 {
+                    check_stacks(h, v);
                 }
-                // The corner node's stack must span both segment layers.
-                let corner = Cell::new(2, 0);
-                let corner_stack =
-                    stacks.iter().find(|&&(c, _, _)| c == corner);
-                let (lo_exp, hi_exp) = (
-                    layers[0].min(layers[1]),
-                    layers[0].max(layers[1]),
-                );
-                match corner_stack {
-                    Some(&(_, lo, hi)) => {
-                        prop_assert!(lo <= lo_exp && hi >= hi_exp);
-                    }
-                    None => prop_assert_eq!(lo_exp, hi_exp),
+            }
+        }
+
+        fn check_stacks(h: usize, v: usize) {
+            let net = l_net();
+            // Horizontal candidates 0/2, vertical 1/3.
+            let layers = [h * 2, 1 + v * 2];
+            let stacks = net.via_stacks(&layers);
+            let span_sum: u64 = stacks.iter().map(|&(_, lo, hi)| (hi - lo) as u64).sum();
+            assert_eq!(net.via_count(&layers), span_sum);
+            let node_cells: Vec<_> = net.tree().nodes().iter().map(|n| n.cell).collect();
+            for &(cell, lo, hi) in &stacks {
+                assert!(lo < hi);
+                assert!(node_cells.contains(&cell));
+            }
+            // The corner node's stack must span both segment layers.
+            let corner = Cell::new(2, 0);
+            let corner_stack = stacks.iter().find(|&&(c, _, _)| c == corner);
+            let (lo_exp, hi_exp) = (layers[0].min(layers[1]), layers[0].max(layers[1]));
+            match corner_stack {
+                Some(&(_, lo, hi)) => {
+                    assert!(lo <= lo_exp && hi >= hi_exp);
                 }
+                None => assert_eq!(lo_exp, hi_exp),
             }
         }
     }

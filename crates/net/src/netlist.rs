@@ -78,8 +78,7 @@ impl Netlist {
     /// Iterates over every segment of every net.
     pub fn segment_refs(&self) -> impl Iterator<Item = SegmentRef> + '_ {
         self.nets.iter().enumerate().flat_map(|(ni, n)| {
-            (0..n.tree().num_segments())
-                .map(move |si| SegmentRef::new(ni as u32, si as u32))
+            (0..n.tree().num_segments()).map(move |si| SegmentRef::new(ni as u32, si as u32))
         })
     }
 
@@ -90,7 +89,8 @@ impl Netlist {
     /// Returns the first violation, prefixed with the net index.
     pub fn validate(&self, width: u16, height: u16) -> Result<(), String> {
         for (i, n) in self.nets.iter().enumerate() {
-            n.validate(width, height).map_err(|e| format!("net {i}: {e}"))?;
+            n.validate(width, height)
+                .map_err(|e| format!("net {i}: {e}"))?;
         }
         Ok(())
     }
@@ -98,7 +98,9 @@ impl Netlist {
 
 impl FromIterator<Net> for Netlist {
     fn from_iter<T: IntoIterator<Item = Net>>(iter: T) -> Netlist {
-        Netlist { nets: iter.into_iter().collect() }
+        Netlist {
+            nets: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -126,7 +128,11 @@ mod tests {
         }
         b.attach_pin(b.root(), 0).unwrap();
         b.attach_pin(cur, 1).unwrap();
-        Net::new(name, vec![Pin::source(from, 10.0), Pin::sink(to, 1.0)], b.build().unwrap())
+        Net::new(
+            name,
+            vec![Pin::source(from, 10.0), Pin::sink(to, 1.0)],
+            b.build().unwrap(),
+        )
     }
 
     #[test]
@@ -143,10 +149,9 @@ mod tests {
 
     #[test]
     fn collects_from_iterator() {
-        let nl: Netlist =
-            vec![two_pin_net("a", Cell::new(0, 0), Cell::new(2, 2))]
-                .into_iter()
-                .collect();
+        let nl: Netlist = vec![two_pin_net("a", Cell::new(0, 0), Cell::new(2, 2))]
+            .into_iter()
+            .collect();
         assert_eq!(nl.len(), 1);
         nl.validate(8, 8).unwrap();
     }

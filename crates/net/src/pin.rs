@@ -21,18 +21,30 @@ pub struct Pin {
 impl Pin {
     /// Creates a pin at `cell` on the device layer with the given load.
     pub fn new(cell: Cell, capacitance: f64) -> Pin {
-        Pin { cell, layer: 0, capacitance }
+        Pin {
+            cell,
+            layer: 0,
+            capacitance,
+        }
     }
 
     /// Creates a source pin. `driver_strength` is kept for symmetry; the
     /// driver's output resistance lives on [`crate::Net`].
     pub fn source(cell: Cell, driver_strength: f64) -> Pin {
-        Pin { cell, layer: 0, capacitance: driver_strength }
+        Pin {
+            cell,
+            layer: 0,
+            capacitance: driver_strength,
+        }
     }
 
     /// Creates a sink pin with the given input capacitance.
     pub fn sink(cell: Cell, capacitance: f64) -> Pin {
-        Pin { cell, layer: 0, capacitance }
+        Pin {
+            cell,
+            layer: 0,
+            capacitance,
+        }
     }
 
     /// Returns this pin moved to a different physical layer.

@@ -358,11 +358,7 @@ impl RouteTreeBuilder {
     ///
     /// Returns an error if `from` does not exist, the leg is not
     /// axis-aligned, or it has zero length.
-    pub fn add_segment(
-        &mut self,
-        from: usize,
-        to_cell: Cell,
-    ) -> Result<usize, BuildTreeError> {
+    pub fn add_segment(&mut self, from: usize, to_cell: Cell) -> Result<usize, BuildTreeError> {
         let from_cell = self
             .nodes
             .get(from)
@@ -405,11 +401,7 @@ impl RouteTreeBuilder {
     /// # Errors
     ///
     /// Same conditions as [`RouteTreeBuilder::add_segment`].
-    pub fn add_path(
-        &mut self,
-        from: usize,
-        waypoints: &[Cell],
-    ) -> Result<usize, BuildTreeError> {
+    pub fn add_path(&mut self, from: usize, waypoints: &[Cell]) -> Result<usize, BuildTreeError> {
         let mut cur = from;
         for &w in waypoints {
             cur = self.add_segment(cur, w)?;
@@ -427,11 +419,7 @@ impl RouteTreeBuilder {
     /// (reported with the segment index), or
     /// [`BuildTreeError::NotRectilinear`] if `cell` is not strictly
     /// interior to the segment.
-    pub fn split_segment_at(
-        &mut self,
-        seg: usize,
-        cell: Cell,
-    ) -> Result<usize, BuildTreeError> {
+    pub fn split_segment_at(&mut self, seg: usize, cell: Cell) -> Result<usize, BuildTreeError> {
         let s = *self
             .segments
             .get(seg)
@@ -440,15 +428,9 @@ impl RouteTreeBuilder {
         let b = self.nodes[s.to as usize].cell;
         let interior = match s.dir {
             Direction::Horizontal => {
-                cell.y == a.y
-                    && cell.x > a.x.min(b.x)
-                    && cell.x < a.x.max(b.x)
+                cell.y == a.y && cell.x > a.x.min(b.x) && cell.x < a.x.max(b.x)
             }
-            Direction::Vertical => {
-                cell.x == a.x
-                    && cell.y > a.y.min(b.y)
-                    && cell.y < a.y.max(b.y)
-            }
+            Direction::Vertical => cell.x == a.x && cell.y > a.y.min(b.y) && cell.y < a.y.max(b.y),
         };
         if !interior {
             return Err(BuildTreeError::NotRectilinear { from: a, to: cell });
@@ -482,11 +464,7 @@ impl RouteTreeBuilder {
     ///
     /// Returns an error if the node does not exist or already carries a
     /// pin.
-    pub fn attach_pin(
-        &mut self,
-        node: usize,
-        pin: u32,
-    ) -> Result<(), BuildTreeError> {
+    pub fn attach_pin(&mut self, node: usize, pin: u32) -> Result<(), BuildTreeError> {
         let n = self
             .nodes
             .get_mut(node)
@@ -510,14 +488,10 @@ impl RouteTreeBuilder {
             let b = self.nodes[s.to as usize].cell;
             match s.dir {
                 Direction::Horizontal => {
-                    cell.y == a.y
-                        && cell.x > a.x.min(b.x)
-                        && cell.x < a.x.max(b.x)
+                    cell.y == a.y && cell.x > a.x.min(b.x) && cell.x < a.x.max(b.x)
                 }
                 Direction::Vertical => {
-                    cell.x == a.x
-                        && cell.y > a.y.min(b.y)
-                        && cell.y < a.y.max(b.y)
+                    cell.x == a.x && cell.y > a.y.min(b.y) && cell.y < a.y.max(b.y)
                 }
             }
         })
@@ -532,7 +506,10 @@ impl RouteTreeBuilder {
         if self.segments.is_empty() {
             return Err(BuildTreeError::Empty);
         }
-        Ok(RouteTree { nodes: self.nodes, segments: self.segments })
+        Ok(RouteTree {
+            nodes: self.nodes,
+            segments: self.segments,
+        })
     }
 }
 

@@ -73,10 +73,8 @@ pub fn initial_assignment_with(
 fn assign_net(grid: &Grid, net: &Net, config: &InitialConfig) -> Vec<usize> {
     let tree = net.tree();
     let num_layers = grid.num_layers();
-    let h_layers: Vec<usize> =
-        grid.layers_in_direction(Direction::Horizontal).collect();
-    let v_layers: Vec<usize> =
-        grid.layers_in_direction(Direction::Vertical).collect();
+    let h_layers: Vec<usize> = grid.layers_in_direction(Direction::Horizontal).collect();
+    let v_layers: Vec<usize> = grid.layers_in_direction(Direction::Vertical).collect();
     let layers_of = |dir: Direction| -> &[usize] {
         match dir {
             Direction::Horizontal => &h_layers,
@@ -102,12 +100,13 @@ fn assign_net(grid: &Grid, net: &Net, config: &InitialConfig) -> Vec<usize> {
 
     // dp[s][l] = best subtree cost with segment s on layer l.
     let mut dp = vec![vec![f64::INFINITY; num_layers]; tree.num_segments()];
-    let mut pick: Vec<Vec<Vec<usize>>> =
-        vec![vec![Vec::new(); num_layers]; tree.num_segments()];
+    let mut pick: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); num_layers]; tree.num_segments()];
     for s in tree.postorder_segments() {
         let child_node = tree.segment(s).to as usize;
-        let pin_layer =
-            tree.node(child_node).pin.map(|p| net.pins()[p as usize].layer);
+        let pin_layer = tree
+            .node(child_node)
+            .pin
+            .map(|p| net.pins()[p as usize].layer);
         for &l in layers_of(tree.segment(s).dir) {
             let mut cost = wire_cost(s, l);
             let mut choices = Vec::new();
@@ -119,13 +118,7 @@ fn assign_net(grid: &Grid, net: &Net, config: &InitialConfig) -> Vec<usize> {
                 let cs = cs as usize;
                 let (best_l, best_c) = layers_of(tree.segment(cs).dir)
                     .iter()
-                    .map(|&cl| {
-                        (
-                            cl,
-                            dp[cs][cl]
-                                + config.via_cost * l.abs_diff(cl) as f64,
-                        )
-                    })
+                    .map(|&cl| (cl, dp[cs][cl] + config.via_cost * l.abs_diff(cl) as f64))
                     .min_by(|a, b| a.1.total_cmp(&b.1))
                     .expect("every direction has at least one layer");
                 cost += best_c;
@@ -148,7 +141,10 @@ fn assign_net(grid: &Grid, net: &Net, config: &InitialConfig) -> Vec<usize> {
         let (best_l, _) = layers_of(tree.segment(cs).dir)
             .iter()
             .map(|&l| {
-                (l, dp[cs][l] + config.via_cost * l.abs_diff(src_layer) as f64)
+                (
+                    l,
+                    dp[cs][l] + config.via_cost * l.abs_diff(src_layer) as f64,
+                )
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("layer exists");

@@ -54,8 +54,7 @@ pub fn find_path(
             (y + 1 < height).then(|| Cell::new(x, y + 1)),
         ];
         for next in neighbors.into_iter().flatten() {
-            let edge = Edge2d::between(cur, next)
-                .expect("neighbors are adjacent by construction");
+            let edge = Edge2d::between(cur, next).expect("neighbors are adjacent by construction");
             if forbidden.contains(&edge) {
                 continue;
             }
@@ -93,8 +92,7 @@ pub fn path_waypoints(path: &[Cell]) -> Vec<Cell> {
         return Vec::new();
     }
     let mut out = Vec::new();
-    let step =
-        |a: Cell, b: Cell| (b.x as i32 - a.x as i32, b.y as i32 - a.y as i32);
+    let step = |a: Cell, b: Cell| (b.x as i32 - a.x as i32, b.y as i32 - a.y as i32);
     let mut dir = step(path[0], path[1]);
     assert!(dir.0.abs() + dir.1.abs() == 1, "path cells not adjacent");
     for w in path[1..].windows(2) {
@@ -209,10 +207,7 @@ mod tests {
             Cell::new(3, 2),
         ];
         let w = path_waypoints(&path);
-        assert_eq!(
-            w,
-            vec![Cell::new(2, 0), Cell::new(2, 2), Cell::new(3, 2)]
-        );
+        assert_eq!(w, vec![Cell::new(2, 0), Cell::new(2, 2), Cell::new(3, 2)]);
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl Cholesky {
                 }
                 if i == j {
                     if sum <= 0.0 {
-                        return Err(CholeskyError { pivot: i, value: sum });
+                        return Err(CholeskyError {
+                            pivot: i,
+                            value: sum,
+                        });
                     }
                     l[i * n + i] = sum.sqrt();
                 } else {
@@ -107,7 +110,6 @@ impl Cholesky {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn identity_solve_is_identity() {
@@ -136,34 +138,41 @@ mod tests {
         assert_eq!(err.pivot, 1);
     }
 
-    proptest! {
-        #[test]
-        fn solve_inverts_multiply(seed in 0u64..100, n in 1usize..10) {
-            // Build SPD matrix A = B Bᵀ + I.
-            let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
-            let mut next = || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 1000) as f64 / 250.0 - 2.0
-            };
-            let b_raw: Vec<f64> = (0..n * n).map(|_| next()).collect();
-            let mut a = SymMatrix::identity(n);
-            for i in 0..n {
-                for j in i..n {
-                    let dot: f64 = (0..n)
-                        .map(|k| b_raw[i * n + k] * b_raw[j * n + k])
-                        .sum();
-                    a.add_to(i, j, dot);
-                }
+    /// Deterministic seed × size sweep; the off-by-default `proptest`
+    /// feature widens the seed range.
+    #[test]
+    fn solve_inverts_multiply() {
+        let seeds = if cfg!(feature = "proptest") { 100 } else { 25 };
+        for seed in 0u64..seeds {
+            for n in 1usize..10 {
+                check_solve_inverts_multiply(seed, n);
             }
-            let x_true: Vec<f64> = (0..n).map(|_| next()).collect();
-            let rhs = a.mul_vec(&x_true);
-            let f = Cholesky::factor(&a).unwrap();
-            let x = f.solve(&rhs);
-            for (got, want) in x.iter().zip(&x_true) {
-                prop_assert!((got - want).abs() < 1e-7 * (1.0 + want.abs()));
+        }
+    }
+
+    fn check_solve_inverts_multiply(seed: u64, n: usize) {
+        // Build SPD matrix A = B Bᵀ + I.
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 250.0 - 2.0
+        };
+        let b_raw: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let mut a = SymMatrix::identity(n);
+        for i in 0..n {
+            for j in i..n {
+                let dot: f64 = (0..n).map(|k| b_raw[i * n + k] * b_raw[j * n + k]).sum();
+                a.add_to(i, j, dot);
             }
+        }
+        let x_true: Vec<f64> = (0..n).map(|_| next()).collect();
+        let rhs = a.mul_vec(&x_true);
+        let f = Cholesky::factor(&a).unwrap();
+        let x = f.solve(&rhs);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-7 * (1.0 + want.abs()));
         }
     }
 }

@@ -101,8 +101,7 @@ fn tred2(z: &mut SymMatrix, d: &mut [f64], e: &mut [f64]) {
                     let g = e[j] - hh * f;
                     e[j] = g;
                     for k in 0..=j {
-                        a[j * n + k] -=
-                            f * e[k] + g * a[i * n + k];
+                        a[j * n + k] -= f * e[k] + g * a[i * n + k];
                     }
                 }
             }
@@ -163,8 +162,7 @@ fn tqli(d: &mut [f64], e: &mut [f64], z: &mut SymMatrix) {
             assert!(iter <= 50, "QL iteration failed to converge");
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
             let mut r = g.hypot(1.0);
-            g = d[m] - d[l]
-                + e[l] / (g + if g >= 0.0 { r.abs() } else { -r.abs() });
+            g = d[m] - d[l] + e[l] / (g + if g >= 0.0 { r.abs() } else { -r.abs() });
             let (mut s, mut c) = (1.0f64, 1.0f64);
             let mut p = 0.0f64;
             for i in (l..m).rev() {
@@ -273,8 +271,7 @@ pub fn eigen_decompose_jacobi(m: &SymMatrix) -> Eigen {
     }
 
     // Collect and sort by descending eigenvalue.
-    let mut pairs: Vec<(f64, usize)> =
-        (0..n).map(|i| (a.get(i, i), i)).collect();
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a.get(i, i), i)).collect();
     pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
     let mut values = Vec::with_capacity(n);
     let mut vectors = SymMatrix::zeros(n);
@@ -291,7 +288,6 @@ pub fn eigen_decompose_jacobi(m: &SymMatrix) -> Eigen {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn reconstruct(e: &Eigen) -> SymMatrix {
         let n = e.values.len();
@@ -302,9 +298,7 @@ mod tests {
                     out.add_to(
                         i,
                         j,
-                        e.values[k]
-                            * e.vectors.get(i, k)
-                            * e.vectors.get(j, k),
+                        e.values[k] * e.vectors.get(i, k) * e.vectors.get(j, k),
                     );
                 }
             }
@@ -351,61 +345,84 @@ mod tests {
         assert!((trace - sum).abs() < 1e-8);
     }
 
-    proptest! {
-        #[test]
-        fn reconstruction_matches_input(seed in 0u64..200, n in 1usize..8) {
-            // Deterministic pseudo-random symmetric matrix.
-            let mut m = SymMatrix::zeros(n);
-            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-            let mut next = || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 2000) as f64 / 100.0 - 10.0
-            };
-            for i in 0..n {
-                for j in i..n {
-                    m.set(i, j, next());
-                }
-            }
-            let e = eigen_decompose(&m);
-            let r = reconstruct(&e);
-            prop_assert!((&r - &m).norm() < 1e-7 * (1.0 + m.norm()));
-            // Eigenvectors orthonormal: VᵀV = I.
-            for a in 0..n {
-                for b in a..n {
-                    let dot: f64 = (0..n)
-                        .map(|i| e.vectors.get(i, a) * e.vectors.get(i, b))
-                        .sum();
-                    let want = if a == b { 1.0 } else { 0.0 };
-                    prop_assert!((dot - want).abs() < 1e-8);
-                }
+    /// How many random seeds the deterministic sweeps below cover; the
+    /// off-by-default `proptest` feature widens the range.
+    fn sweep_seeds() -> u64 {
+        if cfg!(feature = "proptest") {
+            200
+        } else {
+            40
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        for seed in 0..sweep_seeds() {
+            for n in 1usize..8 {
+                check_reconstruction(seed, n);
             }
         }
+    }
 
-        /// The QL path and the independent Jacobi implementation must
-        /// agree on the spectrum.
-        #[test]
-        fn ql_matches_jacobi(seed in 0u64..200, n in 1usize..10) {
-            let mut m = SymMatrix::zeros(n);
-            let mut state = seed.wrapping_mul(0xD1B54A32D192ED03).wrapping_add(5);
-            let mut next = || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 2000) as f64 / 100.0 - 10.0
-            };
-            for i in 0..n {
-                for j in i..n {
-                    m.set(i, j, next());
-                }
+    fn check_reconstruction(seed: u64, n: usize) {
+        // Deterministic pseudo-random symmetric matrix.
+        let mut m = SymMatrix::zeros(n);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 100.0 - 10.0
+        };
+        for i in 0..n {
+            for j in i..n {
+                m.set(i, j, next());
             }
-            let ql = eigen_decompose(&m);
-            let jac = eigen_decompose_jacobi(&m);
-            for (a, b) in ql.values.iter().zip(&jac.values) {
-                prop_assert!((a - b).abs() < 1e-7 * (1.0 + m.norm()),
-                    "{a} vs {b}");
+        }
+        let e = eigen_decompose(&m);
+        let r = reconstruct(&e);
+        assert!((&r - &m).norm() < 1e-7 * (1.0 + m.norm()));
+        // Eigenvectors orthonormal: VᵀV = I.
+        for a in 0..n {
+            for b in a..n {
+                let dot: f64 = (0..n)
+                    .map(|i| e.vectors.get(i, a) * e.vectors.get(i, b))
+                    .sum();
+                let want = if a == b { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-8);
             }
+        }
+    }
+
+    /// The QL path and the independent Jacobi implementation must
+    /// agree on the spectrum.
+    #[test]
+    fn ql_matches_jacobi() {
+        for seed in 0..sweep_seeds() {
+            for n in 1usize..10 {
+                check_ql_matches_jacobi(seed, n);
+            }
+        }
+    }
+
+    fn check_ql_matches_jacobi(seed: u64, n: usize) {
+        let mut m = SymMatrix::zeros(n);
+        let mut state = seed.wrapping_mul(0xD1B54A32D192ED03).wrapping_add(5);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 100.0 - 10.0
+        };
+        for i in 0..n {
+            for j in i..n {
+                m.set(i, j, next());
+            }
+        }
+        let ql = eigen_decompose(&m);
+        let jac = eigen_decompose_jacobi(&m);
+        for (a, b) in ql.values.iter().zip(&jac.values) {
+            assert!((a - b).abs() < 1e-7 * (1.0 + m.norm()), "{a} vs {b}");
         }
     }
 

@@ -167,21 +167,13 @@ impl ChoiceProblem {
             cost += p.costs[choices[p.a]][choices[p.b]];
         }
         for g in &self.cap_groups {
-            let used = g
-                .members
-                .iter()
-                .filter(|&&(i, c)| choices[i] == c)
-                .count() as u32;
+            let used = g.members.iter().filter(|&&(i, c)| choices[i] == c).count() as u32;
             if used > g.limit {
                 return None;
             }
         }
         for g in &self.soft_groups {
-            let used = g
-                .members
-                .iter()
-                .filter(|&&(i, c)| choices[i] == c)
-                .count() as u32;
+            let used = g.members.iter().filter(|&&(i, c)| choices[i] == c).count() as u32;
             cost += g.penalty * used.saturating_sub(g.limit) as f64;
         }
         Some(cost)
@@ -217,12 +209,7 @@ impl ChoiceProblem {
         // Admissible completion bound: Σ min linear of unassigned items
         // (pair costs and soft penalties are ≥ 0 and ignored).
         let min_lin: Vec<f64> = (0..n)
-            .map(|i| {
-                self.linear[i]
-                    .iter()
-                    .cloned()
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|i| self.linear[i].iter().cloned().fold(f64::INFINITY, f64::min))
             .collect();
         let mut suffix_bound = vec![0.0; n + 1];
         for d in (0..n).rev() {
@@ -272,9 +259,7 @@ impl ChoiceProblem {
             fn step_cost(&self, item: usize, choice: usize) -> Option<f64> {
                 if let Some(groups) = self.hard_of.get(&(item, choice)) {
                     for &g in groups {
-                        if self.hard_usage[g]
-                            >= self.problem.cap_groups[g].limit
-                        {
+                        if self.hard_usage[g] >= self.problem.cap_groups[g].limit {
                             return None;
                         }
                     }
@@ -282,8 +267,11 @@ impl ChoiceProblem {
                 let mut cost = self.problem.linear[item][choice];
                 for &pi in &self.pairs_of[item] {
                     let p = &self.problem.pairs[pi];
-                    let (other, my_is_a) =
-                        if p.a == item { (p.b, true) } else { (p.a, false) };
+                    let (other, my_is_a) = if p.a == item {
+                        (p.b, true)
+                    } else {
+                        (p.a, false)
+                    };
                     if let Some(oc) = self.assigned[other] {
                         cost += if my_is_a {
                             p.costs[choice][oc]
@@ -294,9 +282,7 @@ impl ChoiceProblem {
                 }
                 if let Some(groups) = self.soft_of.get(&(item, choice)) {
                     for &g in groups {
-                        if self.soft_usage[g]
-                            >= self.problem.soft_groups[g].limit
-                        {
+                        if self.soft_usage[g] >= self.problem.soft_groups[g].limit {
                             cost += self.problem.soft_groups[g].penalty;
                         }
                     }
@@ -312,9 +298,7 @@ impl ChoiceProblem {
                 let order: Vec<usize> = self.order.to_vec();
                 for &item in &order {
                     let best_choice = (0..self.problem.linear[item].len())
-                        .filter_map(|c| {
-                            self.step_cost(item, c).map(|k| (k, c))
-                        })
+                        .filter_map(|c| self.step_cost(item, c).map(|k| (k, c)))
                         .min_by(|a, b| a.0.total_cmp(&b.0));
                     let Some((step, choice)) = best_choice else {
                         // Greedy dead end: roll back and bail out.
@@ -347,8 +331,7 @@ impl ChoiceProblem {
                         }
                     }
                 }
-                let choices: Vec<usize> =
-                    self.assigned.iter().map(|c| c.unwrap()).collect();
+                let choices: Vec<usize> = self.assigned.iter().map(|c| c.unwrap()).collect();
                 self.best = Some((acc, choices));
                 // Roll back state for the exact search.
                 for &it in &order {
@@ -372,14 +355,8 @@ impl ChoiceProblem {
                 }
                 self.nodes += 1;
                 if depth == self.order.len() {
-                    let choices: Vec<usize> =
-                        self.assigned.iter().map(|c| c.unwrap()).collect();
-                    if self
-                        .best
-                        .as_ref()
-                        .map(|(b, _)| acc < *b)
-                        .unwrap_or(true)
-                    {
+                    let choices: Vec<usize> = self.assigned.iter().map(|c| c.unwrap()).collect();
+                    if self.best.as_ref().map(|(b, _)| acc < *b).unwrap_or(true) {
                         self.best = Some((acc, choices));
                     }
                     return;
@@ -391,10 +368,7 @@ impl ChoiceProblem {
                 }
                 let item = self.order[depth];
                 // Expand choices cheapest-first.
-                let mut options: Vec<(f64, usize)> = (0..self
-                    .problem
-                    .linear[item]
-                    .len())
+                let mut options: Vec<(f64, usize)> = (0..self.problem.linear[item].len())
                     .filter_map(|c| self.step_cost(item, c).map(|k| (k, c)))
                     .collect();
                 options.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -468,7 +442,6 @@ impl ChoiceProblem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn picks_cheapest_choices_without_constraints() {
@@ -546,11 +519,7 @@ mod tests {
         let mut p2 = p.clone();
         p2.soft_groups[0].penalty = 2000.0;
         let s2 = p2.solve(10_000).unwrap();
-        assert_eq!(
-            s2.choices.iter().filter(|&&c| c == 0).count(),
-            1,
-            "{s2:?}"
-        );
+        assert_eq!(s2.choices.iter().filter(|&&c| c == 0).count(), 1, "{s2:?}");
     }
 
     #[test]
@@ -620,61 +589,73 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn matches_brute_force(seed in 0u64..10_000) {
-            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
-            let mut next = |m: u64| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                state % m
-            };
-            let n = 2 + (next(4) as usize); // 2..=5 items
-            let mut p = ChoiceProblem::new();
-            let mut n_choices = Vec::new();
-            for _ in 0..n {
-                let k = 2 + next(3) as usize;
-                n_choices.push(k);
-                p.add_item((0..k).map(|_| next(100) as f64 / 10.0).collect());
-            }
-            // One random pair.
-            if n >= 2 {
-                let a = next(n as u64) as usize;
-                let mut b = next(n as u64) as usize;
-                if b == a { b = (a + 1) % n; }
-                let costs = (0..n_choices[a])
-                    .map(|_| (0..n_choices[b])
-                        .map(|_| next(50) as f64 / 10.0).collect())
-                    .collect();
-                p.add_pair(PairCost { a, b, costs });
-            }
-            // One random hard group over choice 0 of each item.
-            p.add_capacity_group(CapacityGroup {
-                members: (0..n).map(|i| (i, 0)).collect(),
-                limit: 1 + next(2) as u32,
-            });
-            // One soft group over choice 1.
-            p.add_soft_group(SoftGroup {
-                members: (0..n).map(|i| (i, 1)).collect(),
-                limit: 1,
-                penalty: next(30) as f64 / 3.0,
-            });
+    /// Deterministic seed sweep; the off-by-default `proptest` feature
+    /// widens it.
+    #[test]
+    fn matches_brute_force() {
+        let cases = if cfg!(feature = "proptest") { 512 } else { 64 };
+        let mut picker = prng::Rng::seed_from_u64(0x11b);
+        for _ in 0..cases {
+            check_matches_brute_force(picker.range_u64(0, 9_999));
+        }
+    }
 
-            let bb = p.solve(1_000_000);
-            let bf = brute(&p);
-            match (bb, bf) {
-                (None, None) => {}
-                (Some(s), Some((cost, _))) => {
-                    prop_assert!(s.optimal);
-                    prop_assert!((s.objective - cost).abs() < 1e-9,
-                        "bb {} vs brute {}", s.objective, cost);
-                    let eval = p.evaluate(&s.choices).unwrap();
-                    prop_assert!((eval - s.objective).abs() < 1e-9);
-                }
-                (a, b) => prop_assert!(false, "feasibility mismatch {a:?} vs {b:?}"),
+    fn check_matches_brute_force(seed: u64) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+        let mut next = |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        let n = 2 + (next(4) as usize); // 2..=5 items
+        let mut p = ChoiceProblem::new();
+        let mut n_choices = Vec::new();
+        for _ in 0..n {
+            let k = 2 + next(3) as usize;
+            n_choices.push(k);
+            p.add_item((0..k).map(|_| next(100) as f64 / 10.0).collect());
+        }
+        // One random pair.
+        if n >= 2 {
+            let a = next(n as u64) as usize;
+            let mut b = next(n as u64) as usize;
+            if b == a {
+                b = (a + 1) % n;
             }
+            let costs = (0..n_choices[a])
+                .map(|_| (0..n_choices[b]).map(|_| next(50) as f64 / 10.0).collect())
+                .collect();
+            p.add_pair(PairCost { a, b, costs });
+        }
+        // One random hard group over choice 0 of each item.
+        p.add_capacity_group(CapacityGroup {
+            members: (0..n).map(|i| (i, 0)).collect(),
+            limit: 1 + next(2) as u32,
+        });
+        // One soft group over choice 1.
+        p.add_soft_group(SoftGroup {
+            members: (0..n).map(|i| (i, 1)).collect(),
+            limit: 1,
+            penalty: next(30) as f64 / 3.0,
+        });
+
+        let bb = p.solve(1_000_000);
+        let bf = brute(&p);
+        match (bb, bf) {
+            (None, None) => {}
+            (Some(s), Some((cost, _))) => {
+                assert!(s.optimal);
+                assert!(
+                    (s.objective - cost).abs() < 1e-9,
+                    "bb {} vs brute {}",
+                    s.objective,
+                    cost
+                );
+                let eval = p.evaluate(&s.choices).unwrap();
+                assert!((eval - s.objective).abs() < 1e-9);
+            }
+            (a, b) => panic!("feasibility mismatch {a:?} vs {b:?}"),
         }
     }
 }

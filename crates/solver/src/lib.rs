@@ -43,8 +43,6 @@ mod sdp;
 
 pub use cholesky::{Cholesky, CholeskyError};
 pub use eigen::{eigen_decompose, eigen_decompose_jacobi, Eigen};
-pub use ilp::{
-    CapacityGroup, ChoiceProblem, IlpSolution, PairCost, SoftGroup,
-};
+pub use ilp::{CapacityGroup, ChoiceProblem, IlpSolution, PairCost, SoftGroup};
 pub use matrix::{psd_project, SymMatrix};
 pub use sdp::{SdpProblem, SdpSolution, SdpSolver};

@@ -18,7 +18,10 @@ pub struct SymMatrix {
 impl SymMatrix {
     /// The zero matrix of dimension `n`.
     pub fn zeros(n: usize) -> SymMatrix {
-        SymMatrix { n, data: vec![0.0; n * n] }
+        SymMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// The identity matrix of dimension `n`.
@@ -282,9 +285,7 @@ mod tests {
         let mut m = SymMatrix::zeros(2);
         m.set(0, 1, 1.0);
         let p = psd_project(&m);
-        for (i, j, want) in
-            [(0, 0, 0.5), (0, 1, 0.5), (1, 0, 0.5), (1, 1, 0.5)]
-        {
+        for (i, j, want) in [(0, 0, 0.5), (0, 1, 0.5), (1, 0, 0.5), (1, 1, 0.5)] {
             assert!((p.get(i, j) - want).abs() < 1e-9, "({i},{j})");
         }
     }

@@ -46,7 +46,10 @@ pub struct SdpProblem {
 impl SdpProblem {
     /// Starts a problem with cost matrix `cost` (the paper's `T`).
     pub fn new(cost: SymMatrix) -> SdpProblem {
-        SdpProblem { cost, constraints: Vec::new() }
+        SdpProblem {
+            cost,
+            constraints: Vec::new(),
+        }
     }
 
     /// Dimension of the matrix variable.
@@ -72,11 +75,7 @@ impl SdpProblem {
     /// # Panics
     ///
     /// Panics if an index is out of range.
-    pub fn add_constraint(
-        &mut self,
-        entries: Vec<(usize, usize, f64)>,
-        rhs: f64,
-    ) {
+    pub fn add_constraint(&mut self, entries: Vec<(usize, usize, f64)>, rhs: f64) {
         let n = self.dim();
         let mut norm: Vec<(usize, usize, f64)> = Vec::with_capacity(entries.len());
         for (i, j, c) in entries {
@@ -127,8 +126,7 @@ impl SdpProblem {
         let mut g = SymMatrix::zeros(m);
         // Group coefficients by matrix entry, then accumulate pairwise.
         use std::collections::HashMap;
-        let mut by_entry: HashMap<(usize, usize), Vec<(usize, f64)>> =
-            HashMap::new();
+        let mut by_entry: HashMap<(usize, usize), Vec<(usize, f64)>> = HashMap::new();
         for (k, c) in self.constraints.iter().enumerate() {
             for &(i, j, coeff) in &c.entries {
                 by_entry.entry((i, j)).or_default().push((k, coeff));
@@ -162,6 +160,23 @@ pub struct SdpSolver {
     pub tolerance: f64,
     /// Whether to adapt ρ (doubling/halving on residual imbalance).
     pub adaptive_rho: bool,
+    /// Ranking-stability early stop: when > 0, the solver samples the
+    /// *ordering* of the diagonal iterate every few iterations (after a
+    /// short warm-up) and stops once it has stayed identical for this
+    /// many consecutive samples. Downstream consumers that only *rank*
+    /// the relaxed diagonal — CPLA's post-mapping is one — gain nothing
+    /// from iterating a settled ordering to numerical tolerance. 0
+    /// (the default) disables the check and reproduces the plain
+    /// residual-driven iteration.
+    pub rank_stop_window: usize,
+    /// How many leading diagonal entries the ranking check considers.
+    /// 0 (the default) ranks the whole diagonal. Consumers whose
+    /// decision variables occupy a prefix of the matrix — CPLA places
+    /// its slack rows after the assignment variables — should bound the
+    /// check to that prefix: slack entries are near-degenerate and
+    /// their jittering order would otherwise keep a settled assignment
+    /// ranking from ever reading as stable.
+    pub rank_stop_vars: usize,
 }
 
 impl Default for SdpSolver {
@@ -171,6 +186,8 @@ impl Default for SdpSolver {
             max_iterations: 600,
             tolerance: 1e-5,
             adaptive_rho: true,
+            rank_stop_window: 0,
+            rank_stop_vars: 0,
         }
     }
 }
@@ -184,6 +201,9 @@ pub struct SdpSolution {
     pub x: SymMatrix,
     /// The PSD iterate.
     pub z: SymMatrix,
+    /// The scaled dual iterate; pass `(z, u)` to [`SdpSolver::solve_from`]
+    /// to warm-start a re-solve of a similar problem.
+    pub u: SymMatrix,
     /// `⟨C, x⟩` at termination.
     pub objective: f64,
     /// Iterations performed.
@@ -197,12 +217,33 @@ pub struct SdpSolution {
 }
 
 impl SdpSolver {
-    /// Solves `problem`.
+    /// Solves `problem` from the cold start `X = Z = U = 0`.
     ///
     /// # Panics
     ///
     /// Panics if the problem has dimension 0.
     pub fn solve(&self, problem: &SdpProblem) -> SdpSolution {
+        self.solve_from(problem, None)
+    }
+
+    /// Solves `problem`, optionally warm-starting the splitting iterates
+    /// from a previous solution's `(z, u)` pair.
+    ///
+    /// ADMM's fixed point is a function of the problem alone; the warm
+    /// start only changes how many iterations reaching it takes, which
+    /// is what makes it safe for caches that re-solve a slightly
+    /// perturbed problem. A warm pair whose dimension does not match
+    /// the problem is ignored (the cached neighbor gained or lost slack
+    /// variables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem has dimension 0.
+    pub fn solve_from(
+        &self,
+        problem: &SdpProblem,
+        warm: Option<(&SymMatrix, &SymMatrix)>,
+    ) -> SdpSolution {
         let n = problem.dim();
         assert!(n > 0, "empty SDP");
         // Normalize the cost so ρ's default scale is meaningful across
@@ -222,9 +263,10 @@ impl SdpSolver {
             gram.add_to(k, k, ridge);
         }
         let gram_factor = if m > 0 {
-            Some(Cholesky::factor(&gram).expect(
-                "ridge-regularized Gram matrix must be positive definite",
-            ))
+            Some(
+                Cholesky::factor(&gram)
+                    .expect("ridge-regularized Gram matrix must be positive definite"),
+            )
         } else {
             None
         };
@@ -232,6 +274,12 @@ impl SdpSolver {
         let mut x = SymMatrix::zeros(n);
         let mut z = SymMatrix::zeros(n);
         let mut u = SymMatrix::zeros(n);
+        if let Some((z0, u0)) = warm {
+            if z0.dim() == n && u0.dim() == n {
+                z = z0.clone();
+                u = u0.clone();
+            }
+        }
         let mut rho = self.rho;
 
         let project_affine = |target: &SymMatrix, rho: f64| -> SymMatrix {
@@ -241,8 +289,7 @@ impl SdpSolver {
                 return target.clone();
             };
             let ax = problem.apply(target);
-            let rhs: Vec<f64> =
-                b.iter().zip(&ax).map(|(bi, ai)| rho * (bi - ai)).collect();
+            let rhs: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| rho * (bi - ai)).collect();
             let nu = factor.solve(&rhs);
             let mut out = target.clone();
             out.axpy(1.0 / rho, &problem.adjoint(&nu));
@@ -252,6 +299,12 @@ impl SdpSolver {
         let mut iterations = 0;
         let mut primal_residual = f64::INFINITY;
         let mut converged = false;
+        // Scratch buffer holding the previous Z (swapped, not cloned,
+        // each iteration).
+        let mut z_prev = SymMatrix::zeros(n);
+        // Ranking-stability state (see `rank_stop_window`).
+        let mut rank_prev: Vec<u32> = Vec::new();
+        let mut rank_stable = 0usize;
         for it in 0..self.max_iterations {
             iterations = it + 1;
             // X-update: affine projection of Z − U − C/ρ.
@@ -260,20 +313,52 @@ impl SdpSolver {
             x = project_affine(&target, rho);
 
             // Z-update: PSD projection of X + U.
-            let z_old = z.clone();
+            std::mem::swap(&mut z, &mut z_prev);
             z = psd_project(&(&x + &u));
 
-            // U-update.
-            u.axpy(1.0, &(&x - &z));
+            // U-update; the same X − Z difference feeds the dual ascent
+            // and the primal residual, so compute it once.
+            let diff = &x - &z;
+            u.axpy(1.0, &diff);
 
-            primal_residual = (&x - &z).norm();
-            let dual_residual = rho * (&z - &z_old).norm();
+            primal_residual = diff.norm();
+            let dual_residual = rho * (&z - &z_prev).norm();
             let scale = 1.0 + x.norm().max(z.norm());
-            if primal_residual < self.tolerance * scale
-                && dual_residual < self.tolerance * scale
-            {
+            if primal_residual < self.tolerance * scale && dual_residual < self.tolerance * scale {
                 converged = true;
                 break;
+            }
+            if self.rank_stop_window > 0 && it >= 8 && it % 3 == 2 {
+                let diag = x.diagonal();
+                let k = if self.rank_stop_vars == 0 {
+                    diag.len()
+                } else {
+                    self.rank_stop_vars.min(diag.len())
+                };
+                // Rank on values quantized to 1e-3 of the prefix's
+                // magnitude: entries closer than that are ties the
+                // relaxation has not resolved (and may never resolve —
+                // they jitter below the quantum from iterate to
+                // iterate), so their order must not hold up the stop.
+                let scale = diag[..k].iter().fold(1e-12f64, |m, v| m.max(v.abs()));
+                let quantum = 1e-3 * scale;
+                let quant: Vec<i64> = diag[..k]
+                    .iter()
+                    .map(|v| (v / quantum).round() as i64)
+                    .collect();
+                let mut order: Vec<u32> = (0..k as u32).collect();
+                order.sort_unstable_by(|&a, &b| {
+                    quant[b as usize].cmp(&quant[a as usize]).then(a.cmp(&b))
+                });
+                if order == rank_prev {
+                    rank_stable += 1;
+                    if rank_stable >= self.rank_stop_window {
+                        break;
+                    }
+                } else {
+                    rank_stable = 0;
+                    rank_prev = order;
+                }
             }
             if self.adaptive_rho && it % 10 == 9 {
                 if primal_residual > 10.0 * dual_residual {
@@ -297,6 +382,7 @@ impl SdpSolver {
         SdpSolution {
             x,
             z,
+            u,
             objective,
             iterations,
             primal_residual,
@@ -384,10 +470,7 @@ mod tests {
         c.set(1, 3, 1.5); // appears twice in ⟨C,X⟩ → effective 3.0
         let mut p = SdpProblem::new(c.clone());
         for s in 0..3 {
-            p.add_constraint(
-                vec![(2 * s, 2 * s, 1.0), (2 * s + 1, 2 * s + 1, 1.0)],
-                1.0,
-            );
+            p.add_constraint(vec![(2 * s, 2 * s, 1.0), (2 * s + 1, 2 * s + 1, 1.0)], 1.0);
         }
         let sol = SdpSolver::default().solve(&p);
         // Brute-force integer optimum of the rank-one evaluation
@@ -435,10 +518,7 @@ mod tests {
             let mut c = SymMatrix::from_diagonal(&[1.0, 3.0, 2.0]);
             c.scale(scale);
             let mut p = SdpProblem::new(c);
-            p.add_constraint(
-                vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)],
-                1.0,
-            );
+            p.add_constraint(vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)], 1.0);
             SdpSolver::default().solve(&p)
         };
         let a = build(1.0);
@@ -470,12 +550,91 @@ mod tests {
     }
 
     #[test]
+    fn warm_start_converges_no_slower_to_the_same_solution() {
+        let c = SymMatrix::from_diagonal(&[1.0, 3.0, 4.0, 2.0]);
+        let mut p = SdpProblem::new(c);
+        p.add_constraint(vec![(0, 0, 1.0), (1, 1, 1.0)], 1.0);
+        p.add_constraint(vec![(2, 2, 1.0), (3, 3, 1.0)], 1.0);
+        let solver = SdpSolver::default();
+        let cold = solver.solve(&p);
+        assert!(cold.converged);
+        let warm = solver.solve_from(&p, Some((&cold.z, &cold.u)));
+        assert!(warm.converged);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        for i in 0..4 {
+            assert!(
+                (warm.x.get(i, i) - cold.x.get(i, i)).abs() < 1e-3,
+                "entry {i}: {} vs {}",
+                warm.x.get(i, i),
+                cold.x.get(i, i)
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_warm_start_is_ignored() {
+        let c = SymMatrix::from_diagonal(&[1.0, 2.0]);
+        let mut p = SdpProblem::new(c);
+        p.add_constraint(vec![(0, 0, 1.0), (1, 1, 1.0)], 1.0);
+        let solver = SdpSolver::default();
+        let stale = SymMatrix::identity(5); // wrong dimension
+        let sol = solver.solve_from(&p, Some((&stale, &stale)));
+        let cold = solver.solve(&p);
+        assert_eq!(sol.iterations, cold.iterations);
+        assert!((sol.x.get(0, 0) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rank_stop_preserves_diagonal_ordering() {
+        // Assignment-shaped problem with clear per-row preferences; the
+        // early stop must not change which candidate ranks first.
+        let c = SymMatrix::from_diagonal(&[1.0, 3.0, 4.0, 2.0]);
+        let mut p = SdpProblem::new(c);
+        p.add_constraint(vec![(0, 0, 1.0), (1, 1, 1.0)], 1.0);
+        p.add_constraint(vec![(2, 2, 1.0), (3, 3, 1.0)], 1.0);
+        let full = SdpSolver::default().solve(&p);
+        let early = SdpSolver {
+            rank_stop_window: 3,
+            ..SdpSolver::default()
+        }
+        .solve(&p);
+        assert!(
+            early.iterations <= full.iterations,
+            "early {} vs full {}",
+            early.iterations,
+            full.iterations
+        );
+        let order = |d: &[f64]| {
+            let mut o: Vec<usize> = (0..d.len()).collect();
+            o.sort_by(|&a, &b| d[b].total_cmp(&d[a]).then(a.cmp(&b)));
+            o
+        };
+        assert_eq!(
+            order(&early.x.diagonal()),
+            order(&full.x.diagonal()),
+            "ordering diverged"
+        );
+    }
+
+    #[test]
     fn x_iterate_is_constraint_feasible_even_unconverged() {
         let c = SymMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
         let mut p = SdpProblem::new(c);
         p.add_constraint(vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)], 1.0);
-        let tight = SdpSolver { max_iterations: 3, ..SdpSolver::default() };
+        let tight = SdpSolver {
+            max_iterations: 3,
+            ..SdpSolver::default()
+        };
         let sol = tight.solve(&p);
-        assert!(sol.constraint_residual < 1e-6, "{}", sol.constraint_residual);
+        assert!(
+            sol.constraint_residual < 1e-6,
+            "{}",
+            sol.constraint_residual
+        );
     }
 }

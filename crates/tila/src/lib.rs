@@ -48,7 +48,7 @@
 
 use grid::{Direction, Grid};
 use net::{Assignment, Net, Netlist};
-use timing::NetTiming;
+use timing::{IncrementalTiming, NetTiming, TimingModel};
 
 /// Tunables of the Lagrangian-relaxation loop.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -64,7 +64,11 @@ pub struct TilaConfig {
 
 impl Default for TilaConfig {
     fn default() -> TilaConfig {
-        TilaConfig { rounds: 12, step_scale: 0.5, via_weight: 1.0 }
+        TilaConfig {
+            rounds: 12,
+            step_scale: 0.5,
+            via_weight: 1.0,
+        }
     }
 }
 
@@ -91,22 +95,22 @@ pub struct Tila {
 ///
 /// This is deliberately *not* the critical-path delay — reproducing the
 /// sum-objective is what makes the TILA-vs-CPLA comparison meaningful.
-pub fn weighted_sum_delay(
-    grid: &Grid,
-    net: &Net,
-    layers: &[usize],
-    timing: &NetTiming,
-) -> f64 {
+pub fn weighted_sum_delay(grid: &Grid, net: &Net, layers: &[usize], timing: &NetTiming) -> f64 {
+    weighted_sum_delay_from_caps(grid, net, layers, timing.downstream_caps())
+}
+
+/// [`weighted_sum_delay`] over a raw downstream-capacitance slice, so
+/// callers tracking caps incrementally (e.g. through
+/// [`timing::IncrementalTiming`]) avoid a full [`NetTiming`] recompute.
+///
+/// # Panics
+///
+/// Panics if `caps` is shorter than the net's segment count.
+pub fn weighted_sum_delay_from_caps(grid: &Grid, net: &Net, layers: &[usize], caps: &[f64]) -> f64 {
     let tree = net.tree();
     let mut total = 0.0;
     for s in 0..tree.num_segments() {
-        total += timing::segment_delay_on_layer(
-            grid,
-            net,
-            s,
-            layers[s],
-            timing.downstream_cap(s),
-        );
+        total += timing::segment_delay_on_layer(grid, net, s, layers[s], caps[s]);
     }
     for (_, lo, hi) in net.via_stacks(layers) {
         // Charge the stack with the smaller downstream capacitance of
@@ -174,8 +178,7 @@ impl Tila {
                 rounds_run: 0,
             };
         }
-        let delay_scale =
-            (initial_objective / released_segments as f64).max(1e-12);
+        let delay_scale = (initial_objective / released_segments as f64).max(1e-12);
         // Incumbent selection must not reward infeasibility: LR iterates
         // may transiently overfill edges, and snapshotting purely by
         // delay would lock such states in. Charge any wire overflow
@@ -197,15 +200,22 @@ impl Tila {
         let mut lambda_via: Vec<Vec<f64>> =
             (0..grid.num_layers()).map(|_| vec![0.0; n_cells]).collect();
 
-        // Criticality order: longest (slowest) nets first.
-        let mut order = released.to_vec();
-        order.sort_by(|&a, &b| {
-            let ta = NetTiming::compute(grid, netlist.net(a), assignment.net_layers(a))
-                .critical_delay();
-            let tb = NetTiming::compute(grid, netlist.net(b), assignment.net_layers(b))
-                .critical_delay();
-            tb.total_cmp(&ta)
-        });
+        // Criticality order: longest (slowest) nets first. Keys are
+        // computed once per net — a comparator that re-times both sides
+        // costs two O(net) computes per comparison.
+        let mut keyed: Vec<(f64, usize)> = released
+            .iter()
+            .map(|&i| {
+                let t = NetTiming::compute(grid, netlist.net(i), assignment.net_layers(i));
+                (t.critical_delay(), i)
+            })
+            .collect();
+        keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let order: Vec<usize> = keyed.into_iter().map(|(_, i)| i).collect();
+
+        // Electrical parameters are usage-independent; one snapshot
+        // serves every legalization sweep.
+        let model = TimingModel::from_grid(grid);
 
         let mut rounds_run = 0;
         for round in 1..=self.config.rounds {
@@ -215,8 +225,7 @@ impl Tila {
                 let old_layers = assignment.net_layers(ni).to_vec();
                 net::remove_net_from_grid(grid, net, &old_layers);
                 let t = NetTiming::compute(grid, net, &old_layers);
-                let new_layers =
-                    self.assign_net(grid, net, &t, &lambda_edge, &lambda_via);
+                let new_layers = self.assign_net(grid, net, &t, &lambda_edge, &lambda_via);
                 net::restore_net_to_grid(grid, net, &new_layers);
                 assignment.set_net_layers(ni, new_layers);
             }
@@ -227,25 +236,22 @@ impl Tila {
                 let dir = grid.layer(l).direction;
                 for e in grid.edges_in_direction(dir) {
                     let idx = grid.edge_flat_index(e);
-                    let violation = grid.edge_usage(l, e) as f64
-                        - grid.edge_capacity(l, e) as f64;
-                    lambda_edge[l][idx] =
-                        (lambda_edge[l][idx] + step * violation).max(0.0);
+                    let violation = grid.edge_usage(l, e) as f64 - grid.edge_capacity(l, e) as f64;
+                    lambda_edge[l][idx] = (lambda_edge[l][idx] + step * violation).max(0.0);
                 }
                 for cell in grid.cells() {
                     let idx = grid.cell_flat_index(cell);
-                    let violation = grid.via_usage(cell, l) as f64
-                        - grid.via_capacity(cell, l) as f64;
-                    lambda_via[l][idx] = (lambda_via[l][idx]
-                        + self.config.via_weight * step * violation)
-                        .max(0.0);
+                    let violation =
+                        grid.via_usage(cell, l) as f64 - grid.via_capacity(cell, l) as f64;
+                    lambda_via[l][idx] =
+                        (lambda_via[l][idx] + self.config.via_weight * step * violation).max(0.0);
                 }
             }
 
             // Legalization sweep: LR iterates may leave wire overflow;
             // relocate released segments off overfilled edges at the
             // least delay cost before judging the round.
-            self.legalize(grid, netlist, assignment, released);
+            self.legalize(grid, netlist, assignment, released, &model);
 
             let obj = objective(grid, assignment);
             let pen = penalized(grid, obj);
@@ -286,14 +292,22 @@ impl Tila {
         netlist: &Netlist,
         assignment: &mut Assignment,
         released: &[usize],
+        model: &TimingModel,
     ) {
         for _pass in 0..4 {
             let mut moved_any = false;
             for &ni in released {
                 let net = netlist.net(ni);
                 let tree = net.tree();
+                // Track this net's downstream capacitances incrementally:
+                // each accepted move is an O(path-to-root) update instead
+                // of the O(net) recompute the sweep used to pay per
+                // overflowing segment.
+                let mut layers = assignment.net_layers(ni).to_vec();
+                let mut inc = IncrementalTiming::new(model, net, &layers);
+                let mut net_moved = false;
                 for s in 0..tree.num_segments() {
-                    let layer = assignment.layer(ni, s);
+                    let layer = layers[s];
                     let overflowing = tree
                         .segment_edges(s)
                         .iter()
@@ -304,8 +318,7 @@ impl Tila {
                     // Candidate layers with room everywhere, cheapest
                     // delay first.
                     let dir = tree.segment(s).dir;
-                    let timing =
-                        NetTiming::compute(grid, net, assignment.net_layers(ni));
+                    let cd = inc.downstream_cap(s);
                     let mut options: Vec<(f64, usize)> = grid
                         .layers_in_direction(dir)
                         .filter(|&l| l != layer)
@@ -314,28 +327,21 @@ impl Tila {
                                 .iter()
                                 .all(|&e| grid.edge_residual(l, e) > 0)
                         })
-                        .map(|l| {
-                            (
-                                timing::segment_delay_on_layer(
-                                    grid,
-                                    net,
-                                    s,
-                                    l,
-                                    timing.downstream_cap(s),
-                                ),
-                                l,
-                            )
-                        })
+                        .map(|l| (timing::segment_delay_on_layer(grid, net, s, l, cd), l))
                         .collect();
                     options.sort_by(|a, b| a.0.total_cmp(&b.0));
                     if let Some(&(_, new_layer)) = options.first() {
-                        let mut layers = assignment.net_layers(ni).to_vec();
                         net::remove_net_from_grid(grid, net, &layers);
                         layers[s] = new_layer;
                         net::restore_net_to_grid(grid, net, &layers);
-                        assignment.set_net_layers(ni, layers);
+                        inc.set_layer(s, new_layer);
+                        net_moved = true;
                         moved_any = true;
                     }
+                }
+                if net_moved {
+                    inc.commit();
+                    assignment.set_net_layers(ni, layers);
                 }
             }
             if !moved_any {
@@ -356,10 +362,8 @@ impl Tila {
     ) -> Vec<usize> {
         let tree = net.tree();
         let num_layers = grid.num_layers();
-        let h_layers: Vec<usize> =
-            grid.layers_in_direction(Direction::Horizontal).collect();
-        let v_layers: Vec<usize> =
-            grid.layers_in_direction(Direction::Vertical).collect();
+        let h_layers: Vec<usize> = grid.layers_in_direction(Direction::Horizontal).collect();
+        let v_layers: Vec<usize> = grid.layers_in_direction(Direction::Vertical).collect();
         let layers_of = |dir: Direction| -> &[usize] {
             match dir {
                 Direction::Horizontal => &h_layers,
@@ -386,13 +390,8 @@ impl Tila {
             let node_cell = tree.node(child_node).cell;
             let pin = tree.node(child_node).pin.map(|p| &net.pins()[p as usize]);
             for &l in layers_of(tree.segment(s).dir) {
-                let mut cost = timing::segment_delay_on_layer(
-                    grid,
-                    net,
-                    s,
-                    l,
-                    timing.downstream_cap(s),
-                );
+                let mut cost =
+                    timing::segment_delay_on_layer(grid, net, s, l, timing.downstream_cap(s));
                 for e in tree.segment_edges(s) {
                     cost += lambda_edge[l][grid.edge_flat_index(e)];
                 }
@@ -407,13 +406,7 @@ impl Tila {
                         .map(|&cl| {
                             (
                                 cl,
-                                dp[cs][cl]
-                                    + via_cost(
-                                        node_cell,
-                                        l,
-                                        cl,
-                                        timing.downstream_cap(cs),
-                                    ),
+                                dp[cs][cl] + via_cost(node_cell, l, cl, timing.downstream_cap(cs)),
                             )
                         })
                         .min_by(|a, b| a.1.total_cmp(&b.1))
@@ -438,13 +431,7 @@ impl Tila {
                 .map(|&l| {
                     (
                         l,
-                        dp[cs][l]
-                            + via_cost(
-                                root_cell,
-                                src.layer,
-                                l,
-                                timing.downstream_cap(cs),
-                            ),
+                        dp[cs][l] + via_cost(root_cell, src.layer, l, timing.downstream_cap(cs)),
                     )
                 })
                 .min_by(|a, b| a.1.total_cmp(&b.1))
@@ -454,9 +441,7 @@ impl Tila {
         while let Some((s, l)) = stack.pop() {
             layers[s] = l;
             let child_node = tree.segment(s).to as usize;
-            for (k, &cs) in
-                tree.child_segments(child_node).iter().enumerate()
-            {
+            for (k, &cs) in tree.child_segments(child_node).iter().enumerate() {
                 stack.push((cs as usize, pick[s][l][k]));
             }
         }
@@ -508,16 +493,17 @@ mod tests {
     fn improves_sum_delay_of_released_nets() {
         let (mut grid, nl, mut a) = fixture();
         let released: Vec<usize> = (0..6).collect();
-        let r = Tila::new(TilaConfig::default())
-            .run(&mut grid, &nl, &mut a, &released);
+        let r = Tila::new(TilaConfig::default()).run(&mut grid, &nl, &mut a, &released);
         assert!(
             r.final_objective <= r.initial_objective,
             "{} > {}",
             r.final_objective,
             r.initial_objective
         );
-        assert!(r.final_objective < r.initial_objective * 0.999,
-            "LR should find some improvement on a congested corridor");
+        assert!(
+            r.final_objective < r.initial_objective * 0.999,
+            "LR should find some improvement on a congested corridor"
+        );
         a.validate(&nl, &grid).unwrap();
     }
 
@@ -541,8 +527,7 @@ mod tests {
     #[test]
     fn untouched_nets_keep_their_layers() {
         let (mut grid, nl, mut a) = fixture();
-        let before: Vec<Vec<usize>> =
-            (6..nl.len()).map(|i| a.net_layers(i).to_vec()).collect();
+        let before: Vec<Vec<usize>> = (6..nl.len()).map(|i| a.net_layers(i).to_vec()).collect();
         Tila::new(TilaConfig::default()).run(&mut grid, &nl, &mut a, &[0, 1]);
         for (k, i) in (6..nl.len()).enumerate() {
             assert_eq!(a.net_layers(i), before[k].as_slice());
@@ -597,10 +582,7 @@ mod tests {
             let mut layers = a.net_layers(i).to_vec();
             for l in layers.iter_mut() {
                 let dir = grid.layer(*l).direction;
-                *l = grid
-                    .layers_in_direction(dir)
-                    .next()
-                    .expect("lowest layer");
+                *l = grid.layers_in_direction(dir).next().expect("lowest layer");
             }
             net::restore_net_to_grid(&mut grid, net, &layers);
             a.set_net_layers(i, layers);
@@ -627,18 +609,30 @@ mod tests {
         let total = weighted_sum_delay(&grid, net, layers, &t);
         let mut manual = 0.0;
         for s in 0..net.tree().num_segments() {
-            manual += timing::segment_delay_on_layer(
-                &grid,
-                net,
-                s,
-                layers[s],
-                t.downstream_cap(s),
-            );
+            manual += timing::segment_delay_on_layer(&grid, net, s, layers[s], t.downstream_cap(s));
         }
         for (_, lo, hi) in net.via_stacks(layers) {
             manual += grid.via_stack_resistance(lo, hi);
         }
         assert!((total - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caps_variant_matches_timing_based_objective() {
+        let (grid, nl, a) = fixture();
+        let model = TimingModel::from_grid(&grid);
+        for i in 0..nl.len() {
+            let net = nl.net(i);
+            let layers = a.net_layers(i);
+            let t = NetTiming::compute(&grid, net, layers);
+            let inc = IncrementalTiming::new(&model, net, layers);
+            let from_timing = weighted_sum_delay(&grid, net, layers, &t);
+            let from_caps = weighted_sum_delay_from_caps(&grid, net, layers, inc.downstream_caps());
+            assert!(
+                (from_timing - from_caps).abs() <= 1e-12 * from_timing.abs().max(1.0),
+                "net {i}: {from_timing} vs {from_caps}"
+            );
+        }
     }
 
     #[test]

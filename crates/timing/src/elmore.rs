@@ -78,8 +78,7 @@ impl NetTiming {
         for &cs in tree.child_segments(root) {
             let cs = cs as usize;
             let len = tree.segment_length(cs) as f64;
-            total_cap +=
-                grid.layer(layers[cs]).unit_capacitance * len + downstream_cap[cs];
+            total_cap += grid.layer(layers[cs]).unit_capacitance * len + downstream_cap[cs];
         }
 
         // -------- top-down: node delays --------
@@ -115,8 +114,7 @@ impl NetTiming {
             };
             let via_delay = via_r * entry_cd.min(downstream_cap[s]);
 
-            node_delay[v] =
-                node_delay[u] + via_delay + r * (c / 2.0 + downstream_cap[s]);
+            node_delay[v] = node_delay[u] + via_delay + r * (c / 2.0 + downstream_cap[s]);
         }
 
         // -------- sink delays (including the pin drop-via) --------
@@ -137,13 +135,17 @@ impl NetTiming {
             } else {
                 (metal_layer, pin.layer)
             };
-            let drop_delay =
-                grid.via_stack_resistance(lo, hi) * pin.capacitance;
+            let drop_delay = grid.via_stack_resistance(lo, hi) * pin.capacitance;
             sink_delays.push((p as usize, node_delay[ni] + drop_delay));
         }
         sink_delays.sort_by_key(|&(p, _)| p);
 
-        NetTiming { downstream_cap, node_delay, sink_delays, total_cap }
+        NetTiming {
+            downstream_cap,
+            node_delay,
+            sink_delays,
+            total_cap,
+        }
     }
 
     /// Downstream capacitance of segment `s` (excluding its own wire).

@@ -25,7 +25,11 @@ impl DelayHistogram {
     pub fn from_delays(delays: &[f64], bins: usize) -> DelayHistogram {
         assert!(bins > 0, "histogram needs at least one bin");
         if delays.is_empty() {
-            return DelayHistogram { lo: 0.0, hi: 0.0, counts: vec![0; bins] };
+            return DelayHistogram {
+                lo: 0.0,
+                hi: 0.0,
+                counts: vec![0; bins],
+            };
         }
         let lo = delays.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = delays.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -48,19 +52,13 @@ impl DelayHistogram {
     /// # Panics
     ///
     /// Panics if `bins == 0` or `hi < lo`.
-    pub fn with_range(
-        delays: &[f64],
-        lo: f64,
-        hi: f64,
-        bins: usize,
-    ) -> DelayHistogram {
+    pub fn with_range(delays: &[f64], lo: f64, hi: f64, bins: usize) -> DelayHistogram {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi >= lo, "invalid range {lo}..{hi}");
         let mut counts = vec![0u64; bins];
         let span = (hi - lo).max(f64::MIN_POSITIVE);
         for &d in delays {
-            let b = (((d - lo) / span * bins as f64) as isize)
-                .clamp(0, bins as isize - 1) as usize;
+            let b = (((d - lo) / span * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
             counts[b] += 1;
         }
         DelayHistogram { lo, hi, counts }

@@ -43,10 +43,12 @@
 
 mod elmore;
 mod histogram;
+mod incremental;
 mod report;
 mod slack;
 
 pub use elmore::{segment_delay_on_layer, NetTiming};
 pub use histogram::DelayHistogram;
+pub use incremental::{IncrementalTiming, TimingModel};
 pub use report::{analyze, analyze_nets, TimingReport};
 pub use slack::{RequiredTimes, SlackReport};

@@ -55,7 +55,10 @@ impl TimingReport {
         if self.timings.is_empty() {
             return 0.0;
         }
-        self.timings.iter().map(|(_, t)| t.critical_delay()).sum::<f64>()
+        self.timings
+            .iter()
+            .map(|(_, t)| t.critical_delay())
+            .sum::<f64>()
             / self.timings.len() as f64
     }
 
@@ -95,11 +98,7 @@ impl TimingReport {
 ///
 /// Panics if the assignment does not match the netlist (wrong shapes or
 /// out-of-range layers).
-pub fn analyze(
-    grid: &Grid,
-    netlist: &Netlist,
-    assignment: &Assignment,
-) -> TimingReport {
+pub fn analyze(grid: &Grid, netlist: &Netlist, assignment: &Assignment) -> TimingReport {
     analyze_nets(grid, netlist, assignment, 0..netlist.len())
 }
 
@@ -123,11 +122,7 @@ pub fn analyze_nets(
         .map(|i| {
             (
                 i,
-                NetTiming::compute(
-                    grid,
-                    netlist.net(i),
-                    assignment.net_layers(i),
-                ),
+                NetTiming::compute(grid, netlist.net(i), assignment.net_layers(i)),
             )
         })
         .collect();

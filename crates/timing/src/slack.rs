@@ -23,7 +23,10 @@ pub struct RequiredTimes {
 impl RequiredTimes {
     /// Uniform budget for every sink.
     pub fn uniform(budget: f64) -> RequiredTimes {
-        RequiredTimes { default_budget: budget, per_sink: HashMap::new() }
+        RequiredTimes {
+            default_budget: budget,
+            per_sink: HashMap::new(),
+        }
     }
 
     /// Overrides the budget of one sink.
@@ -89,10 +92,7 @@ impl SlackReport {
 
     /// Total negative slack (0.0 when nothing violates).
     pub fn total_negative_slack(&self) -> f64 {
-        self.slacks
-            .iter()
-            .map(|&(_, _, s)| s.min(0.0))
-            .sum()
+        self.slacks.iter().map(|&(_, _, s)| s.min(0.0)).sum()
     }
 
     /// Number of violating sinks.
@@ -154,11 +154,8 @@ mod tests {
         let (report, _) = fixture();
         // Budget sits between the delay of net 0 (len 4) and net 2
         // (len 10).
-        let mid = (report.net(0).critical_delay()
-            + report.net(2).critical_delay())
-            / 2.0;
-        let slack =
-            SlackReport::new(&report, &RequiredTimes::uniform(mid));
+        let mid = (report.net(0).critical_delay() + report.net(2).critical_delay()) / 2.0;
+        let slack = SlackReport::new(&report, &RequiredTimes::uniform(mid));
         let violating = slack.violating_nets();
         assert_eq!(violating, vec![1, 2], "worst first");
         assert_eq!(slack.violations(), 2);
@@ -169,8 +166,7 @@ mod tests {
     #[test]
     fn generous_budget_has_no_violations() {
         let (report, _) = fixture();
-        let slack =
-            SlackReport::new(&report, &RequiredTimes::uniform(1e12));
+        let slack = SlackReport::new(&report, &RequiredTimes::uniform(1e12));
         assert_eq!(slack.violations(), 0);
         assert_eq!(slack.total_negative_slack(), 0.0);
         assert!(slack.violating_nets().is_empty());

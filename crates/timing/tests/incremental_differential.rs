@@ -1,0 +1,165 @@
+//! Differential test: [`IncrementalTiming`] must agree with a fresh
+//! [`NetTiming::compute`] to 1e-9 (relative) after arbitrary sequences
+//! of single-segment layer changes, commits and reverts, and a revert
+//! must restore the state at the last commit point bitwise.
+//!
+//! Deterministic seed sweeps; the off-by-default `proptest` feature
+//! widens the sampled ranges.
+
+use grid::{Cell, Direction, Grid, GridBuilder};
+use net::{Net, Pin, RouteTreeBuilder};
+use prng::Rng;
+use timing::{IncrementalTiming, NetTiming, TimingModel};
+
+fn sweep() -> (usize, usize) {
+    // (nets, ops per net)
+    if cfg!(feature = "proptest") {
+        (200, 200)
+    } else {
+        (40, 60)
+    }
+}
+
+fn grid() -> Grid {
+    GridBuilder::new(32, 32)
+        .alternating_layers(6, Direction::Horizontal)
+        .build()
+        .unwrap()
+}
+
+/// Grows a random routing tree and decorates it with random sink pins,
+/// pin layers and a random driver resistance.
+fn random_net(rng: &mut Rng) -> Net {
+    let root_cell = Cell::new(rng.range_u16(6, 25), rng.range_u16(6, 25));
+    let mut b = RouteTreeBuilder::new(root_cell);
+    let mut cells = vec![root_cell];
+    let target_segments = rng.range_usize(1, 12);
+    let mut guard = 0;
+    while b.num_nodes() < target_segments + 1 && guard < 200 {
+        guard += 1;
+        let from = rng.range_usize(0, b.num_nodes() - 1);
+        let fc = b.node_cell(from);
+        let span = rng.range_u16(1, 5) as i32;
+        let sign = if rng.bool(0.5) { 1 } else { -1 };
+        let (x, y) = if rng.bool(0.5) {
+            (fc.x as i32 + sign * span, fc.y as i32)
+        } else {
+            (fc.x as i32, fc.y as i32 + sign * span)
+        };
+        if !(0..32).contains(&x) || !(0..32).contains(&y) {
+            continue;
+        }
+        let to = Cell::new(x as u16, y as u16);
+        if cells.contains(&to) {
+            continue;
+        }
+        if let Ok(n) = b.add_segment(from, to) {
+            cells.push(b.node_cell(n));
+        }
+    }
+    let nodes = b.num_nodes();
+    b.attach_pin(b.root(), 0).unwrap();
+    let mut pins = vec![Pin::source(root_cell, 0.0).on_layer(rng.range_usize(0, 2))];
+    for node in 1..nodes {
+        // Leaf nodes always get a sink so every branch ends in one;
+        // interior nodes occasionally host one too.
+        if node + 1 == nodes || rng.bool(0.4) {
+            let pin_idx = pins.len() as u32;
+            b.attach_pin(node, pin_idx).unwrap();
+            pins.push(
+                Pin::sink(b.node_cell(node), rng.range_f64(0.1, 4.0))
+                    .on_layer(rng.range_usize(0, 2)),
+            );
+        }
+    }
+    let mut net = Net::new("rand", pins, b.build().unwrap());
+    net.driver_resistance = rng.range_f64(0.2, 3.0);
+    net
+}
+
+/// Direction-consistent random layer for segment `s`.
+fn random_layer(rng: &mut Rng, grid: &Grid, net: &Net, s: usize) -> usize {
+    let dir = net.tree().segment(s).dir;
+    let layers: Vec<usize> = grid.layers_in_direction(dir).collect();
+    layers[rng.range_usize(0, layers.len() - 1)]
+}
+
+fn assert_matches(inc: &IncrementalTiming, grid: &Grid, net: &Net) {
+    let fresh = NetTiming::compute(grid, net, inc.layers());
+    let tol = |x: f64| 1e-9 * x.abs().max(1.0);
+    for s in 0..net.tree().num_segments() {
+        let (a, b) = (inc.downstream_cap(s), fresh.downstream_cap(s));
+        assert!((a - b).abs() <= tol(b), "cap[{s}]: {a} vs {b}");
+    }
+    assert!((inc.total_cap() - fresh.total_cap()).abs() <= tol(fresh.total_cap()));
+    let (a, b) = (inc.critical_delay(), fresh.critical_delay());
+    assert!((a - b).abs() <= tol(b), "critical: {a} vs {b}");
+    let sinks = inc.sink_delays();
+    let fresh_sinks = fresh.sink_delays();
+    assert_eq!(sinks.len(), fresh_sinks.len());
+    for (&(p, d), &(fp, fd)) in sinks.iter().zip(fresh_sinks) {
+        assert_eq!(p, fp);
+        assert!((d - fd).abs() <= tol(fd), "sink {p}: {d} vs {fd}");
+    }
+}
+
+#[test]
+fn incremental_matches_fresh_compute_under_random_ops() {
+    let g = grid();
+    let model = TimingModel::from_grid(&g);
+    let (nets, ops) = sweep();
+    let mut rng = Rng::seed_from_u64(0x1c4e);
+    for _ in 0..nets {
+        let net = random_net(&mut rng);
+        let n = net.tree().num_segments();
+        let layers: Vec<usize> = (0..n)
+            .map(|s| random_layer(&mut rng, &g, &net, s))
+            .collect();
+        let mut inc = IncrementalTiming::new(&model, &net, &layers);
+        assert_matches(&inc, &g, &net);
+
+        // Snapshot of the last committed state, for revert checks.
+        let mut committed_layers = layers.clone();
+        let mut committed_bits = inc.critical_delay().to_bits();
+        for _ in 0..ops {
+            let s = rng.range_usize(0, n - 1);
+            inc.set_layer(s, random_layer(&mut rng, &g, &net, s));
+            assert_matches(&inc, &g, &net);
+            if rng.bool(0.3) {
+                inc.commit();
+                committed_layers = inc.layers().to_vec();
+                committed_bits = inc.critical_delay().to_bits();
+            } else if rng.bool(0.3) {
+                inc.revert();
+                assert_eq!(inc.layers(), committed_layers.as_slice());
+                assert_eq!(inc.critical_delay().to_bits(), committed_bits);
+                assert_matches(&inc, &g, &net);
+            }
+        }
+    }
+}
+
+#[test]
+fn revert_after_long_uncommitted_run_is_exact() {
+    let g = grid();
+    let model = TimingModel::from_grid(&g);
+    let mut rng = Rng::seed_from_u64(0xd1ff);
+    for _ in 0..10 {
+        let net = random_net(&mut rng);
+        let n = net.tree().num_segments();
+        let layers: Vec<usize> = (0..n)
+            .map(|s| random_layer(&mut rng, &g, &net, s))
+            .collect();
+        let mut inc = IncrementalTiming::new(&model, &net, &layers);
+        let caps = inc.downstream_caps().to_vec();
+        let bits = inc.critical_delay().to_bits();
+        for _ in 0..100 {
+            let s = rng.range_usize(0, n - 1);
+            inc.set_layer(s, random_layer(&mut rng, &g, &net, s));
+        }
+        inc.revert();
+        assert_eq!(inc.layers(), layers.as_slice());
+        assert_eq!(inc.downstream_caps(), caps.as_slice());
+        assert_eq!(inc.critical_delay().to_bits(), bits);
+    }
+}

@@ -49,8 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut grid = grid0.clone();
         let mut a = assignment0.clone();
         let t = Instant::now();
-        Tila::new(TilaConfig::default())
-            .run(&mut grid, &netlist, &mut a, &released);
+        Tila::new(TilaConfig::default()).run(&mut grid, &netlist, &mut a, &released);
         let m = Metrics::measure(&grid, &netlist, &a, &released);
         print("TILA", &m, t.elapsed().as_secs_f64());
     }
@@ -61,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut a = assignment0.clone();
         let t = Instant::now();
         Cpla::new(CplaConfig {
-            solver: SolverKind::Ilp { node_budget: 1_000_000 },
+            solver: SolverKind::Ilp {
+                node_budget: 1_000_000,
+            },
             ..CplaConfig::default()
         })
         .run_released(&mut grid, &netlist, &mut a, &released);
@@ -74,8 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut grid = grid0.clone();
         let mut a = assignment0.clone();
         let t = Instant::now();
-        Cpla::new(CplaConfig::default())
-            .run_released(&mut grid, &netlist, &mut a, &released);
+        Cpla::new(CplaConfig::default()).run_released(&mut grid, &netlist, &mut a, &released);
         let m = Metrics::measure(&grid, &netlist, &a, &released);
         print("CPLA-SDP", &m, t.elapsed().as_secs_f64());
         a.validate(&netlist, &grid)?;

@@ -11,10 +11,11 @@ use route::{initial_assignment, route_netlist, RouterConfig};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name =
-        std::env::args().nth(1).unwrap_or_else(|| "adaptec1".to_string());
-    let config = SyntheticConfig::named(&name)
-        .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "adaptec1".to_string());
+    let config =
+        SyntheticConfig::named(&name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
 
     println!("generating {name} ...");
     let (mut grid, specs) = config.generate()?;
@@ -45,11 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let t2 = Instant::now();
-    let report = Cpla::new(CplaConfig::default()).run(
-        &mut grid,
-        &netlist,
-        &mut assignment,
-    );
+    let report = Cpla::new(CplaConfig::default()).run(&mut grid, &netlist, &mut assignment);
     let cpu = t2.elapsed().as_secs_f64();
 
     let m: &Metrics = &report.final_metrics;

@@ -37,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Standard flow on the parsed design.
-    let netlist =
-        route_netlist(&grid, parsed.net_specs(), &RouterConfig::default());
+    let netlist = route_netlist(&grid, parsed.net_specs(), &RouterConfig::default());
     let mut assignment = initial_assignment(&mut grid, &netlist);
     let report = Cpla::new(CplaConfig {
         critical_ratio: 0.05,

@@ -61,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. Release every net as critical and optimize.
-    let config = CplaConfig { critical_ratio: 1.0, ..CplaConfig::default() };
+    let config = CplaConfig {
+        critical_ratio: 1.0,
+        ..CplaConfig::default()
+    };
     let report = Cpla::new(config).run(&mut grid, &netlist, &mut assignment);
 
     // 5. Report the outcome.

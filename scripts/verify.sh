@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline-safe local verification mirroring .github/workflows/ci.yml:
+# formatting, lints, tier-1 build + tests. No network access required —
+# the workspace has no external registry dependencies beyond what is
+# already vendored in the toolchain's cache, so everything runs with
+# --offline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline
+
+echo "==> workspace tests"
+cargo test --workspace -q --offline
+
+echo "verify.sh: all checks passed"

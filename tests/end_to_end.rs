@@ -17,25 +17,13 @@ fn pipeline(seed: u64) -> (grid::Grid, Netlist, Assignment) {
 
 /// Rebuilds grid usage from scratch and compares with the incrementally
 /// maintained state.
-fn assert_usage_consistent(
-    grid: &grid::Grid,
-    netlist: &Netlist,
-    assignment: &Assignment,
-) {
+fn assert_usage_consistent(grid: &grid::Grid, netlist: &Netlist, assignment: &Assignment) {
     let mut fresh = grid.clone();
     for i in 0..netlist.len() {
-        net::remove_net_from_grid(
-            &mut fresh,
-            netlist.net(i),
-            assignment.net_layers(i),
-        );
+        net::remove_net_from_grid(&mut fresh, netlist.net(i), assignment.net_layers(i));
     }
     for i in 0..netlist.len() {
-        net::restore_net_to_grid(
-            &mut fresh,
-            netlist.net(i),
-            assignment.net_layers(i),
-        );
+        net::restore_net_to_grid(&mut fresh, netlist.net(i), assignment.net_layers(i));
     }
     assert_eq!(&fresh, grid, "incremental usage diverged from ground truth");
 }
@@ -76,18 +64,14 @@ fn cpla_only_touches_released_nets() {
     let (mut grid, netlist, mut assignment) = pipeline(14);
     let report = timing::analyze(&grid, &netlist, &assignment);
     let released = cpla::select_critical_nets(&report, 0.03);
-    let untouched: Vec<usize> =
-        (0..netlist.len()).filter(|i| !released.contains(i)).collect();
+    let untouched: Vec<usize> = (0..netlist.len())
+        .filter(|i| !released.contains(i))
+        .collect();
     let before: Vec<Vec<usize>> = untouched
         .iter()
         .map(|&i| assignment.net_layers(i).to_vec())
         .collect();
-    Cpla::new(CplaConfig::default()).run_released(
-        &mut grid,
-        &netlist,
-        &mut assignment,
-        &released,
-    );
+    Cpla::new(CplaConfig::default()).run_released(&mut grid, &netlist, &mut assignment, &released);
     for (k, &i) in untouched.iter().enumerate() {
         assert_eq!(
             assignment.net_layers(i),
@@ -122,16 +106,8 @@ fn timing_is_invariant_under_usage_rebuild() {
     let before = timing::analyze(&grid, &netlist, &assignment);
     let mut rebuilt = grid.clone();
     for i in 0..netlist.len() {
-        net::remove_net_from_grid(
-            &mut rebuilt,
-            netlist.net(i),
-            assignment.net_layers(i),
-        );
-        net::restore_net_to_grid(
-            &mut rebuilt,
-            netlist.net(i),
-            assignment.net_layers(i),
-        );
+        net::remove_net_from_grid(&mut rebuilt, netlist.net(i), assignment.net_layers(i));
+        net::restore_net_to_grid(&mut rebuilt, netlist.net(i), assignment.net_layers(i));
     }
     let after = timing::analyze(&rebuilt, &netlist, &assignment);
     assert_eq!(before, after);

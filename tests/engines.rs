@@ -24,25 +24,23 @@ fn fixture(seed: u64) -> Fixture {
     let assignment = initial_assignment(&mut grid, &netlist);
     let report = timing::analyze(&grid, &netlist, &assignment);
     let released = cpla::select_critical_nets(&report, 0.05);
-    Fixture { grid, netlist, assignment, released }
+    Fixture {
+        grid,
+        netlist,
+        assignment,
+        released,
+    }
 }
 
 #[test]
 fn both_engines_improve_over_initial() {
     let f = fixture(21);
-    let initial =
-        Metrics::measure(&f.grid, &f.netlist, &f.assignment, &f.released);
+    let initial = Metrics::measure(&f.grid, &f.netlist, &f.assignment, &f.released);
 
     let mut tila_grid = f.grid.clone();
     let mut tila_a = f.assignment.clone();
-    Tila::new(TilaConfig::default()).run(
-        &mut tila_grid,
-        &f.netlist,
-        &mut tila_a,
-        &f.released,
-    );
-    let tila_m =
-        Metrics::measure(&tila_grid, &f.netlist, &tila_a, &f.released);
+    Tila::new(TilaConfig::default()).run(&mut tila_grid, &f.netlist, &mut tila_a, &f.released);
+    let tila_m = Metrics::measure(&tila_grid, &f.netlist, &tila_a, &f.released);
 
     let mut cpla_grid = f.grid.clone();
     let mut cpla_a = f.assignment.clone();
@@ -52,8 +50,7 @@ fn both_engines_improve_over_initial() {
         &mut cpla_a,
         &f.released,
     );
-    let cpla_m =
-        Metrics::measure(&cpla_grid, &f.netlist, &cpla_a, &f.released);
+    let cpla_m = Metrics::measure(&cpla_grid, &f.netlist, &cpla_a, &f.released);
 
     assert!(tila_m.avg_tcp < initial.avg_tcp, "TILA must improve");
     assert!(cpla_m.avg_tcp < initial.avg_tcp, "CPLA must improve");
@@ -73,12 +70,17 @@ fn sdp_and_ilp_modes_land_close() {
     let run = |solver: SolverKind| {
         let mut grid = f.grid.clone();
         let mut a = f.assignment.clone();
-        Cpla::new(CplaConfig { solver, ..CplaConfig::default() })
-            .run_released(&mut grid, &f.netlist, &mut a, &f.released);
+        Cpla::new(CplaConfig {
+            solver,
+            ..CplaConfig::default()
+        })
+        .run_released(&mut grid, &f.netlist, &mut a, &f.released);
         Metrics::measure(&grid, &f.netlist, &a, &f.released)
     };
     let sdp = run(CplaConfig::default().solver);
-    let ilp = run(SolverKind::Ilp { node_budget: 1_000_000 });
+    let ilp = run(SolverKind::Ilp {
+        node_budget: 1_000_000,
+    });
     // Fig. 7's claim: the relaxation matches the exact solver closely.
     let ratio = sdp.avg_tcp / ilp.avg_tcp;
     assert!(
@@ -94,13 +96,7 @@ fn sdp_relaxation_lower_bounds_partition_ilp_on_real_problems() {
     // Extract actual partition problems from a real benchmark state and
     // verify the relaxation bound on each.
     let f = fixture(23);
-    let ctx = cpla::timing_context(
-        &f.grid,
-        &f.netlist,
-        &f.assignment,
-        &f.released,
-        4.0,
-    );
+    let ctx = cpla::timing_context(&f.grid, &f.netlist, &f.assignment, &f.released, 4.0);
     let segments: Vec<SegmentRef> = f
         .released
         .iter()
@@ -151,12 +147,7 @@ fn engines_preserve_non_released_usage() {
     let f = fixture(24);
     let mut grid = f.grid.clone();
     let mut a = f.assignment.clone();
-    Tila::new(TilaConfig::default()).run(
-        &mut grid,
-        &f.netlist,
-        &mut a,
-        &f.released,
-    );
+    Tila::new(TilaConfig::default()).run(&mut grid, &f.netlist, &mut a, &f.released);
     // Removing every net must drain usage to exactly zero — catches
     // leaked or double-counted wires/vias.
     for i in 0..f.netlist.len() {

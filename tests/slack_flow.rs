@@ -31,12 +31,7 @@ fn cpla_repairs_budget_violations() {
     assert!(before.violations() > 0, "fixture must start violating");
     let released = before.violating_nets();
 
-    Cpla::new(CplaConfig::default()).run_released(
-        &mut grid,
-        &netlist,
-        &mut assignment,
-        &released,
-    );
+    Cpla::new(CplaConfig::default()).run_released(&mut grid, &netlist, &mut assignment, &released);
 
     let after_report = timing::analyze(&grid, &netlist, &assignment);
     let after = SlackReport::new(&after_report, &required);
@@ -68,5 +63,7 @@ fn slack_selection_matches_ratio_selection_on_scaled_budgets() {
     assert_eq!(all.len(), report.len());
 
     let loose = RequiredTimes::from_report(&report, 2.0);
-    assert!(SlackReport::new(&report, &loose).violating_nets().is_empty());
+    assert!(SlackReport::new(&report, &loose)
+        .violating_nets()
+        .is_empty());
 }
