@@ -70,6 +70,11 @@ pub struct EngineRun {
 }
 
 /// Runs TILA on a clone of `prepared` over `released`.
+///
+/// # Panics
+///
+/// Panics if the engine reports a flow error; experiment configs and
+/// released sets come from [`Prepared`], which only produces valid ones.
 pub fn run_tila(
     prepared: &Prepared,
     released: &[usize],
@@ -78,7 +83,11 @@ pub fn run_tila(
     let mut grid = prepared.grid.clone();
     let mut assignment = prepared.assignment.clone();
     let start = Instant::now();
-    let result = Tila::new(config).run(&mut grid, &prepared.netlist, &mut assignment, released);
+    // invariant: `Prepared` workloads are well-formed and the paper
+    // configs validate, so a flow error here is an experiment-setup bug.
+    let result = Tila::new(config)
+        .run(&mut grid, &prepared.netlist, &mut assignment, released)
+        .expect("benchmark workloads are well-formed");
     let seconds = start.elapsed().as_secs_f64();
     let metrics = Metrics::measure(&grid, &prepared.netlist, &assignment, released);
     (
@@ -93,6 +102,11 @@ pub fn run_tila(
 }
 
 /// Runs CPLA on a clone of `prepared` over `released`.
+///
+/// # Panics
+///
+/// Panics if the engine reports a flow error; experiment configs and
+/// released sets come from [`Prepared`], which only produces valid ones.
 pub fn run_cpla(
     prepared: &Prepared,
     released: &[usize],
@@ -101,8 +115,11 @@ pub fn run_cpla(
     let mut grid = prepared.grid.clone();
     let mut assignment = prepared.assignment.clone();
     let start = Instant::now();
-    let report =
-        Cpla::new(config).run_released(&mut grid, &prepared.netlist, &mut assignment, released);
+    // invariant: `Prepared` workloads are well-formed and the paper
+    // configs validate, so a flow error here is an experiment-setup bug.
+    let report = Cpla::new(config)
+        .run_released(&mut grid, &prepared.netlist, &mut assignment, released)
+        .expect("benchmark workloads are well-formed");
     let seconds = start.elapsed().as_secs_f64();
     let metrics = Metrics::measure(&grid, &prepared.netlist, &assignment, released);
     (

@@ -9,15 +9,100 @@
 //!
 //! Flags (all optional): `--seed N`, `--nets N`, `--size WxH`,
 //! `--layers N`, `--capacity N`, `--threads N`, `--ratio F`,
-//! `--rounds N`, `--mode both|legacy|incremental`.
+//! `--rounds N`, `--mode both|legacy|incremental`,
+//! `--trace <file.jsonl>` (per-stage JSON-lines trace).
 
+use std::fs::File;
+use std::io::{BufWriter, Write};
 use std::time::Instant;
 
 use cpla::{Cpla, CplaConfig, CplaReport, PipelineMode, PipelineStats};
+use flow::{RoundSnapshot, Stage, StageObserver};
 use grid::Grid;
 use ispd::SyntheticConfig;
 use net::{Assignment, Netlist};
 use route::{initial_assignment, route_netlist, RouterConfig};
+
+/// A [`StageObserver`] that appends one JSON object per stage boundary
+/// and per round to a file — the machine-readable counterpart of
+/// watching the pipeline run. Hand-serialized like the summary JSON
+/// (the toolchain is hermetic, no serde).
+struct JsonlTrace {
+    out: BufWriter<File>,
+    /// Pipeline label stamped on every record.
+    mode: &'static str,
+    /// Repetition index stamped on every record.
+    rep: usize,
+}
+
+impl JsonlTrace {
+    fn create(path: &str) -> JsonlTrace {
+        let file = File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create trace file {path}: {e}");
+            std::process::exit(2);
+        });
+        JsonlTrace {
+            out: BufWriter::new(file),
+            mode: "",
+            rep: 0,
+        }
+    }
+
+    fn write(&mut self, record: String) {
+        writeln!(self.out, "{record}").unwrap_or_else(|e| {
+            eprintln!("trace write failed: {e}");
+            std::process::exit(2);
+        });
+    }
+}
+
+impl StageObserver for JsonlTrace {
+    fn on_stage_start(&mut self, round: usize, stage: Stage) {
+        let record = format!(
+            "{{\"event\":\"stage_start\",\"mode\":\"{}\",\"rep\":{},\
+             \"round\":{},\"stage\":\"{}\"}}",
+            self.mode,
+            self.rep,
+            round,
+            stage.name(),
+        );
+        self.write(record);
+    }
+
+    fn on_stage_end(&mut self, round: usize, stage: Stage, seconds: f64) {
+        let record = format!(
+            "{{\"event\":\"stage_end\",\"mode\":\"{}\",\"rep\":{},\
+             \"round\":{},\"stage\":\"{}\",\"seconds\":{:.6}}}",
+            self.mode,
+            self.rep,
+            round,
+            stage.name(),
+            seconds,
+        );
+        self.write(record);
+    }
+
+    fn on_round_end(&mut self, snapshot: &RoundSnapshot) {
+        let c = snapshot.counters;
+        let record = format!(
+            "{{\"event\":\"round_end\",\"mode\":\"{}\",\"rep\":{},\
+             \"round\":{},\"objective\":{:.6},\"improved\":{},\
+             \"partitions_solved\":{},\"partitions_reused\":{},\
+             \"evaluations\":{},\"gate_accepted\":{},\"gate_rejected\":{}}}",
+            self.mode,
+            self.rep,
+            snapshot.round,
+            snapshot.objective,
+            snapshot.improved,
+            c.partitions_solved,
+            c.partitions_reused,
+            c.evaluations,
+            c.gate_accepted,
+            c.gate_rejected,
+        );
+        self.write(record);
+    }
+}
 
 struct Args {
     seed: u64,
@@ -31,6 +116,7 @@ struct Args {
     rounds: usize,
     reps: usize,
     mode: String,
+    trace: Option<String>,
 }
 
 impl Default for Args {
@@ -47,6 +133,7 @@ impl Default for Args {
             rounds: 8,
             reps: 3,
             mode: "both".to_string(),
+            trace: None,
         }
     }
 }
@@ -80,12 +167,13 @@ fn parse_args() -> Args {
             "--rounds" => args.rounds = value("--rounds").parse().unwrap(),
             "--reps" => args.reps = value("--reps").parse().unwrap(),
             "--mode" => args.mode = value("--mode"),
+            "--trace" => args.trace = Some(value("--trace")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: cpla-bench [--seed N] [--nets N] [--size WxH] \
                      [--layers N] [--capacity N] [--threads N] [--ratio F] \
                      [--rounds N] [--reps N] \
-                     [--mode both|legacy|incremental]"
+                     [--mode both|legacy|incremental] [--trace file.jsonl]"
                 );
                 std::process::exit(0);
             }
@@ -106,9 +194,11 @@ struct RunOutcome {
 fn run_mode(
     args: &Args,
     mode: PipelineMode,
+    label: &'static str,
     grid: &Grid,
     netlist: &Netlist,
     assignment: &Assignment,
+    trace: Option<&mut JsonlTrace>,
 ) -> RunOutcome {
     let config = CplaConfig {
         critical_ratio: args.ratio,
@@ -117,14 +207,25 @@ fn run_mode(
         mode,
         ..CplaConfig::default()
     };
+    let mut trace = trace;
     // The engine is deterministic per mode, so repetitions only differ
     // in scheduler noise: report the minimum wall time.
     let mut best: Option<RunOutcome> = None;
-    for _ in 0..args.reps.max(1) {
+    for rep in 0..args.reps.max(1) {
         let mut grid = grid.clone();
         let mut assignment = assignment.clone();
+        let mut observers: Vec<&mut dyn flow::StageObserver> = Vec::new();
+        if let Some(t) = trace.as_deref_mut() {
+            t.mode = label;
+            t.rep = rep;
+            observers.push(t);
+        }
         let start = Instant::now();
-        let report = Cpla::new(config).run(&mut grid, netlist, &mut assignment);
+        // invariant: the synthetic workload and CLI-derived config are
+        // well-formed; a flow error here is a harness bug.
+        let report = Cpla::new(config)
+            .run_observed(&mut grid, netlist, &mut assignment, &mut observers)
+            .expect("benchmark workload is well-formed");
         let wall_secs = start.elapsed().as_secs_f64();
         if best.as_ref().is_none_or(|b| wall_secs < b.wall_secs) {
             best = Some(RunOutcome { wall_secs, report });
@@ -185,17 +286,37 @@ fn main() {
     let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
     let assignment = initial_assignment(&mut grid, &netlist);
 
-    let legacy = (args.mode == "both" || args.mode == "legacy")
-        .then(|| run_mode(&args, PipelineMode::Legacy, &grid, &netlist, &assignment));
+    let mut trace = args.trace.as_deref().map(JsonlTrace::create);
+
+    let legacy = (args.mode == "both" || args.mode == "legacy").then(|| {
+        run_mode(
+            &args,
+            PipelineMode::Legacy,
+            "legacy",
+            &grid,
+            &netlist,
+            &assignment,
+            trace.as_mut(),
+        )
+    });
     let incremental = (args.mode == "both" || args.mode == "incremental").then(|| {
         run_mode(
             &args,
             PipelineMode::Incremental,
+            "incremental",
             &grid,
             &netlist,
             &assignment,
+            trace.as_mut(),
         )
     });
+
+    if let Some(t) = trace.as_mut() {
+        t.out.flush().unwrap_or_else(|e| {
+            eprintln!("trace flush failed: {e}");
+            std::process::exit(2);
+        });
+    }
 
     let mut fields = vec![format!(
         "\"design\":{{\"seed\":{},\"nets\":{},\"width\":{},\"height\":{},\

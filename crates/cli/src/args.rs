@@ -24,6 +24,24 @@ impl fmt::Display for Engine {
     }
 }
 
+/// Which `LayerAssigner` backend `optimize` dispatches to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Assigner {
+    /// The DAC'16 CPLA engine (stage pipeline; solver from `--engine`).
+    Cpla,
+    /// The ICCAD'15 TILA Lagrangian baseline.
+    Tila,
+}
+
+impl fmt::Display for Assigner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Assigner::Cpla => f.write_str("cpla"),
+            Assigner::Tila => f.write_str("tila"),
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Command {
@@ -40,14 +58,18 @@ pub enum Command {
         /// ISPD'08 input path.
         input: String,
     },
-    /// `optimize <file> [--ratio R] [--engine sdp|ilp|tila]
-    /// [--neighbors] [--threads N]`: run incremental layer assignment.
+    /// `optimize <file> [--assigner cpla|tila] [--ratio R]
+    /// [--engine sdp|ilp|tila] [--neighbors] [--threads N]`: run
+    /// incremental layer assignment through the `LayerAssigner` seam.
     Optimize {
         /// ISPD'08 input path.
         input: String,
+        /// Backend selection (defaults to `cpla`; `--engine tila` also
+        /// selects the TILA backend for backwards compatibility).
+        assigner: Assigner,
         /// Critical ratio (fraction of nets released).
         ratio: f64,
-        /// Engine selection.
+        /// CPLA solver selection.
         engine: Engine,
         /// Enable the neighbor-release extension.
         neighbors: bool,
@@ -75,7 +97,8 @@ cpla-cli — critical-path layer assignment
 USAGE:
   cpla-cli generate <benchmark> -o <file.ispd>
   cpla-cli report   <file.ispd>
-  cpla-cli optimize <file.ispd> [--ratio 0.005] [--engine sdp|ilp|tila]
+  cpla-cli optimize <file.ispd> [--assigner cpla|tila] [--ratio 0.005]
+                                [--engine sdp|ilp|tila]
                                 [--neighbors] [--threads N]
   cpla-cli svg      <file.ispd> -o <out.svg> [--ratio 0.005]
   cpla-cli help
@@ -117,12 +140,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "optimize" => {
             let input = it.next().ok_or("optimize: missing <file>")?.clone();
+            let mut assigner = None;
             let mut ratio = 0.005f64;
             let mut engine = Engine::Sdp;
             let mut neighbors = false;
             let mut threads = 1usize;
             while let Some(a) = it.next() {
                 match a.as_str() {
+                    "--assigner" => {
+                        let v = it.next().ok_or("--assigner needs a value")?;
+                        assigner = Some(match v.as_str() {
+                            "cpla" => Assigner::Cpla,
+                            "tila" => Assigner::Tila,
+                            other => return Err(format!("unknown assigner `{other}`")),
+                        });
+                    }
                     "--ratio" => {
                         let v = it.next().ok_or("--ratio needs a value")?;
                         ratio = v.parse().map_err(|_| format!("bad ratio `{v}`"))?;
@@ -150,8 +182,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("optimize: unknown argument `{other}`")),
                 }
             }
+            // `--engine tila` predates `--assigner` and keeps working:
+            // without an explicit assigner it selects the TILA backend.
+            let assigner = assigner.unwrap_or(match engine {
+                Engine::Tila => Assigner::Tila,
+                _ => Assigner::Cpla,
+            });
             Ok(Command::Optimize {
                 input,
+                assigner,
                 ratio,
                 engine,
                 neighbors,
@@ -220,6 +259,7 @@ mod tests {
             c,
             Command::Optimize {
                 input: "d.ispd".into(),
+                assigner: Assigner::Cpla,
                 ratio: 0.005,
                 engine: Engine::Sdp,
                 neighbors: false,
@@ -242,12 +282,43 @@ mod tests {
             c,
             Command::Optimize {
                 input: "d.ispd".into(),
+                assigner: Assigner::Tila,
                 ratio: 0.02,
                 engine: Engine::Tila,
                 neighbors: true,
                 threads: 4,
             }
         );
+    }
+
+    #[test]
+    fn assigner_flag_selects_the_backend() {
+        let c = parse(&v(&["optimize", "d.ispd", "--assigner", "tila"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Optimize {
+                assigner: Assigner::Tila,
+                ..
+            }
+        ));
+        // Explicit --assigner wins over the legacy --engine mapping.
+        let c = parse(&v(&[
+            "optimize",
+            "d.ispd",
+            "--assigner",
+            "cpla",
+            "--engine",
+            "tila",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Optimize {
+                assigner: Assigner::Cpla,
+                ..
+            }
+        ));
+        assert!(parse(&v(&["optimize", "d", "--assigner", "magic"])).is_err());
     }
 
     #[test]

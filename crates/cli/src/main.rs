@@ -14,11 +14,56 @@ use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use args::{Command, Engine, USAGE};
-use cpla::{Cpla, CplaConfig, Metrics, SolverKind};
+use args::{Assigner, Command, Engine, USAGE};
+use cpla::{Cpla, CplaConfig, SolverKind};
+use flow::{FlowError, LayerAssigner};
 use ispd::SyntheticConfig;
 use route::{initial_assignment, route_netlist, RouterConfig};
 use tila::{Tila, TilaConfig};
+
+/// Anything `run` can fail with: a typed flow failure (mapped to a
+/// distinct exit code per class) or a front-end problem (exit 1).
+#[derive(Debug)]
+enum CliError {
+    Flow { context: String, error: FlowError },
+    Other(String),
+}
+
+impl CliError {
+    fn message(&self) -> String {
+        match self {
+            CliError::Flow { context, error } if context.is_empty() => error.to_string(),
+            CliError::Flow { context, error } => format!("{context}: {error}"),
+            CliError::Other(msg) => msg.clone(),
+        }
+    }
+
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Flow { error, .. } => exit_code_for(error),
+            CliError::Other(_) => 1,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Other(msg)
+    }
+}
+
+/// One distinct non-zero exit code per [`FlowError`] class (2 is taken
+/// by usage errors, 1 by untyped front-end failures).
+fn exit_code_for(error: &FlowError) -> u8 {
+    match error {
+        FlowError::Parse(_) => 3,
+        FlowError::Grid(_) => 4,
+        FlowError::Config(_) => 5,
+        FlowError::Solve(_) => 6,
+        FlowError::Input(_) => 7,
+        _ => 1,
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -32,13 +77,13 @@ fn main() -> ExitCode {
     match run(command) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(command: Command) -> Result<(), String> {
+fn run(command: Command) -> Result<(), CliError> {
     match command {
         Command::Help => {
             println!("{USAGE}");
@@ -120,6 +165,7 @@ fn run(command: Command) -> Result<(), String> {
         }
         Command::Optimize {
             input,
+            assigner,
             ratio,
             engine,
             neighbors,
@@ -128,49 +174,52 @@ fn run(command: Command) -> Result<(), String> {
             let (mut grid, specs) = load(&input)?;
             let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
             let mut assignment = initial_assignment(&mut grid, &netlist);
-            let full = timing::analyze(&grid, &netlist, &assignment);
-            let released = cpla::select_critical_nets(&full, ratio);
-            let initial = Metrics::measure(&grid, &netlist, &assignment, &released);
-            println!(
-                "{input}: {} nets, releasing {} ({:.2}%), engine {engine}",
-                netlist.len(),
-                released.len(),
-                ratio * 100.0
-            );
 
-            let t0 = Instant::now();
-            match engine {
-                Engine::Tila => {
-                    Tila::new(TilaConfig::default()).run(
-                        &mut grid,
-                        &netlist,
-                        &mut assignment,
-                        &released,
-                    );
-                }
-                Engine::Sdp | Engine::Ilp => {
+            // Both backends run through the same `LayerAssigner` seam;
+            // `--assigner` only decides which box is built.
+            let backend: Box<dyn LayerAssigner> = match assigner {
+                Assigner::Tila => Box::new(Tila::new(TilaConfig {
+                    critical_ratio: ratio,
+                    ..TilaConfig::default()
+                })),
+                Assigner::Cpla => {
                     let solver = match engine {
                         Engine::Ilp => SolverKind::Ilp {
                             node_budget: 5_000_000,
                         },
                         _ => CplaConfig::default().solver,
                     };
-                    Cpla::new(CplaConfig {
+                    Box::new(Cpla::new(CplaConfig {
+                        critical_ratio: ratio,
                         solver,
                         release_neighbors: neighbors,
                         threads,
                         ..CplaConfig::default()
-                    })
-                    .run_released(
-                        &mut grid,
-                        &netlist,
-                        &mut assignment,
-                        &released,
-                    );
+                    }))
                 }
-            }
+            };
+            println!(
+                "{input}: {} nets, {}",
+                netlist.len(),
+                backend.config_description()
+            );
+
+            let t0 = Instant::now();
+            let report = backend
+                .assign(&mut grid, &netlist, &mut assignment)
+                .map_err(|error| CliError::Flow {
+                    context: input.clone(),
+                    error,
+                })?;
             let secs = t0.elapsed().as_secs_f64();
-            let m = Metrics::measure(&grid, &netlist, &assignment, &released);
+            let initial = report.initial_metrics;
+            let m = report.final_metrics;
+            println!(
+                "released {} nets ({:.2}%), {} rounds",
+                report.released.len(),
+                ratio * 100.0,
+                report.rounds
+            );
             println!(
                 "Avg(Tcp) {:>10.1} -> {:>10.1}  ({:+.1}%)",
                 initial.avg_tcp,
@@ -213,10 +262,54 @@ fn resolve_benchmark(name: &str) -> Result<SyntheticConfig, String> {
     })
 }
 
-/// Loads an ISPD'08 file into a grid plus net specs.
-fn load(path: &str) -> Result<(grid::Grid, Vec<net::NetSpec>), String> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let design = ispd::parse(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
-    let grid = design.to_grid().map_err(|e| format!("{path}: {e}"))?;
+/// Loads an ISPD'08 file into a grid plus net specs. Parse and grid
+/// failures stay typed so `main` can map them to their exit codes.
+fn load(path: &str) -> Result<(grid::Grid, Vec<net::NetSpec>), CliError> {
+    let file = File::open(path).map_err(|e| CliError::Other(format!("cannot open {path}: {e}")))?;
+    let design = ispd::parse(BufReader::new(file)).map_err(|error| CliError::Flow {
+        context: path.to_string(),
+        error: FlowError::Parse(error),
+    })?;
+    let grid = design.to_grid().map_err(|error| CliError::Flow {
+        context: path.to_string(),
+        error: FlowError::Grid(error),
+    })?;
     Ok((grid, design.nets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow::{ConfigError, GridError, InputError, SolveError};
+
+    #[test]
+    fn every_flow_error_class_gets_a_distinct_nonzero_exit_code() {
+        let codes = [
+            exit_code_for(&FlowError::Parse(ispd::ParseError {
+                line: 1,
+                token: String::new(),
+                kind: ispd::ParseErrorKind::UnexpectedEof,
+            })),
+            exit_code_for(&FlowError::Grid(GridError::InvalidAdjustment {
+                detail: "x".into(),
+            })),
+            exit_code_for(&FlowError::Config(ConfigError {
+                field: "f",
+                value: "v".into(),
+                reason: "r",
+            })),
+            exit_code_for(&FlowError::Solve(SolveError::BudgetExhausted { budget: 1 })),
+            exit_code_for(&FlowError::Input(InputError::ShapeMismatch {
+                detail: "x".into(),
+            })),
+        ];
+        let mut unique = codes.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes collide: {codes:?}");
+        assert!(
+            codes.iter().all(|&c| c > 2),
+            "0..=2 are reserved: {codes:?}"
+        );
+    }
 }

@@ -7,21 +7,21 @@
 //! partition objective, and re-time. Rounds repeat until the average
 //! critical-path delay stops improving (the paper's "stops when no
 //! further optimizations can be achieved").
-
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+//!
+//! The per-round work is organized as an explicit stage pipeline (see
+//! the [`flow`](crate::flow) module): [`Cpla::run`] validates its
+//! inputs, selects the released nets, and hands the round loop to the
+//! stage driver. Instrumentation attaches through
+//! [`StageObserver`](::flow::StageObserver) hooks rather than engine
+//! branches — [`PipelineStats`] is collected by one such observer.
 
 use grid::Grid;
-use net::{Assignment, Netlist, SegmentRef};
-use solver::{SdpSolver, SymMatrix};
-use timing::TimingModel;
+use net::{Assignment, Netlist};
+use solver::SdpSolver;
 
-use crate::context::{timing_context, SegCtx};
-use crate::mapping::{post_map, timing_gate};
-use crate::partition::{partition_segments_shifted, PartitionStats};
-use crate::problem::{PartitionProblem, ProblemConfig};
+use crate::partition::PartitionStats;
 use crate::{select_critical_nets, Metrics};
+use ::flow::{ConfigError, FlowError, StageObserver};
 
 /// Which mathematical program solves each partition.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -44,6 +44,11 @@ pub enum SolverKind {
 }
 
 /// Which evaluation pipeline the engine runs.
+///
+/// The two pipelines share the same eight-stage skeleton; the mode is
+/// applied as *stage composition* when the pipeline is built (cache
+/// on/off, rank-stop on/off, exact gate vs pass-through), not as
+/// branches inside the round loop.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PipelineMode {
     /// The pre-optimization pipeline: every partition is re-extracted
@@ -76,7 +81,7 @@ pub struct CplaConfig {
     /// Per-partition solver.
     pub solver: SolverKind,
     /// Problem-extraction tunables.
-    pub problem: ProblemConfig,
+    pub problem: crate::problem::ProblemConfig,
     /// Overflow weight α (units of the partition's mean segment delay
     /// per overflow wire) used when comparing mapped solutions — the
     /// role the paper's α = 2000 plays in its `V_o` relaxation.
@@ -120,7 +125,7 @@ impl Default for CplaConfig {
                 rank_stop_window: 2,
                 ..SdpSolver::default()
             }),
-            problem: ProblemConfig::default(),
+            problem: crate::problem::ProblemConfig::default(),
             alpha: 20.0,
             focus: 4.0,
             release_neighbors: false,
@@ -128,6 +133,53 @@ impl Default for CplaConfig {
             threads: 1,
             mode: PipelineMode::Incremental,
         }
+    }
+}
+
+impl CplaConfig {
+    /// Checks every field the engine cannot tolerate, before any work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ::flow::validate_ratio("critical_ratio", self.critical_ratio)?;
+        if self.uniform_divisions == 0 {
+            return Err(ConfigError {
+                field: "uniform_divisions",
+                value: "0".into(),
+                reason: "the initial division needs at least one cut per axis",
+            });
+        }
+        if self.max_segments_per_partition == 0 {
+            return Err(ConfigError {
+                field: "max_segments_per_partition",
+                value: "0".into(),
+                reason: "partitions must be allowed to hold at least one segment",
+            });
+        }
+        if !self.alpha.is_finite() || self.alpha < 0.0 {
+            return Err(ConfigError {
+                field: "alpha",
+                value: format!("{}", self.alpha),
+                reason: "the overflow weight must be finite and non-negative",
+            });
+        }
+        if !self.focus.is_finite() || self.focus < 0.0 {
+            return Err(ConfigError {
+                field: "focus",
+                value: format!("{}", self.focus),
+                reason: "the criticality exponent must be finite and non-negative",
+            });
+        }
+        if !self.neighbor_weight.is_finite() || self.neighbor_weight < 0.0 {
+            return Err(ConfigError {
+                field: "neighbor_weight",
+                value: format!("{}", self.neighbor_weight),
+                reason: "the neighbor objective weight must be finite and non-negative",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -150,20 +202,22 @@ pub struct RoundStats {
 ///
 /// `cpla-bench` serializes this as JSON; the counters are what make the
 /// incremental pipeline's savings auditable (cache hit rate, gate
-/// outcomes, objective evaluations).
+/// outcomes, objective evaluations). Collected by an internal
+/// [`StageObserver`](::flow::StageObserver) riding the stage driver.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct PipelineStats {
-    /// Seconds freezing the per-round timing contexts.
+    /// Seconds freezing the per-round timing contexts (Select).
     pub context_secs: f64,
-    /// Seconds partitioning the released segments.
+    /// Seconds partitioning the released segments (Partition).
     pub partition_secs: f64,
-    /// Seconds extracting partition problems (serial phase).
+    /// Seconds extracting partition problems (Extract, serial).
     pub extract_secs: f64,
-    /// Seconds solving partition programs (parallel phase).
+    /// Seconds solving partition programs and post-mapping the results
+    /// (Solve + PostMap).
     pub solve_secs: f64,
-    /// Seconds applying accepted changes, including the timing gate.
+    /// Seconds gating and landing accepted changes (Gate + Accept).
     pub apply_secs: f64,
-    /// Seconds measuring round metrics.
+    /// Seconds measuring round metrics (Measure).
     pub metrics_secs: f64,
     /// Rounds executed.
     pub rounds: usize,
@@ -208,25 +262,6 @@ pub struct CplaReport {
     pub stats: PipelineStats,
 }
 
-/// Cross-round cache entry for one partition, keyed by its segment set.
-///
-/// A hit requires the freshly extracted problem to compare equal to
-/// `problem` — any drift in costs, candidates or capacities (because a
-/// neighboring partition's acceptance moved segments or usage) misses
-/// and re-solves, warm-started from `warm`.
-struct CacheEntry {
-    problem: PartitionProblem,
-    result: Vec<(SegmentRef, usize)>,
-    warm: Option<(SymMatrix, SymMatrix)>,
-}
-
-/// Output of solving one partition.
-struct SolveOutcome {
-    result: Vec<(SegmentRef, usize)>,
-    warm: Option<(SymMatrix, SymMatrix)>,
-    evaluations: u64,
-}
-
 /// The CPLA engine. Construct with a config, then [`Cpla::run`].
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Cpla {
@@ -239,6 +274,11 @@ impl Cpla {
         Cpla { config }
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &CplaConfig {
+        &self.config
+    }
+
     /// Runs incremental layer assignment in place.
     ///
     /// `grid` usage must reflect `assignment` on entry and does so on
@@ -246,457 +286,98 @@ impl Cpla {
     /// same released set is optimized every round (and is the released
     /// set a TILA comparison should use).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the assignment does not match the netlist/grid.
+    /// Returns [`FlowError::Config`] for an invalid configuration,
+    /// [`FlowError::Input`] when the assignment does not match the
+    /// netlist, and [`FlowError::Solve`] when a partition program fails.
     pub fn run(
         &self,
         grid: &mut Grid,
         netlist: &Netlist,
         assignment: &mut Assignment,
-    ) -> CplaReport {
+    ) -> Result<CplaReport, FlowError> {
+        self.run_observed(grid, netlist, assignment, &mut [])
+    }
+
+    /// [`Cpla::run`] with [`StageObserver`]s attached to the stage
+    /// driver.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cpla::run`].
+    pub fn run_observed(
+        &self,
+        grid: &mut Grid,
+        netlist: &Netlist,
+        assignment: &mut Assignment,
+        observers: &mut [&mut dyn StageObserver],
+    ) -> Result<CplaReport, FlowError> {
+        self.config.validate()?;
         let full = timing::analyze(grid, netlist, assignment);
         let released = select_critical_nets(&full, self.config.critical_ratio);
-        self.run_released(grid, netlist, assignment, &released)
+        self.run_released_observed(grid, netlist, assignment, &released, observers)
     }
 
     /// [`Cpla::run`] with an explicit released set (used for
     /// apples-to-apples comparisons against TILA).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a released index is out of range.
+    /// Additionally returns [`FlowError::Input`] when a released index
+    /// is out of range.
     pub fn run_released(
         &self,
         grid: &mut Grid,
         netlist: &Netlist,
         assignment: &mut Assignment,
         released: &[usize],
-    ) -> CplaReport {
-        let initial_metrics = Metrics::measure(grid, netlist, assignment, released);
-        let mut report = CplaReport {
-            released: released.to_vec(),
-            initial_metrics,
-            final_metrics: initial_metrics,
-            rounds: Vec::new(),
-            partition_stats: PartitionStats::default(),
-            stats: PipelineStats::default(),
-        };
-        if released.is_empty() {
-            return report;
-        }
-        let mut stats = PipelineStats::default();
-        // Electrical parameters are usage-independent, so one snapshot
-        // serves the timing gate for the whole run.
-        let model = TimingModel::from_grid(grid);
-        let is_released: HashSet<usize> = released.iter().copied().collect();
-        let mut cache: HashMap<Vec<SegmentRef>, CacheEntry> = HashMap::new();
-
-        let mut segments: Vec<SegmentRef> = released
-            .iter()
-            .flat_map(|&ni| {
-                let n = netlist.net(ni).tree().num_segments();
-                (0..n).map(move |s| SegmentRef::new(ni as u32, s as u32))
-            })
-            .collect();
-
-        // Optionally widen the pool with non-critical segments sharing
-        // routing edges with the critical set; they become movable
-        // obstacles whose delay matters only lightly.
-        let neighbor_nets: Vec<usize> = if self.config.release_neighbors {
-            let covered: std::collections::HashSet<grid::Edge2d> = segments
-                .iter()
-                .flat_map(|&r| {
-                    netlist
-                        .net(r.net as usize)
-                        .tree()
-                        .segment_edges(r.seg as usize)
-                })
-                .collect();
-            let is_released: std::collections::HashSet<usize> = released.iter().copied().collect();
-            let mut nets = Vec::new();
-            for ni in 0..netlist.len() {
-                if is_released.contains(&ni) {
-                    continue;
-                }
-                let tree = netlist.net(ni).tree();
-                let mut touched = false;
-                for s in 0..tree.num_segments() {
-                    if tree.segment_edges(s).iter().any(|e| covered.contains(e)) {
-                        segments.push(SegmentRef::new(ni as u32, s as u32));
-                        touched = true;
-                    }
-                }
-                if touched {
-                    nets.push(ni);
-                }
-            }
-            nets
-        } else {
-            Vec::new()
-        };
-
-        let mut best_avg = initial_metrics.avg_tcp;
-        let mut best_assignment = assignment.clone();
-        let mut best_usage = grid.snapshot_usage();
-        // One stagnant round is tolerated: the partition origin
-        // alternates between rounds, so a stalled round may be followed
-        // by an improving one under the shifted cut.
-        let mut stagnant = 0usize;
-
-        for round in 1..=self.config.max_rounds {
-            // Freeze the weighted timing context for this round.
-            let context_t = Instant::now();
-            let mut cd = timing_context(grid, netlist, assignment, released, self.config.focus);
-            if !neighbor_nets.is_empty() {
-                let neighbor_ctx =
-                    timing_context(grid, netlist, assignment, &neighbor_nets, self.config.focus);
-                let w = self.config.neighbor_weight;
-                for (r, mut c) in neighbor_ctx {
-                    c.weight *= w;
-                    c.upstream *= w;
-                    c.pin_weight *= w;
-                    cd.insert(r, c);
-                }
-            }
-            stats.context_secs += context_t.elapsed().as_secs_f64();
-
-            // Alternate the division origin between rounds so segments
-            // frozen at a partition boundary become jointly optimizable
-            // in the next round.
-            let bw = (grid.width() as usize).div_ceil(self.config.uniform_divisions) as u16;
-            let bh = (grid.height() as usize).div_ceil(self.config.uniform_divisions) as u16;
-            let offset = if round % 2 == 0 {
-                (bw / 2, bh / 2)
-            } else {
-                (0, 0)
-            };
-            let partition_t = Instant::now();
-            let (partitions, pstats) = partition_segments_shifted(
-                netlist,
-                &segments,
-                grid.width(),
-                grid.height(),
-                self.config.uniform_divisions,
-                self.config.max_segments_per_partition,
-                offset,
-            );
-            stats.partition_secs += partition_t.elapsed().as_secs_f64();
-            if round == 1 {
-                report.partition_stats = pstats;
-            }
-
-            // Solve partitions (in parallel when configured).
-            let proposals = self.solve_partitions(
-                grid,
-                netlist,
-                assignment,
-                &cd,
-                &partitions,
-                &mut cache,
-                &mut stats,
-            );
-
-            // Apply per net: group accepted changes, visiting nets in
-            // index order so the application is deterministic.
-            let apply_t = Instant::now();
-            let mut by_net: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
-            for (sref, layer) in proposals {
-                by_net
-                    .entry(sref.net as usize)
-                    .or_default()
-                    .push((sref.seg as usize, layer));
-            }
-            let mut nets: Vec<(usize, Vec<(usize, usize)>)> = by_net.into_iter().collect();
-            nets.sort_unstable_by_key(|(ni, _)| *ni);
-            for (ni, changes) in nets {
-                let net = netlist.net(ni);
-                let current = assignment.net_layers(ni).to_vec();
-                let real: Vec<(usize, usize)> = changes
-                    .into_iter()
-                    .filter(|&(s, l)| current[s] != l)
-                    .collect();
-                if real.is_empty() {
-                    continue;
-                }
-                // Gate *critical* nets on their exact Elmore delay: the
-                // partition objective ranks with frozen downstream caps,
-                // so a mapped win can still be an exact-timing loss.
-                // Neighbor nets bypass the gate — demoting them off
-                // premium layers raises their own delay by design.
-                let gated =
-                    self.config.mode == PipelineMode::Incremental && is_released.contains(&ni);
-                let layers = if gated {
-                    match timing_gate(&model, net, &current, &real) {
-                        Some(layers) => {
-                            stats.gate_accepted += 1;
-                            layers
-                        }
-                        None => {
-                            stats.gate_rejected += 1;
-                            continue;
-                        }
-                    }
-                } else {
-                    let mut layers = current.clone();
-                    for (s, l) in real {
-                        layers[s] = l;
-                    }
-                    layers
-                };
-                net::remove_net_from_grid(grid, net, &current);
-                net::restore_net_to_grid(grid, net, &layers);
-                assignment.set_net_layers(ni, layers);
-            }
-            stats.apply_secs += apply_t.elapsed().as_secs_f64();
-
-            let metrics_t = Instant::now();
-            let m = Metrics::measure(grid, netlist, assignment, released);
-            stats.metrics_secs += metrics_t.elapsed().as_secs_f64();
-            let improved = m.avg_tcp < best_avg - 1e-12;
-            report.rounds.push(RoundStats {
-                round,
-                avg_tcp: m.avg_tcp,
-                max_tcp: m.max_tcp,
-                partitions: partitions.len(),
-                improved,
-            });
-            if improved {
-                best_avg = m.avg_tcp;
-                best_assignment = assignment.clone();
-                best_usage = grid.snapshot_usage();
-                stagnant = 0;
-            } else {
-                stagnant += 1;
-                if stagnant >= 2 {
-                    break; // no further optimization achievable
-                }
-            }
-        }
-
-        // Restore the best accepted state.
-        *assignment = best_assignment;
-        grid.restore_usage(best_usage);
-        report.final_metrics = Metrics::measure(grid, netlist, assignment, released);
-        stats.rounds = report.rounds.len();
-        report.stats = stats;
-        report
+    ) -> Result<CplaReport, FlowError> {
+        self.run_released_observed(grid, netlist, assignment, released, &mut [])
     }
 
-    /// Solves every partition, returning the accepted per-segment layer
-    /// proposals in partition order.
+    /// [`Cpla::run_released`] with [`StageObserver`]s attached.
     ///
-    /// Three phases keep the result independent of the thread schedule:
+    /// # Errors
     ///
-    /// 1. **Extract** (serial) — build each partition's problem and
-    ///    consult the cross-round cache; an entry whose problem compares
-    ///    equal short-circuits the solve entirely.
-    /// 2. **Solve** (parallel) — cache misses, sorted by descending
-    ///    segment count, are claimed off an atomic counter by the worker
-    ///    pool (work stealing: no thread idles while a heavy partition
-    ///    pins another). Each miss is a pure function of its extracted
-    ///    problem and frozen warm start, so the claim order cannot
-    ///    change any result.
-    /// 3. **Merge** (serial) — results rejoin in partition order and the
-    ///    cache is updated.
-    #[allow(clippy::too_many_arguments)]
-    fn solve_partitions(
+    /// See [`Cpla::run_released`].
+    pub fn run_released_observed(
         &self,
-        grid: &Grid,
+        grid: &mut Grid,
         netlist: &Netlist,
-        assignment: &Assignment,
-        cd: &HashMap<SegmentRef, SegCtx>,
-        partitions: &[crate::partition::Partition],
-        cache: &mut HashMap<Vec<SegmentRef>, CacheEntry>,
-        stats: &mut PipelineStats,
-    ) -> Vec<(SegmentRef, usize)> {
-        let use_cache = self.config.mode == PipelineMode::Incremental;
-
-        // Phase 1: extract problems serially, splitting into cache hits
-        // and misses (with their warm-start iterates, if any).
-        let extract_t = Instant::now();
-        let lookup = |r: SegmentRef| -> SegCtx {
-            *cd.get(&r).expect("released segment has a frozen context")
-        };
-        let mut results: Vec<Vec<(SegmentRef, usize)>> = vec![Vec::new(); partitions.len()];
-        type Miss = (usize, PartitionProblem, Option<(SymMatrix, SymMatrix)>);
-        let mut misses: Vec<Miss> = Vec::new();
-        for (pi, part) in partitions.iter().enumerate() {
-            let problem = PartitionProblem::extract(
-                grid,
-                netlist,
-                assignment,
-                &part.segments,
-                &lookup,
-                &self.config.problem,
-            );
-            let mut warm = None;
-            if use_cache {
-                if let Some(entry) = cache.get(&part.segments) {
-                    if entry.problem == problem {
-                        stats.partitions_reused += 1;
-                        results[pi] = entry.result.clone();
-                        continue;
-                    }
-                    warm = entry.warm.clone();
-                }
-            }
-            misses.push((pi, problem, warm));
-        }
-        stats.extract_secs += extract_t.elapsed().as_secs_f64();
-
-        // Phase 2: solve the misses, heaviest first under work stealing.
-        let solve_t = Instant::now();
-        let threads = self.config.threads.max(1).min(misses.len());
-        let outcomes: Vec<Option<SolveOutcome>> = if threads <= 1 {
-            misses
-                .iter()
-                .map(|(_, p, w)| Some(self.solve_one(p, w.as_ref())))
-                .collect()
-        } else {
-            let mut order: Vec<usize> = (0..misses.len()).collect();
-            order.sort_unstable_by(|&a, &b| {
-                misses[b]
-                    .1
-                    .segments
-                    .len()
-                    .cmp(&misses[a].1.segments.len())
-                    .then(a.cmp(&b))
+        assignment: &mut Assignment,
+        released: &[usize],
+        observers: &mut [&mut dyn StageObserver],
+    ) -> Result<CplaReport, FlowError> {
+        self.config.validate()?;
+        ::flow::validate_input(netlist, assignment, released)?;
+        let initial_metrics = Metrics::measure(grid, netlist, assignment, released);
+        if released.is_empty() {
+            return Ok(CplaReport {
+                released: Vec::new(),
+                initial_metrics,
+                final_metrics: initial_metrics,
+                rounds: Vec::new(),
+                partition_stats: PartitionStats::default(),
+                stats: PipelineStats::default(),
             });
-            let next = AtomicUsize::new(0);
-            let mut outcomes: Vec<Option<SolveOutcome>> = (0..misses.len()).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for _ in 0..threads {
-                    let next = &next;
-                    let order = &order;
-                    let misses = &misses;
-                    handles.push(scope.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            let k = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&mi) = order.get(k) else { break };
-                            let (_, p, w) = &misses[mi];
-                            local.push((mi, self.solve_one(p, w.as_ref())));
-                        }
-                        local
-                    }));
-                }
-                for h in handles {
-                    for (mi, out) in h.join().expect("partition worker panicked") {
-                        outcomes[mi] = Some(out);
-                    }
-                }
-            });
-            outcomes
-        };
-        stats.solve_secs += solve_t.elapsed().as_secs_f64();
-
-        // Phase 3: merge in partition order and refresh the cache.
-        for ((pi, problem, _), out) in misses.into_iter().zip(outcomes) {
-            let out = out.expect("every miss is solved");
-            stats.partitions_solved += 1;
-            stats.evaluations += out.evaluations;
-            if use_cache {
-                cache.insert(
-                    problem.segments.clone(),
-                    CacheEntry {
-                        result: out.result.clone(),
-                        warm: out.warm,
-                        problem,
-                    },
-                );
-            }
-            results[pi] = out.result;
         }
-        results.into_iter().flatten().collect()
-    }
-
-    /// Solves one extracted partition problem, returning the accepted
-    /// per-segment layers (the current assignment when the proposal
-    /// regresses the partition objective or the solver fails).
-    fn solve_one(
-        &self,
-        problem: &PartitionProblem,
-        warm: Option<&(SymMatrix, SymMatrix)>,
-    ) -> SolveOutcome {
-        let mut evaluations = 0u64;
-        let mut warm_out = None;
-        let proposed: Option<Vec<usize>> = match self.config.solver {
-            SolverKind::Sdp(mut sdp_config) => {
-                if self.config.mode == PipelineMode::Legacy {
-                    sdp_config.rank_stop_window = 0;
-                } else {
-                    // Rank only the assignment-variable prefix: the
-                    // slack rows behind it never influence post-mapping.
-                    sdp_config.rank_stop_vars = problem.num_variables();
-                }
-                let (sdp, _) = problem.to_sdp();
-                let sol = sdp_config.solve_from(&sdp, warm.map(|w| (&w.0, &w.1)));
-                let mapped = post_map(problem, &sol.x.diagonal());
-                warm_out = Some((sol.z, sol.u));
-                Some(mapped)
-            }
-            SolverKind::Ilp { node_budget } => problem
-                .choice_problem()
-                .solve(node_budget)
-                .map(|s| s.choices),
-            SolverKind::UniformRelaxation => {
-                let x = vec![0.5; problem.num_variables()];
-                Some(post_map(problem, &x))
-            }
-        };
-        // Accept only if the partition objective does not regress.
-        let accepted: &[usize] = match &proposed {
-            Some(choices) => {
-                evaluations += 2;
-                if self.soft_cost(problem, choices) <= self.soft_cost(problem, &problem.current) {
-                    choices
-                } else {
-                    &problem.current
-                }
-            }
-            None => &problem.current,
-        };
-        let layers = problem.choices_to_layers(accepted);
-        SolveOutcome {
-            result: problem.segments.iter().copied().zip(layers).collect(),
-            warm: warm_out,
-            evaluations,
-        }
-    }
-
-    /// Partition objective with soft overflow: linear + pair costs plus
-    /// α·(mean linear cost)·overflow units.
-    fn soft_cost(&self, problem: &PartitionProblem, choices: &[usize]) -> f64 {
-        let mut cost = 0.0;
-        for (i, &c) in choices.iter().enumerate() {
-            cost += problem.linear_cost[i][c];
-        }
-        for pair in &problem.pairs {
-            cost += pair.costs[choices[pair.a]][choices[pair.b]];
-        }
-        let mean_linear = {
-            let total: f64 = problem.linear_cost.iter().flat_map(|c| c.iter()).sum();
-            let count: usize = problem.linear_cost.iter().map(|c| c.len()).sum();
-            if count == 0 {
-                0.0
-            } else {
-                total / count as f64
-            }
-        };
-        let mut overflow = 0u32;
-        for ec in &problem.edge_constraints {
-            let used = ec.members.iter().filter(|&&(i, c)| choices[i] == c).count() as u32;
-            overflow += used.saturating_sub(ec.limit);
-        }
-        cost + self.config.alpha * mean_linear * overflow as f64
+        crate::flow::drive(
+            self.config,
+            grid,
+            netlist,
+            assignment,
+            released,
+            initial_metrics,
+            observers,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ::flow::{RoundSnapshot, Stage};
     use grid::{Cell, Direction, GridBuilder};
     use net::{NetSpec, Pin};
     use route::{initial_assignment, route_netlist, RouterConfig};
@@ -717,7 +398,7 @@ mod tests {
             max_rounds: 3,
             ..CplaConfig::default()
         };
-        let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
+        let report = Cpla::new(config).run(&mut grid, &nl, &mut a).unwrap();
         assert!(!report.released.is_empty());
         assert!(
             report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp,
@@ -739,7 +420,7 @@ mod tests {
             },
             ..CplaConfig::default()
         };
-        let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
+        let report = Cpla::new(config).run(&mut grid, &nl, &mut a).unwrap();
         assert!(report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp);
         a.validate(&nl, &grid).unwrap();
     }
@@ -752,7 +433,7 @@ mod tests {
             max_rounds: 2,
             ..CplaConfig::default()
         };
-        Cpla::new(config).run(&mut grid, &nl, &mut a);
+        Cpla::new(config).run(&mut grid, &nl, &mut a).unwrap();
         let mut fresh = grid.clone();
         for i in 0..nl.len() {
             net::remove_net_from_grid(&mut fresh, nl.net(i), a.net_layers(i));
@@ -777,8 +458,8 @@ mod tests {
             threads: 4,
             ..serial
         };
-        Cpla::new(serial).run(&mut g1, &nl1, &mut a1);
-        Cpla::new(parallel).run(&mut g2, &nl2, &mut a2);
+        Cpla::new(serial).run(&mut g1, &nl1, &mut a1).unwrap();
+        Cpla::new(parallel).run(&mut g2, &nl2, &mut a2).unwrap();
         assert_eq!(a1, a2, "thread count must not change the result");
     }
 
@@ -790,7 +471,7 @@ mod tests {
             max_rounds: 10,
             ..CplaConfig::default()
         };
-        let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
+        let report = Cpla::new(config).run(&mut grid, &nl, &mut a).unwrap();
         let s = &report.stats;
         assert_eq!(s.rounds, report.rounds.len());
         assert!(s.partitions_solved > 0);
@@ -812,7 +493,7 @@ mod tests {
             mode: PipelineMode::Legacy,
             ..CplaConfig::default()
         };
-        let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
+        let report = Cpla::new(config).run(&mut grid, &nl, &mut a).unwrap();
         assert_eq!(report.stats.partitions_reused, 0);
         assert_eq!(report.stats.gate_accepted, 0);
         assert_eq!(report.stats.gate_rejected, 0);
@@ -832,7 +513,7 @@ mod tests {
                 mode,
                 ..CplaConfig::default()
             };
-            let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
+            let report = Cpla::new(config).run(&mut grid, &nl, &mut a).unwrap();
             assert!(
                 report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp,
                 "{mode:?}"
@@ -845,9 +526,92 @@ mod tests {
     fn empty_released_set_is_a_no_op() {
         let (mut grid, nl, mut a) = fixture(7);
         let before = a.clone();
-        let report = Cpla::new(CplaConfig::default()).run_released(&mut grid, &nl, &mut a, &[]);
+        let report = Cpla::new(CplaConfig::default())
+            .run_released(&mut grid, &nl, &mut a, &[])
+            .unwrap();
         assert_eq!(a, before);
         assert!(report.rounds.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let (mut grid, nl, mut a) = fixture(7);
+        let config = CplaConfig {
+            critical_ratio: 1.5,
+            ..CplaConfig::default()
+        };
+        let err = Cpla::new(config).run(&mut grid, &nl, &mut a).unwrap_err();
+        match err {
+            FlowError::Config(c) => assert_eq!(c.field, "critical_ratio"),
+            other => panic!("expected a config error, got {other}"),
+        }
+        assert!(CplaConfig {
+            uniform_divisions: 0,
+            ..CplaConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn out_of_range_release_is_a_typed_error() {
+        let (mut grid, nl, mut a) = fixture(7);
+        let err = Cpla::new(CplaConfig::default())
+            .run_released(&mut grid, &nl, &mut a, &[nl.len()])
+            .unwrap_err();
+        assert!(matches!(err, FlowError::Input(_)), "{err}");
+    }
+
+    /// Records every observer callback so tests can assert the driver's
+    /// stage protocol.
+    #[derive(Default)]
+    struct Recorder {
+        starts: Vec<(usize, Stage)>,
+        ends: Vec<(usize, Stage)>,
+        rounds: Vec<RoundSnapshot>,
+    }
+
+    impl ::flow::StageObserver for Recorder {
+        fn on_stage_start(&mut self, round: usize, stage: Stage) {
+            self.starts.push((round, stage));
+        }
+        fn on_stage_end(&mut self, round: usize, stage: Stage, seconds: f64) {
+            assert!(seconds >= 0.0);
+            self.ends.push((round, stage));
+        }
+        fn on_round_end(&mut self, snapshot: &RoundSnapshot) {
+            self.rounds.push(*snapshot);
+        }
+    }
+
+    #[test]
+    fn observers_see_every_stage_in_order() {
+        let (mut grid, nl, mut a) = fixture(3);
+        let config = CplaConfig {
+            critical_ratio: 0.05,
+            max_rounds: 3,
+            ..CplaConfig::default()
+        };
+        let mut rec = Recorder::default();
+        let report = Cpla::new(config)
+            .run_observed(&mut grid, &nl, &mut a, &mut [&mut rec])
+            .unwrap();
+        assert_eq!(rec.rounds.len(), report.rounds.len());
+        assert_eq!(rec.starts.len(), rec.ends.len());
+        assert_eq!(rec.starts.len(), 8 * report.rounds.len());
+        // Each round walks the full eight-stage pipeline in order.
+        for (r, chunk) in rec.starts.chunks(8).enumerate() {
+            let stages: Vec<Stage> = chunk.iter().map(|&(_, s)| s).collect();
+            assert_eq!(stages, Stage::ALL.to_vec());
+            assert!(chunk.iter().all(|&(round, _)| round == r + 1));
+        }
+        // The snapshot counters agree with the report's stats.
+        let last = rec.rounds.last().unwrap();
+        assert_eq!(
+            last.counters.partitions_solved,
+            report.stats.partitions_solved
+        );
+        assert_eq!(last.counters.evaluations, report.stats.evaluations);
     }
 
     #[test]
@@ -893,6 +657,7 @@ mod tests {
                 ..CplaConfig::default()
             })
             .run_released(grid, &nl, a, &[0])
+            .unwrap()
             .final_metrics
             .avg_tcp
         };
@@ -932,7 +697,7 @@ mod tests {
             critical_ratio: 1.0,
             ..CplaConfig::default()
         };
-        let report = Cpla::new(config).run(&mut grid, &nl, &mut a);
+        let report = Cpla::new(config).run(&mut grid, &nl, &mut a).unwrap();
         assert!(a.net_layers(0)[0] >= 2, "stayed on {:?}", a.net_layers(0));
         assert!(report.final_metrics.avg_tcp < report.initial_metrics.avg_tcp);
     }

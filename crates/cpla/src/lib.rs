@@ -36,7 +36,7 @@
 //! let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
 //! let mut assignment = initial_assignment(&mut grid, &netlist);
 //! let report = Cpla::new(CplaConfig::default())
-//!     .run(&mut grid, &netlist, &mut assignment);
+//!     .run(&mut grid, &netlist, &mut assignment)?;
 //! assert!(report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp);
 //! # Ok(())
 //! # }
@@ -44,15 +44,16 @@
 
 pub mod context;
 mod engine;
+mod flow;
+mod frontend;
 pub mod mapping;
-mod metrics;
 pub mod partition;
 pub mod problem;
-mod select;
 
 pub use context::{timing_context, SegCtx};
 pub use engine::{
     Cpla, CplaConfig, CplaReport, PipelineMode, PipelineStats, RoundStats, SolverKind,
 };
-pub use metrics::Metrics;
-pub use select::select_critical_nets;
+// Engine-neutral pieces now live in the workspace-level `flow` crate;
+// re-exported so existing `cpla::Metrics` paths keep working.
+pub use ::flow::{select_critical_nets, FlowError, Metrics};

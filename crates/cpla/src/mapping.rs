@@ -124,6 +124,7 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
         let Some(seg_set) = segs_of.get(&edge) else {
             continue;
         };
+        // invariant: `segs_of` only maps edges that own a segment.
         let probe = *seg_set.iter().next().expect("non-empty");
         let mut layers: Vec<usize> = problem.candidates[probe].clone();
         layers.sort_unstable_by(|a, b| b.cmp(a));
@@ -171,6 +172,7 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
             .find(|&&(_, c)| fits(i, problem.candidates[i][c], &remaining))
             .or_else(|| ranked.first())
             .map(|&(_, c)| c)
+            // invariant: extraction gives every segment ≥ 1 candidate.
             .expect("segments always have candidates");
         choice[i] = Some(picked);
         consume(i, problem.candidates[i][picked], &mut remaining);
@@ -178,6 +180,7 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
 
     choice
         .into_iter()
+        // invariant: the loop above visits every segment once.
         .map(|c| c.expect("all assigned"))
         .collect()
 }

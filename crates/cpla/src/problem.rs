@@ -194,6 +194,8 @@ impl PartitionProblem {
             let cur_idx = cands
                 .iter()
                 .position(|&l| l == cur_layer)
+                // invariant: candidate sets are built around the
+                // current layer, so it is always a member.
                 .expect("current layer must be a candidate");
             candidates.push(cands);
             linear_cost.push(costs);

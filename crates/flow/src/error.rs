@@ -1,0 +1,171 @@
+//! The typed error hierarchy of the flow seam.
+//!
+//! [`FlowError`] is what every [`LayerAssigner`](crate::LayerAssigner)
+//! entry point returns: one enum wrapping the per-crate error types, so
+//! front ends can match on the failure class (and map each class to a
+//! distinct exit code) without knowing which backend ran. Everything is
+//! hand-rolled `Display`/`Error` — the workspace builds offline with no
+//! error-handling dependencies.
+
+use std::error::Error;
+use std::fmt;
+
+use grid::GridError;
+use ispd::ParseError;
+use solver::SolveError;
+
+/// An invalid engine configuration value, detected before any work runs.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ConfigError {
+    /// Name of the offending configuration field.
+    pub field: &'static str,
+    /// The rejected value, rendered for the message.
+    pub value: String,
+    /// Why the value is unusable.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "config field `{}` = {} is invalid: {}",
+            self.field, self.value, self.reason
+        )
+    }
+}
+
+impl Error for ConfigError {}
+
+/// The runtime inputs (netlist/assignment/released set) do not fit
+/// together.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum InputError {
+    /// A released net index does not name a net.
+    ReleasedIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of nets in the netlist.
+        nets: usize,
+    },
+    /// The assignment's shape does not match the netlist.
+    ShapeMismatch {
+        /// Human-readable description of the first mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for InputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputError::ReleasedIndexOutOfRange { index, nets } => {
+                write!(f, "released net {index} out of range ({nets} nets)")
+            }
+            InputError::ShapeMismatch { detail } => {
+                write!(f, "assignment/netlist mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for InputError {}
+
+/// Any failure a layer-assignment flow can surface, by class.
+///
+/// Each variant wraps the typed error of the subsystem that failed;
+/// `source()` exposes the inner error for chains, and the CLI maps each
+/// variant to a distinct process exit code.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Grid construction or capacity-model failure.
+    Grid(GridError),
+    /// Mathematical-program solver failure.
+    Solve(SolveError),
+    /// Benchmark-file parse failure.
+    Parse(ParseError),
+    /// Invalid engine configuration.
+    Config(ConfigError),
+    /// Inconsistent runtime inputs.
+    Input(InputError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Grid(e) => write!(f, "grid error: {e}"),
+            FlowError::Solve(e) => write!(f, "solver error: {e}"),
+            FlowError::Parse(e) => write!(f, "parse error: {e}"),
+            FlowError::Config(e) => write!(f, "config error: {e}"),
+            FlowError::Input(e) => write!(f, "input error: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Grid(e) => Some(e),
+            FlowError::Solve(e) => Some(e),
+            FlowError::Parse(e) => Some(e),
+            FlowError::Config(e) => Some(e),
+            FlowError::Input(e) => Some(e),
+        }
+    }
+}
+
+impl From<GridError> for FlowError {
+    fn from(e: GridError) -> FlowError {
+        FlowError::Grid(e)
+    }
+}
+
+impl From<SolveError> for FlowError {
+    fn from(e: SolveError) -> FlowError {
+        FlowError::Solve(e)
+    }
+}
+
+impl From<ParseError> for FlowError {
+    fn from(e: ParseError) -> FlowError {
+        FlowError::Parse(e)
+    }
+}
+
+impl From<ConfigError> for FlowError {
+    fn from(e: ConfigError) -> FlowError {
+        FlowError::Config(e)
+    }
+}
+
+impl From<InputError> for FlowError {
+    fn from(e: InputError) -> FlowError {
+        FlowError::Input(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_the_class_and_detail() {
+        let e = FlowError::Config(ConfigError {
+            field: "critical_ratio",
+            value: "2.5".into(),
+            reason: "must lie in 0..=1",
+        });
+        let msg = e.to_string();
+        assert!(msg.starts_with("config error:"), "{msg}");
+        assert!(msg.contains("critical_ratio"), "{msg}");
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn input_error_wraps_via_from() {
+        let e: FlowError = InputError::ReleasedIndexOutOfRange { index: 9, nets: 3 }.into();
+        assert!(matches!(e, FlowError::Input(_)));
+        assert!(e.to_string().contains("9"));
+    }
+}

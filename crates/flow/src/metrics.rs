@@ -1,4 +1,4 @@
-//! The metrics the paper's Table 2 reports.
+//! The metrics the paper's Table 2 reports, shared by every backend.
 
 use grid::Grid;
 use net::{Assignment, Netlist};
@@ -25,7 +25,8 @@ impl Metrics {
     ///
     /// # Panics
     ///
-    /// Panics if indices are out of range or shapes mismatch.
+    /// Panics if indices are out of range or shapes mismatch (callers
+    /// reach this only after [`crate::validate_input`] has passed).
     pub fn measure(
         grid: &Grid,
         netlist: &Netlist,

@@ -1,6 +1,8 @@
-//! Critical-net selection.
+//! Critical-net selection, shared by every backend.
 
 use timing::TimingReport;
+
+use crate::ConfigError;
 
 /// Selects the `ratio` most critical nets (by worst-sink delay) from a
 /// timing report over the whole design.
@@ -12,7 +14,8 @@ use timing::TimingReport;
 ///
 /// # Panics
 ///
-/// Panics if `ratio` is negative or not finite.
+/// Panics if `ratio` is negative or not finite; engine entry points
+/// reject such ratios first via [`validate_ratio`].
 pub fn select_critical_nets(report: &TimingReport, ratio: f64) -> Vec<usize> {
     assert!(ratio.is_finite() && ratio >= 0.0, "invalid ratio {ratio}");
     if report.is_empty() || ratio == 0.0 {
@@ -22,6 +25,22 @@ pub fn select_critical_nets(report: &TimingReport, ratio: f64) -> Vec<usize> {
     let mut order = report.nets_by_criticality();
     order.truncate(count);
     order
+}
+
+/// Validates a critical ratio as a configuration value.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] unless `ratio` is finite and within `0..=1`.
+pub fn validate_ratio(field: &'static str, ratio: f64) -> Result<(), ConfigError> {
+    if !ratio.is_finite() || !(0.0..=1.0).contains(&ratio) {
+        return Err(ConfigError {
+            field,
+            value: format!("{ratio}"),
+            reason: "must be a finite fraction in 0..=1",
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -78,5 +97,13 @@ mod tests {
     fn full_ratio_selects_all() {
         let r = report(&[3, 30, 10]);
         assert_eq!(select_critical_nets(&r, 1.0).len(), 3);
+    }
+
+    #[test]
+    fn ratio_validation_rejects_out_of_range() {
+        assert!(validate_ratio("critical_ratio", 0.5).is_ok());
+        assert!(validate_ratio("critical_ratio", -0.1).is_err());
+        assert!(validate_ratio("critical_ratio", 1.5).is_err());
+        assert!(validate_ratio("critical_ratio", f64::NAN).is_err());
     }
 }

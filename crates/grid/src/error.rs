@@ -1,13 +1,13 @@
-//! Error types for grid construction.
+//! Error types for grid construction and capacity-model edits.
 
 use std::error::Error;
 use std::fmt;
 
-/// Error returned by [`crate::GridBuilder::build`] when the described grid
-/// is not well formed.
+/// Error returned by [`crate::GridBuilder::build`] and the fallible
+/// capacity-model edits when the described grid is not well formed.
 #[derive(Clone, PartialEq, Eq, Debug)]
 #[non_exhaustive]
-pub enum BuildGridError {
+pub enum GridError {
     /// Grid must be at least 2×1 (or 1×2) tiles so at least one routing
     /// edge exists.
     DegenerateDims {
@@ -35,32 +35,44 @@ pub enum BuildGridError {
         /// Required table length.
         expected: usize,
     },
+    /// A capacity adjustment names an edge or layer the grid cannot
+    /// honor (out-of-range layer, non-adjacent tiles, wrong direction).
+    InvalidAdjustment {
+        /// Human-readable description of the offending adjustment.
+        detail: String,
+    },
 }
 
-impl fmt::Display for BuildGridError {
+/// Former name of [`GridError`], kept for source compatibility.
+pub type BuildGridError = GridError;
+
+impl fmt::Display for GridError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildGridError::DegenerateDims { width, height } => {
+            GridError::DegenerateDims { width, height } => {
                 write!(f, "grid of {width}x{height} tiles has no routing edges")
             }
-            BuildGridError::NoLayers => f.write_str("grid has no layers"),
-            BuildGridError::MissingDirection(d) => {
+            GridError::NoLayers => f.write_str("grid has no layers"),
+            GridError::MissingDirection(d) => {
                 write!(f, "grid has no {d} layer")
             }
-            BuildGridError::InvalidLayerParameter { layer, what } => {
+            GridError::InvalidLayerParameter { layer, what } => {
                 write!(f, "layer {layer} has non-positive {what}")
             }
-            BuildGridError::ViaResistanceLength { got, expected } => {
+            GridError::ViaResistanceLength { got, expected } => {
                 write!(
                     f,
                     "via resistance table has {got} entries, expected {expected}"
                 )
             }
+            GridError::InvalidAdjustment { detail } => {
+                write!(f, "invalid capacity adjustment: {detail}")
+            }
         }
     }
 }
 
-impl Error for BuildGridError {}
+impl Error for GridError {}
 
 #[cfg(test)]
 mod tests {
@@ -68,12 +80,20 @@ mod tests {
 
     #[test]
     fn messages_are_lowercase_and_informative() {
-        let e = BuildGridError::DegenerateDims {
+        let e = GridError::DegenerateDims {
             width: 1,
             height: 1,
         };
         let msg = e.to_string();
         assert!(msg.contains("1x1"));
         assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn adjustment_errors_carry_the_detail() {
+        let e = GridError::InvalidAdjustment {
+            detail: "layer 9 out of range".into(),
+        };
+        assert!(e.to_string().contains("layer 9"));
     }
 }

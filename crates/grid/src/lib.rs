@@ -37,7 +37,7 @@ mod grid;
 mod layer;
 
 pub use builder::GridBuilder;
-pub use error::BuildGridError;
+pub use error::{BuildGridError, GridError};
 pub use geom::{Cell, Direction, Edge2d};
 pub use grid::{Grid, UsageSnapshot};
 pub use layer::Layer;

@@ -63,9 +63,9 @@ impl IspdDesign {
     ///
     /// # Errors
     ///
-    /// Returns the underlying [`grid::BuildGridError`] if the design is
-    /// degenerate, stringified alongside adjustment range errors.
-    pub fn to_grid(&self) -> Result<Grid, String> {
+    /// Returns the underlying [`grid::GridError`] if the design is
+    /// degenerate or a capacity adjustment is unusable.
+    pub fn to_grid(&self) -> Result<Grid, grid::GridError> {
         let mut builder = GridBuilder::new(self.grid_x, self.grid_y)
             .tile_size(self.tile_size.0, self.tile_size.1)
             .via_geometry(1.0, 1.0);
@@ -100,25 +100,27 @@ impl IspdDesign {
                     .with_capacity(wires),
             );
         }
-        let mut grid = builder.build().map_err(|e| e.to_string())?;
+        let mut grid = builder.build()?;
         for adj in &self.adjustments {
             let (x1, y1, l1) = adj.from;
             let (x2, y2, l2) = adj.to;
             if l1 != l2 || l1 >= self.num_layers {
-                return Err(format!(
-                    "adjustment spans layers {l1}/{l2}, which is unsupported"
-                ));
+                return Err(grid::GridError::InvalidAdjustment {
+                    detail: format!("adjustment spans layers {l1}/{l2}, which is unsupported"),
+                });
             }
             let e = Edge2d::between(Cell::new(x1, y1), Cell::new(x2, y2)).ok_or_else(|| {
-                format!(
-                    "adjustment between non-adjacent tiles \
+                grid::GridError::InvalidAdjustment {
+                    detail: format!(
+                        "adjustment between non-adjacent tiles \
                          ({x1},{y1}) and ({x2},{y2})"
-                )
+                    ),
+                }
             })?;
             if grid.layer(l1).direction != e.dir {
-                return Err(format!(
-                    "adjustment on layer {l1} direction mismatch at {e}"
-                ));
+                return Err(grid::GridError::InvalidAdjustment {
+                    detail: format!("adjustment on layer {l1} direction mismatch at {e}"),
+                });
             }
             let pitch = self.min_width[l1] + self.min_spacing[l1];
             let wires = if pitch > 0.0 {
@@ -137,60 +139,138 @@ impl IspdDesign {
     }
 }
 
-/// Error produced by [`parse`].
+/// What a [`ParseError`] found wrong at its position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// The file ended while more tokens were required.
+    UnexpectedEof,
+    /// A fixed keyword of the format was expected.
+    ExpectedKeyword(&'static str),
+    /// A floating-point number was expected.
+    ExpectedNumber,
+    /// A non-negative integer was expected.
+    ExpectedInteger,
+    /// A net declared zero pins.
+    EmptyNet,
+    /// The tile dimensions were not positive.
+    NonPositiveTileSize,
+    /// The underlying reader failed.
+    Io,
+}
+
+impl ParseErrorKind {
+    fn describe(&self) -> String {
+        match self {
+            ParseErrorKind::UnexpectedEof => "unexpected end of file".to_string(),
+            ParseErrorKind::ExpectedKeyword(w) => format!("expected `{w}`"),
+            ParseErrorKind::ExpectedNumber => "expected number".to_string(),
+            ParseErrorKind::ExpectedInteger => "expected integer".to_string(),
+            ParseErrorKind::EmptyNet => "net has no pins".to_string(),
+            ParseErrorKind::NonPositiveTileSize => "non-positive tile size".to_string(),
+            ParseErrorKind::Io => "read failure".to_string(),
+        }
+    }
+}
+
+/// Error produced by [`parse`], pinned to the offending position.
+///
+/// `line` is 1-based; `token` is the text that triggered the failure
+/// (empty at end of file). CLI error messages carry both so a failure
+/// on a multi-megabyte benchmark file is actionable.
 #[derive(Clone, PartialEq, Debug)]
-pub struct ParseIspdError {
-    /// What went wrong.
-    pub message: String,
+pub struct ParseError {
+    /// 1-based line number of the offending token (the last line of the
+    /// file when the input ended early).
+    pub line: usize,
+    /// The offending token text, `""` at end of file.
+    pub token: String,
+    /// What was wrong with it.
+    pub kind: ParseErrorKind,
 }
 
-impl fmt::Display for ParseIspdError {
+impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid ISPD'08 file: {}", self.message)
+        write!(
+            f,
+            "invalid ISPD'08 file: line {}: {}",
+            self.line,
+            self.kind.describe()
+        )?;
+        if !self.token.is_empty() {
+            write!(f, ", got `{}`", self.token)?;
+        }
+        Ok(())
     }
 }
 
-impl Error for ParseIspdError {}
+impl Error for ParseError {}
 
-fn err(message: impl Into<String>) -> ParseIspdError {
-    ParseIspdError {
-        message: message.into(),
-    }
-}
+/// Former name of [`ParseError`], kept for source compatibility.
+pub type ParseIspdError = ParseError;
 
 struct Tokens {
-    toks: Vec<String>,
+    /// Token text plus the 1-based line it came from.
+    toks: Vec<(String, usize)>,
     pos: usize,
+    /// Last line of the input, for end-of-file positions.
+    last_line: usize,
 }
 
 impl Tokens {
-    fn next(&mut self) -> Result<&str, ParseIspdError> {
-        let t = self
-            .toks
-            .get(self.pos)
-            .ok_or_else(|| err("unexpected end of file"))?;
-        self.pos += 1;
-        Ok(t)
+    fn err_here(&self, kind: ParseErrorKind) -> ParseError {
+        // The failing token is the one just consumed (pos was advanced).
+        let at = self.pos.checked_sub(1).and_then(|p| self.toks.get(p));
+        ParseError {
+            line: at.map_or(self.last_line, |(_, l)| *l),
+            token: at.map_or(String::new(), |(t, _)| t.clone()),
+            kind,
+        }
     }
 
-    fn next_f64(&mut self) -> Result<f64, ParseIspdError> {
+    /// Line of the most recently consumed token.
+    fn current_line(&self) -> usize {
+        self.pos
+            .checked_sub(1)
+            .and_then(|p| self.toks.get(p))
+            .map_or(self.last_line, |(_, l)| *l)
+    }
+
+    fn next(&mut self) -> Result<&str, ParseError> {
+        match self.toks.get(self.pos) {
+            Some((t, _)) => {
+                self.pos += 1;
+                Ok(t)
+            }
+            None => {
+                self.pos += 1;
+                Err(ParseError {
+                    line: self.last_line,
+                    token: String::new(),
+                    kind: ParseErrorKind::UnexpectedEof,
+                })
+            }
+        }
+    }
+
+    fn next_f64(&mut self) -> Result<f64, ParseError> {
         let t = self.next()?;
         t.parse()
-            .map_err(|_| err(format!("expected number, got `{t}`")))
+            .map_err(|_| self.err_here(ParseErrorKind::ExpectedNumber))
     }
 
-    fn next_u32(&mut self) -> Result<u32, ParseIspdError> {
+    fn next_u32(&mut self) -> Result<u32, ParseError> {
         let t = self.next()?;
         t.parse()
-            .map_err(|_| err(format!("expected integer, got `{t}`")))
+            .map_err(|_| self.err_here(ParseErrorKind::ExpectedInteger))
     }
 
-    fn expect(&mut self, word: &str) -> Result<(), ParseIspdError> {
+    fn expect(&mut self, word: &'static str) -> Result<(), ParseError> {
         let t = self.next()?;
         if t.eq_ignore_ascii_case(word) {
             Ok(())
         } else {
-            Err(err(format!("expected `{word}`, got `{t}`")))
+            Err(self.err_here(ParseErrorKind::ExpectedKeyword(word)))
         }
     }
 }
@@ -203,17 +283,28 @@ impl Tokens {
 ///
 /// # Errors
 ///
-/// Returns [`ParseIspdError`] on any structural deviation from the
-/// format, and wraps I/O errors in the same type.
-pub fn parse(reader: impl BufRead) -> Result<IspdDesign, ParseIspdError> {
+/// Returns [`ParseError`] on any structural deviation from the format —
+/// carrying the 1-based line number and the offending token — and wraps
+/// I/O errors in the same type.
+pub fn parse(reader: impl BufRead) -> Result<IspdDesign, ParseError> {
     let mut toks = Vec::new();
+    let mut line_no = 0usize;
     for line in reader.lines() {
-        let line = line.map_err(|e| err(format!("read failure: {e}")))?;
+        line_no += 1;
+        let line = line.map_err(|e| ParseError {
+            line: line_no,
+            token: e.to_string(),
+            kind: ParseErrorKind::Io,
+        })?;
         for t in line.split_whitespace() {
-            toks.push(t.to_string());
+            toks.push((t.to_string(), line_no));
         }
     }
-    let mut t = Tokens { toks, pos: 0 };
+    let mut t = Tokens {
+        toks,
+        pos: 0,
+        last_line: line_no.max(1),
+    };
 
     t.expect("grid")?;
     let grid_x = t.next_u32()? as u16;
@@ -250,7 +341,7 @@ pub fn parse(reader: impl BufRead) -> Result<IspdDesign, ParseIspdError> {
     let tile_w = t.next_f64()?;
     let tile_h = t.next_f64()?;
     if tile_w <= 0.0 || tile_h <= 0.0 {
-        return Err(err("non-positive tile size"));
+        return Err(t.err_here(ParseErrorKind::NonPositiveTileSize));
     }
 
     t.expect("num")?;
@@ -265,6 +356,7 @@ pub fn parse(reader: impl BufRead) -> Result<IspdDesign, ParseIspdError> {
     let mut nets = Vec::with_capacity(num_nets);
     for _ in 0..num_nets {
         let name = t.next()?.to_string();
+        let name_line = t.current_line();
         let _id = t.next_u32()?;
         let num_pins = t.next_u32()? as usize;
         let _min_width = t.next_f64()?;
@@ -285,7 +377,11 @@ pub fn parse(reader: impl BufRead) -> Result<IspdDesign, ParseIspdError> {
             pins.push(pin.on_layer(layer.saturating_sub(1)));
         }
         if pins.is_empty() {
-            return Err(err(format!("net {name} has no pins")));
+            return Err(ParseError {
+                line: name_line,
+                token: name.clone(),
+                kind: ParseErrorKind::EmptyNet,
+            });
         }
         nets.push(NetSpec::new(name, pins));
     }

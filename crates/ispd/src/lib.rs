@@ -26,5 +26,5 @@
 mod format;
 mod synthetic;
 
-pub use format::{parse, write, IspdDesign, ParseIspdError};
+pub use format::{parse, write, IspdDesign, ParseError, ParseErrorKind, ParseIspdError};
 pub use synthetic::SyntheticConfig;

@@ -102,6 +102,7 @@ impl SyntheticConfig {
             "newblue7",
         ]
         .iter()
+        // invariant: the list above only holds names `named` knows.
         .map(|n| SyntheticConfig::named(n).expect("known name"))
         .collect()
     }
@@ -113,6 +114,7 @@ impl SyntheticConfig {
             "adaptec1", "adaptec2", "bigblue1", "newblue1", "newblue2", "newblue4",
         ]
         .iter()
+        // invariant: the list above only holds names `named` knows.
         .map(|n| SyntheticConfig::named(n).expect("known name"))
         .collect()
     }

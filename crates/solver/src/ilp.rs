@@ -179,6 +179,20 @@ impl ChoiceProblem {
         Some(cost)
     }
 
+    /// [`ChoiceProblem::solve`] returning a typed error instead of
+    /// `None`, for callers that treat an empty search as a failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SolveError::BudgetExhausted`] when no
+    /// hard-feasible assignment was found within `node_budget` nodes.
+    pub fn try_solve(&self, node_budget: u64) -> Result<IlpSolution, crate::SolveError> {
+        self.solve(node_budget)
+            .ok_or(crate::SolveError::BudgetExhausted {
+                budget: node_budget,
+            })
+    }
+
     /// Solves by branch-and-bound.
     ///
     /// Returns `None` when no hard-feasible assignment exists (within the
@@ -331,6 +345,7 @@ impl ChoiceProblem {
                         }
                     }
                 }
+                // invariant: the greedy pass above assigned every item.
                 let choices: Vec<usize> = self.assigned.iter().map(|c| c.unwrap()).collect();
                 self.best = Some((acc, choices));
                 // Roll back state for the exact search.
@@ -355,6 +370,7 @@ impl ChoiceProblem {
                 }
                 self.nodes += 1;
                 if depth == self.order.len() {
+                    // invariant: at full depth every item holds a choice.
                     let choices: Vec<usize> = self.assigned.iter().map(|c| c.unwrap()).collect();
                     if self.best.as_ref().map(|(b, _)| acc < *b).unwrap_or(true) {
                         self.best = Some((acc, choices));

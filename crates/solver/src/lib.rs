@@ -37,12 +37,14 @@
 
 mod cholesky;
 mod eigen;
+mod error;
 mod ilp;
 mod matrix;
 mod sdp;
 
 pub use cholesky::{Cholesky, CholeskyError};
 pub use eigen::{eigen_decompose, eigen_decompose_jacobi, Eigen};
+pub use error::SolveError;
 pub use ilp::{CapacityGroup, ChoiceProblem, IlpSolution, PairCost, SoftGroup};
 pub use matrix::{psd_project, SymMatrix};
 pub use sdp::{SdpProblem, SdpSolution, SdpSolver};

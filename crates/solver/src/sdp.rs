@@ -17,7 +17,7 @@
 //! sufficient — this is the substitution for the CSDP C library used by
 //! the paper (see `DESIGN.md` §2).
 
-use crate::{psd_project, Cholesky, SymMatrix};
+use crate::{psd_project, Cholesky, SolveError, SymMatrix};
 
 /// One linear equality constraint `Σ coeff · X_ij = rhs`.
 ///
@@ -244,8 +244,34 @@ impl SdpSolver {
         problem: &SdpProblem,
         warm: Option<(&SymMatrix, &SymMatrix)>,
     ) -> SdpSolution {
+        // invariant: CPLA-extracted problems always have ≥ 1 variable
+        // and a ridge-regularized (hence positive-definite) Gram matrix.
+        self.try_solve_from(problem, warm)
+            .expect("well-formed SDP problem")
+    }
+
+    /// [`SdpSolver::solve_from`] returning typed errors instead of
+    /// panicking: an empty problem or a Gram matrix that fails to factor
+    /// (numerically degenerate constraints) surfaces as [`SolveError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Dimension`] for a 0-dimensional problem and
+    /// [`SolveError::NotPositiveDefinite`] when the ridge-regularized
+    /// Gram matrix cannot be factored.
+    pub fn try_solve_from(
+        &self,
+        problem: &SdpProblem,
+        warm: Option<(&SymMatrix, &SymMatrix)>,
+    ) -> Result<SdpSolution, SolveError> {
         let n = problem.dim();
-        assert!(n > 0, "empty SDP");
+        if n == 0 {
+            return Err(SolveError::Dimension {
+                what: "SDP problem",
+                got: 0,
+                expected: 1,
+            });
+        }
         // Normalize the cost so ρ's default scale is meaningful across
         // wildly different delay magnitudes.
         let cost_scale = problem.cost.norm().max(1e-12);
@@ -263,10 +289,7 @@ impl SdpSolver {
             gram.add_to(k, k, ridge);
         }
         let gram_factor = if m > 0 {
-            Some(
-                Cholesky::factor(&gram)
-                    .expect("ridge-regularized Gram matrix must be positive definite"),
-            )
+            Some(Cholesky::factor(&gram).map_err(SolveError::from)?)
         } else {
             None
         };
@@ -379,7 +402,7 @@ impl SdpSolver {
             .sum::<f64>()
             .sqrt();
         let objective = problem.cost.dot(&x);
-        SdpSolution {
+        Ok(SdpSolution {
             x,
             z,
             u,
@@ -388,7 +411,7 @@ impl SdpSolver {
             primal_residual,
             constraint_residual,
             converged,
-        }
+        })
     }
 }
 

@@ -37,7 +37,7 @@
 //! let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
 //! let mut assignment = initial_assignment(&mut grid, &netlist);
 //! let result = Tila::new(TilaConfig::default())
-//!     .run(&mut grid, &netlist, &mut assignment, &[0]);
+//!     .run(&mut grid, &netlist, &mut assignment, &[0])?;
 //! assert!(result.final_objective <= result.initial_objective);
 //! # Ok(())
 //! # }
@@ -46,6 +46,10 @@
 // Index-based loops over segments mirror the DP recurrences.
 #![allow(clippy::needless_range_loop)]
 
+use flow::{
+    ConfigError, FlowCounters, FlowError, FlowReport, LayerAssigner, Metrics, RoundSnapshot,
+    StageObserver,
+};
 use grid::{Direction, Grid};
 use net::{Assignment, Net, Netlist};
 use timing::{IncrementalTiming, NetTiming, TimingModel};
@@ -60,6 +64,10 @@ pub struct TilaConfig {
     pub step_scale: f64,
     /// Extra multiplicative weight on via-capacity violations.
     pub via_weight: f64,
+    /// Fraction of nets released as critical when TILA runs as a
+    /// [`LayerAssigner`] backend (matching CPLA's default selection);
+    /// [`Tila::run`] callers pass an explicit released set instead.
+    pub critical_ratio: f64,
 }
 
 impl Default for TilaConfig {
@@ -68,7 +76,34 @@ impl Default for TilaConfig {
             rounds: 12,
             step_scale: 0.5,
             via_weight: 1.0,
+            critical_ratio: 0.005,
         }
+    }
+}
+
+impl TilaConfig {
+    /// Checks every field the engine cannot tolerate, before any work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        flow::validate_ratio("critical_ratio", self.critical_ratio)?;
+        if !self.step_scale.is_finite() || self.step_scale < 0.0 {
+            return Err(ConfigError {
+                field: "step_scale",
+                value: format!("{}", self.step_scale),
+                reason: "the subgradient step scale must be finite and non-negative",
+            });
+        }
+        if !self.via_weight.is_finite() || self.via_weight < 0.0 {
+            return Err(ConfigError {
+                field: "via_weight",
+                value: format!("{}", self.via_weight),
+                reason: "the via-violation weight must be finite and non-negative",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -128,6 +163,11 @@ impl Tila {
         Tila { config }
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &TilaConfig {
+        &self.config
+    }
+
     /// Optimizes the `released` nets in place.
     ///
     /// `grid` usage must reflect `assignment` on entry (as produced by
@@ -136,17 +176,38 @@ impl Tila {
     /// the fixed background the released nets must fit around, exactly
     /// the paper's incremental setting.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a released index is out of range or the assignment does
-    /// not match the netlist.
+    /// Returns [`FlowError::Config`] for an invalid configuration and
+    /// [`FlowError::Input`] when a released index is out of range or the
+    /// assignment does not match the netlist.
     pub fn run(
         &self,
         grid: &mut Grid,
         netlist: &Netlist,
         assignment: &mut Assignment,
         released: &[usize],
-    ) -> TilaResult {
+    ) -> Result<TilaResult, FlowError> {
+        self.run_observed(grid, netlist, assignment, released, &mut [])
+    }
+
+    /// [`Tila::run`] with [`StageObserver`]s attached: TILA has no
+    /// internal stage pipeline, so observers receive one
+    /// [`RoundSnapshot`] per LR round (objective = weighted-sum delay).
+    ///
+    /// # Errors
+    ///
+    /// See [`Tila::run`].
+    pub fn run_observed(
+        &self,
+        grid: &mut Grid,
+        netlist: &Netlist,
+        assignment: &mut Assignment,
+        released: &[usize],
+        observers: &mut [&mut dyn StageObserver],
+    ) -> Result<TilaResult, FlowError> {
+        self.config.validate()?;
+        flow::validate_input(netlist, assignment, released)?;
         let objective = |g: &Grid, a: &Assignment| -> f64 {
             released
                 .iter()
@@ -172,11 +233,11 @@ impl Tila {
             .map(|&i| netlist.net(i).tree().num_segments())
             .sum();
         if released_segments == 0 {
-            return TilaResult {
+            return Ok(TilaResult {
                 initial_objective,
                 final_objective: initial_objective,
                 rounds_run: 0,
-            };
+            });
         }
         let delay_scale = (initial_objective / released_segments as f64).max(1e-12);
         // Incumbent selection must not reward infeasibility: LR iterates
@@ -255,12 +316,22 @@ impl Tila {
 
             let obj = objective(grid, assignment);
             let pen = penalized(grid, obj);
-            if pen < best_penalized {
+            let improved = pen < best_penalized;
+            if improved {
                 best_penalized = pen;
                 best_objective = obj;
                 for (slot, &i) in best_layers.iter_mut().zip(released) {
                     *slot = assignment.net_layers(i).to_vec();
                 }
+            }
+            let snapshot = RoundSnapshot {
+                round,
+                objective: obj,
+                improved,
+                counters: FlowCounters::default(),
+            };
+            for obs in observers.iter_mut() {
+                obs.on_round_end(&snapshot);
             }
         }
 
@@ -274,11 +345,11 @@ impl Tila {
             }
         }
 
-        TilaResult {
+        Ok(TilaResult {
             initial_objective,
             final_objective: best_objective,
             rounds_run,
-        }
+        })
     }
 
     /// Greedy repair: move released segments off edges whose wire
@@ -410,6 +481,8 @@ impl Tila {
                             )
                         })
                         .min_by(|a, b| a.1.total_cmp(&b.1))
+                        // invariant: validated grids route every
+                        // direction on ≥ 1 layer.
                         .expect("layer exists per direction");
                     cost += best_c;
                     choices.push(best_l);
@@ -435,6 +508,8 @@ impl Tila {
                     )
                 })
                 .min_by(|a, b| a.1.total_cmp(&b.1))
+                // invariant: validated grids route every direction on
+                // ≥ 1 layer.
                 .expect("layer exists");
             stack.push((cs, best_l));
         }
@@ -447,6 +522,42 @@ impl Tila {
         }
         debug_assert!(layers.iter().all(|&l| l != usize::MAX));
         layers
+    }
+}
+
+impl LayerAssigner for Tila {
+    fn name(&self) -> &'static str {
+        "tila"
+    }
+
+    fn config_description(&self) -> String {
+        let c = &self.config;
+        format!(
+            "tila: lagrangian-relaxation rounds<={} step_scale={} via_weight={} ratio={}",
+            c.rounds, c.step_scale, c.via_weight, c.critical_ratio
+        )
+    }
+
+    fn assign_observed(
+        &self,
+        grid: &mut Grid,
+        netlist: &Netlist,
+        assignment: &mut Assignment,
+        observers: &mut [&mut dyn StageObserver],
+    ) -> Result<FlowReport, FlowError> {
+        self.config.validate()?;
+        let full = timing::analyze(grid, netlist, assignment);
+        let released = flow::select_critical_nets(&full, self.config.critical_ratio);
+        let initial_metrics = Metrics::measure(grid, netlist, assignment, &released);
+        let result = self.run_observed(grid, netlist, assignment, &released, observers)?;
+        let final_metrics = Metrics::measure(grid, netlist, assignment, &released);
+        Ok(FlowReport {
+            assigner: "tila",
+            released,
+            initial_metrics,
+            final_metrics,
+            rounds: result.rounds_run,
+        })
     }
 }
 
@@ -493,7 +604,9 @@ mod tests {
     fn improves_sum_delay_of_released_nets() {
         let (mut grid, nl, mut a) = fixture();
         let released: Vec<usize> = (0..6).collect();
-        let r = Tila::new(TilaConfig::default()).run(&mut grid, &nl, &mut a, &released);
+        let r = Tila::new(TilaConfig::default())
+            .run(&mut grid, &nl, &mut a, &released)
+            .unwrap();
         assert!(
             r.final_objective <= r.initial_objective,
             "{} > {}",
@@ -511,7 +624,9 @@ mod tests {
     fn grid_usage_stays_consistent() {
         let (mut grid, nl, mut a) = fixture();
         let released: Vec<usize> = (0..6).collect();
-        Tila::new(TilaConfig::default()).run(&mut grid, &nl, &mut a, &released);
+        Tila::new(TilaConfig::default())
+            .run(&mut grid, &nl, &mut a, &released)
+            .unwrap();
         // Rebuild usage from scratch; must equal the incremental state.
         let mut fresh = grid.clone();
         // Zero out by removing every net, then re-adding.
@@ -528,7 +643,9 @@ mod tests {
     fn untouched_nets_keep_their_layers() {
         let (mut grid, nl, mut a) = fixture();
         let before: Vec<Vec<usize>> = (6..nl.len()).map(|i| a.net_layers(i).to_vec()).collect();
-        Tila::new(TilaConfig::default()).run(&mut grid, &nl, &mut a, &[0, 1]);
+        Tila::new(TilaConfig::default())
+            .run(&mut grid, &nl, &mut a, &[0, 1])
+            .unwrap();
         for (k, i) in (6..nl.len()).enumerate() {
             assert_eq!(a.net_layers(i), before[k].as_slice());
         }
@@ -538,7 +655,9 @@ mod tests {
     fn empty_release_set_is_a_no_op() {
         let (mut grid, nl, mut a) = fixture();
         let before = a.clone();
-        let r = Tila::new(TilaConfig::default()).run(&mut grid, &nl, &mut a, &[]);
+        let r = Tila::new(TilaConfig::default())
+            .run(&mut grid, &nl, &mut a, &[])
+            .unwrap();
         assert_eq!(a, before);
         assert_eq!(r.rounds_run, 0);
     }
@@ -548,8 +667,12 @@ mod tests {
         let (mut g1, nl1, mut a1) = fixture();
         let (mut g2, nl2, mut a2) = fixture();
         let released: Vec<usize> = (0..6).collect();
-        Tila::new(TilaConfig::default()).run(&mut g1, &nl1, &mut a1, &released);
-        Tila::new(TilaConfig::default()).run(&mut g2, &nl2, &mut a2, &released);
+        Tila::new(TilaConfig::default())
+            .run(&mut g1, &nl1, &mut a1, &released)
+            .unwrap();
+        Tila::new(TilaConfig::default())
+            .run(&mut g2, &nl2, &mut a2, &released)
+            .unwrap();
         assert_eq!(a1, a2);
     }
 
@@ -590,7 +713,9 @@ mod tests {
         let overflow_before = grid.total_wire_overflow();
         assert!(overflow_before > 0, "fixture must start overflowed");
         let released: Vec<usize> = (0..6).collect();
-        Tila::new(TilaConfig::default()).run(&mut grid, &nl, &mut a, &released);
+        Tila::new(TilaConfig::default())
+            .run(&mut grid, &nl, &mut a, &released)
+            .unwrap();
         assert!(
             grid.total_wire_overflow() < overflow_before,
             "legalization must reduce the manufactured overflow: {} -> {}",
@@ -653,7 +778,9 @@ mod tests {
         )];
         let nl = route_netlist(&grid, &specs, &RouterConfig::default());
         let mut a = initial_assignment(&mut grid, &nl);
-        Tila::new(TilaConfig::default()).run(&mut grid, &nl, &mut a, &[0]);
+        Tila::new(TilaConfig::default())
+            .run(&mut grid, &nl, &mut a, &[0])
+            .unwrap();
         // The single horizontal segment should end on a higher H layer
         // (2 or 4), since wire R dominates the via penalty at length 30.
         assert!(a.net_layers(0)[0] >= 2, "stayed on {:?}", a.net_layers(0));

@@ -144,8 +144,8 @@ enum Undo {
 
 /// Incrementally maintained Elmore timing of one net.
 ///
-/// See the [module docs](self) for the update scheme and the exactness
-/// argument. State beyond the layer vector:
+/// See the module-level docs above for the update scheme and the
+/// exactness argument. State beyond the layer vector:
 ///
 /// * `cap[s]` — downstream capacitance of segment `s` (excluding its
 ///   own wire), identical to [`NetTiming::downstream_cap`];

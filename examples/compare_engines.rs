@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut grid = grid0.clone();
         let mut a = assignment0.clone();
         let t = Instant::now();
-        Tila::new(TilaConfig::default()).run(&mut grid, &netlist, &mut a, &released);
+        Tila::new(TilaConfig::default()).run(&mut grid, &netlist, &mut a, &released)?;
         let m = Metrics::measure(&grid, &netlist, &a, &released);
         print("TILA", &m, t.elapsed().as_secs_f64());
     }
@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             ..CplaConfig::default()
         })
-        .run_released(&mut grid, &netlist, &mut a, &released);
+        .run_released(&mut grid, &netlist, &mut a, &released)?;
         let m = Metrics::measure(&grid, &netlist, &a, &released);
         print("CPLA-ILP", &m, t.elapsed().as_secs_f64());
     }
@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut grid = grid0.clone();
         let mut a = assignment0.clone();
         let t = Instant::now();
-        Cpla::new(CplaConfig::default()).run_released(&mut grid, &netlist, &mut a, &released);
+        Cpla::new(CplaConfig::default()).run_released(&mut grid, &netlist, &mut a, &released)?;
         let m = Metrics::measure(&grid, &netlist, &a, &released);
         print("CPLA-SDP", &m, t.elapsed().as_secs_f64());
         a.validate(&netlist, &grid)?;

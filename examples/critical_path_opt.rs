@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let t2 = Instant::now();
-    let report = Cpla::new(CplaConfig::default()).run(&mut grid, &netlist, &mut assignment);
+    let report = Cpla::new(CplaConfig::default()).run(&mut grid, &netlist, &mut assignment)?;
     let cpu = t2.elapsed().as_secs_f64();
 
     let m: &Metrics = &report.final_metrics;

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         critical_ratio: 0.05,
         ..CplaConfig::default()
     })
-    .run(&mut grid, &netlist, &mut assignment);
+    .run(&mut grid, &netlist, &mut assignment)?;
 
     println!(
         "CPLA on {} critical nets: Avg(Tcp) {:.1} -> {:.1}",

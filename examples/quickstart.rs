@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         critical_ratio: 1.0,
         ..CplaConfig::default()
     };
-    let report = Cpla::new(config).run(&mut grid, &netlist, &mut assignment);
+    let report = Cpla::new(config).run(&mut grid, &netlist, &mut assignment)?;
 
     // 5. Report the outcome.
     let after = timing::analyze(&grid, &netlist, &assignment);

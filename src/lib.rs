@@ -5,6 +5,7 @@
 //! architecture and `DESIGN.md` for the paper-to-module map.
 
 pub use cpla;
+pub use flow;
 pub use grid;
 pub use ispd;
 pub use net;

@@ -49,7 +49,8 @@ fn cpla_improves_and_stays_consistent() {
         critical_ratio: 0.05,
         ..CplaConfig::default()
     })
-    .run(&mut grid, &netlist, &mut assignment);
+    .run(&mut grid, &netlist, &mut assignment)
+    .expect("pipeline fixture is well-formed");
     assert!(
         report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp,
         "CPLA must never regress the released average"
@@ -71,7 +72,9 @@ fn cpla_only_touches_released_nets() {
         .iter()
         .map(|&i| assignment.net_layers(i).to_vec())
         .collect();
-    Cpla::new(CplaConfig::default()).run_released(&mut grid, &netlist, &mut assignment, &released);
+    Cpla::new(CplaConfig::default())
+        .run_released(&mut grid, &netlist, &mut assignment, &released)
+        .expect("pipeline fixture is well-formed");
     for (k, &i) in untouched.iter().enumerate() {
         assert_eq!(
             assignment.net_layers(i),
@@ -89,7 +92,8 @@ fn full_pipeline_is_deterministic() {
             critical_ratio: 0.05,
             ..CplaConfig::default()
         })
-        .run(&mut grid, &netlist, &mut assignment);
+        .run(&mut grid, &netlist, &mut assignment)
+        .expect("pipeline fixture is well-formed");
         (grid, assignment)
     };
     let (g1, a1) = run(15);

@@ -39,17 +39,16 @@ fn both_engines_improve_over_initial() {
 
     let mut tila_grid = f.grid.clone();
     let mut tila_a = f.assignment.clone();
-    Tila::new(TilaConfig::default()).run(&mut tila_grid, &f.netlist, &mut tila_a, &f.released);
+    Tila::new(TilaConfig::default())
+        .run(&mut tila_grid, &f.netlist, &mut tila_a, &f.released)
+        .expect("fixture is well-formed");
     let tila_m = Metrics::measure(&tila_grid, &f.netlist, &tila_a, &f.released);
 
     let mut cpla_grid = f.grid.clone();
     let mut cpla_a = f.assignment.clone();
-    Cpla::new(CplaConfig::default()).run_released(
-        &mut cpla_grid,
-        &f.netlist,
-        &mut cpla_a,
-        &f.released,
-    );
+    Cpla::new(CplaConfig::default())
+        .run_released(&mut cpla_grid, &f.netlist, &mut cpla_a, &f.released)
+        .expect("fixture is well-formed");
     let cpla_m = Metrics::measure(&cpla_grid, &f.netlist, &cpla_a, &f.released);
 
     assert!(tila_m.avg_tcp < initial.avg_tcp, "TILA must improve");
@@ -74,7 +73,8 @@ fn sdp_and_ilp_modes_land_close() {
             solver,
             ..CplaConfig::default()
         })
-        .run_released(&mut grid, &f.netlist, &mut a, &f.released);
+        .run_released(&mut grid, &f.netlist, &mut a, &f.released)
+        .expect("fixture is well-formed");
         Metrics::measure(&grid, &f.netlist, &a, &f.released)
     };
     let sdp = run(CplaConfig::default().solver);
@@ -147,7 +147,9 @@ fn engines_preserve_non_released_usage() {
     let f = fixture(24);
     let mut grid = f.grid.clone();
     let mut a = f.assignment.clone();
-    Tila::new(TilaConfig::default()).run(&mut grid, &f.netlist, &mut a, &f.released);
+    Tila::new(TilaConfig::default())
+        .run(&mut grid, &f.netlist, &mut a, &f.released)
+        .expect("fixture is well-formed");
     // Removing every net must drain usage to exactly zero — catches
     // leaked or double-counted wires/vias.
     for i in 0..f.netlist.len() {

@@ -1,0 +1,117 @@
+//! Cross-crate tests of the `LayerAssigner` seam: both engines driven
+//! through one `Box<dyn LayerAssigner>` code path, and typed error
+//! propagation from the parser and the engines to the caller.
+
+use std::io::BufReader;
+
+use cpla::{Cpla, CplaConfig};
+use flow::{FlowError, LayerAssigner};
+use ispd::SyntheticConfig;
+use route::{initial_assignment, route_netlist, RouterConfig};
+use tila::{Tila, TilaConfig};
+
+fn fixture(seed: u64) -> (grid::Grid, net::Netlist, net::Assignment) {
+    let mut config = SyntheticConfig::small(seed);
+    config.num_nets = 300;
+    config.capacity = 4;
+    let (mut grid, specs) = config.generate().expect("valid config");
+    let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+    let assignment = initial_assignment(&mut grid, &netlist);
+    (grid, netlist, assignment)
+}
+
+#[test]
+fn both_engines_run_through_the_layer_assigner_seam() {
+    let backends: Vec<Box<dyn LayerAssigner>> = vec![
+        Box::new(Cpla::new(CplaConfig {
+            critical_ratio: 0.05,
+            ..CplaConfig::default()
+        })),
+        Box::new(Tila::new(TilaConfig {
+            critical_ratio: 0.05,
+            ..TilaConfig::default()
+        })),
+    ];
+    for backend in backends {
+        let (mut grid, netlist, mut assignment) = fixture(31);
+        let report = backend
+            .assign(&mut grid, &netlist, &mut assignment)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", backend.name()));
+        assert!(!report.released.is_empty(), "{}", backend.name());
+        assert_eq!(report.assigner, backend.name());
+        assert!(
+            report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp,
+            "{} regressed the released average: {} -> {}",
+            backend.name(),
+            report.initial_metrics.avg_tcp,
+            report.final_metrics.avg_tcp
+        );
+        assignment
+            .validate(&netlist, &grid)
+            .unwrap_or_else(|e| panic!("{} left an invalid assignment: {e}", backend.name()));
+        assert!(
+            backend.config_description().starts_with(backend.name()),
+            "description `{}` must lead with the backend name",
+            backend.config_description()
+        );
+    }
+}
+
+#[test]
+fn invalid_configs_surface_as_typed_errors_from_both_engines() {
+    let bad: Vec<Box<dyn LayerAssigner>> = vec![
+        Box::new(Cpla::new(CplaConfig {
+            critical_ratio: -0.5,
+            ..CplaConfig::default()
+        })),
+        Box::new(Tila::new(TilaConfig {
+            critical_ratio: f64::NAN,
+            ..TilaConfig::default()
+        })),
+    ];
+    for backend in bad {
+        let (mut grid, netlist, mut assignment) = fixture(32);
+        let err = backend
+            .assign(&mut grid, &netlist, &mut assignment)
+            .expect_err("invalid ratio must be rejected");
+        assert!(
+            matches!(err, FlowError::Config(_)),
+            "{}: expected FlowError::Config, got {err:?}",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn malformed_ispd_file_reports_the_offending_line() {
+    // Line 7 carries a word where the lower-left coordinate of the
+    // routing area should be: the parser must pin the failure to it
+    // instead of panicking.
+    let text = "\
+grid 8 8 2
+vertical capacity 0 8
+horizontal capacity 8 0
+minimum width 1 1
+minimum spacing 1 1
+via spacing 1 1
+0 0 ten 10
+num net 0
+";
+    let err = ispd::parse(BufReader::new(text.as_bytes())).expect_err("file is malformed");
+    assert_eq!(err.line, 7, "wrong line pinned: {err}");
+    assert_eq!(err.token, "ten");
+    let flow_err = FlowError::from(err);
+    let msg = flow_err.to_string();
+    assert!(
+        msg.contains("line 7") && msg.contains("ten"),
+        "message must carry position and token: {msg}"
+    );
+}
+
+#[test]
+fn truncated_ispd_file_reports_end_of_input() {
+    let text = "grid 8 8 2\nvertical capacity 0 8\n";
+    let err = ispd::parse(BufReader::new(text.as_bytes())).expect_err("file is truncated");
+    assert!(err.line >= 2, "EOF position must be at the end: {err}");
+    assert_eq!(err.token, "", "no token at end of file: {err}");
+}

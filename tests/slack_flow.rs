@@ -31,7 +31,9 @@ fn cpla_repairs_budget_violations() {
     assert!(before.violations() > 0, "fixture must start violating");
     let released = before.violating_nets();
 
-    Cpla::new(CplaConfig::default()).run_released(&mut grid, &netlist, &mut assignment, &released);
+    Cpla::new(CplaConfig::default())
+        .run_released(&mut grid, &netlist, &mut assignment, &released)
+        .expect("fixture is well-formed");
 
     let after_report = timing::analyze(&grid, &netlist, &assignment);
     let after = SlackReport::new(&after_report, &required);

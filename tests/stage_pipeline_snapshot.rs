@@ -1,0 +1,186 @@
+//! Differential and golden tests pinning the stage-based driver to the
+//! pre-refactor engine, bit for bit.
+//!
+//! The expected rows below were recorded from the monolithic
+//! `Cpla::run` loop *before* it was decomposed into discrete flow
+//! stages (see `examples/record_snapshot.rs`). Any behavioral drift in
+//! the refactor — a reordered stage, a cache consulted differently, a
+//! float summed in another order — shows up here as a changed bit
+//! pattern, not as an invisible fraction of a picosecond.
+
+use cpla::{Cpla, CplaConfig, PipelineMode};
+use ispd::SyntheticConfig;
+use route::{initial_assignment, route_netlist, RouterConfig};
+
+/// One recorded engine outcome on a fixed-seed workload.
+struct Expected {
+    mode: PipelineMode,
+    seed: u64,
+    /// `f64::to_bits` of the final released-average delay.
+    avg_bits: u64,
+    /// `f64::to_bits` of the final released-maximum delay.
+    max_bits: u64,
+    via_overflow: u64,
+    via_count: u64,
+    rounds: usize,
+    partitions_solved: usize,
+    partitions_reused: usize,
+    evaluations: u64,
+    gate_accepted: usize,
+    gate_rejected: usize,
+    released: &'static [usize],
+}
+
+/// Recorded from the pre-refactor engine at commit `d425217`
+/// (config: `SyntheticConfig::small(seed)`, ratio 0.05, 8 rounds,
+/// 1 thread).
+const SNAPSHOT: &[Expected] = &[
+    Expected {
+        mode: PipelineMode::Legacy,
+        seed: 3,
+        avg_bits: 0x40816093ab6d42d2,
+        max_bits: 0x4087a09bd0b1666a,
+        via_overflow: 0,
+        via_count: 361,
+        rounds: 5,
+        partitions_solved: 47,
+        partitions_reused: 0,
+        evaluations: 94,
+        gate_accepted: 0,
+        gate_rejected: 0,
+        released: &[63, 72, 118, 51, 62, 24],
+    },
+    Expected {
+        mode: PipelineMode::Legacy,
+        seed: 42,
+        avg_bits: 0x4087f74c46dc4cac,
+        max_bits: 0x409ea7bf122d042b,
+        via_overflow: 0,
+        via_count: 375,
+        rounds: 4,
+        partitions_solved: 34,
+        partitions_reused: 0,
+        evaluations: 68,
+        gate_accepted: 0,
+        gate_rejected: 0,
+        released: &[46, 48, 85, 19, 64, 0],
+    },
+    Expected {
+        mode: PipelineMode::Incremental,
+        seed: 3,
+        avg_bits: 0x408160042c671493,
+        max_bits: 0x4087a09bd0b1666a,
+        via_overflow: 0,
+        via_count: 359,
+        rounds: 5,
+        partitions_solved: 41,
+        partitions_reused: 6,
+        evaluations: 82,
+        gate_accepted: 12,
+        gate_rejected: 4,
+        released: &[63, 72, 118, 51, 62, 24],
+    },
+    Expected {
+        mode: PipelineMode::Incremental,
+        seed: 42,
+        avg_bits: 0x4087f74c46dc4cac,
+        max_bits: 0x409ea7bf122d042b,
+        via_overflow: 0,
+        via_count: 375,
+        rounds: 4,
+        partitions_solved: 33,
+        partitions_reused: 1,
+        evaluations: 66,
+        gate_accepted: 11,
+        gate_rejected: 2,
+        released: &[46, 48, 85, 19, 64, 0],
+    },
+];
+
+fn run(mode: PipelineMode, seed: u64) -> cpla::CplaReport {
+    let cfg = SyntheticConfig::small(seed);
+    let (mut grid, specs) = cfg.generate().expect("valid config");
+    let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+    let mut assignment = initial_assignment(&mut grid, &netlist);
+    Cpla::new(CplaConfig {
+        critical_ratio: 0.05,
+        max_rounds: 8,
+        threads: 1,
+        mode,
+        ..CplaConfig::default()
+    })
+    .run(&mut grid, &netlist, &mut assignment)
+    .expect("snapshot workload is well-formed")
+}
+
+#[test]
+fn stage_driver_matches_the_pre_refactor_engine_bit_for_bit() {
+    for e in SNAPSHOT {
+        let r = run(e.mode, e.seed);
+        let label = format!("mode={:?} seed={}", e.mode, e.seed);
+        assert_eq!(
+            r.final_metrics.avg_tcp.to_bits(),
+            e.avg_bits,
+            "{label}: avg_tcp drifted to {}",
+            r.final_metrics.avg_tcp
+        );
+        assert_eq!(
+            r.final_metrics.max_tcp.to_bits(),
+            e.max_bits,
+            "{label}: max_tcp drifted to {}",
+            r.final_metrics.max_tcp
+        );
+        assert_eq!(r.final_metrics.via_overflow, e.via_overflow, "{label}: OV#");
+        assert_eq!(r.final_metrics.via_count, e.via_count, "{label}: via#");
+        assert_eq!(r.rounds.len(), e.rounds, "{label}: rounds");
+        assert_eq!(
+            r.stats.partitions_solved, e.partitions_solved,
+            "{label}: partitions_solved"
+        );
+        assert_eq!(
+            r.stats.partitions_reused, e.partitions_reused,
+            "{label}: partitions_reused"
+        );
+        assert_eq!(r.stats.evaluations, e.evaluations, "{label}: evaluations");
+        assert_eq!(
+            r.stats.gate_accepted, e.gate_accepted,
+            "{label}: gate_accepted"
+        );
+        assert_eq!(
+            r.stats.gate_rejected, e.gate_rejected,
+            "{label}: gate_rejected"
+        );
+        assert_eq!(r.released, e.released, "{label}: released set");
+    }
+}
+
+#[test]
+fn legacy_and_incremental_agree_on_the_golden_seed() {
+    // Seed 42 is the golden workload where the incremental pipeline's
+    // caching and gating land on exactly the legacy answer; the two
+    // pipelines must stay interchangeable there across refactors.
+    // (Seed 3 intentionally differs — that is the differential case
+    // covered by the snapshot above.)
+    let legacy = run(PipelineMode::Legacy, 42);
+    let incremental = run(PipelineMode::Incremental, 42);
+    assert_eq!(
+        legacy.final_metrics.avg_tcp.to_bits(),
+        incremental.final_metrics.avg_tcp.to_bits(),
+        "Avg(Tcp) diverged: {} vs {}",
+        legacy.final_metrics.avg_tcp,
+        incremental.final_metrics.avg_tcp
+    );
+    assert_eq!(
+        legacy.final_metrics.max_tcp.to_bits(),
+        incremental.final_metrics.max_tcp.to_bits()
+    );
+    assert_eq!(
+        legacy.final_metrics.via_count,
+        incremental.final_metrics.via_count
+    );
+    assert_eq!(
+        legacy.final_metrics.via_overflow,
+        incremental.final_metrics.via_overflow
+    );
+    assert_eq!(legacy.released, incremental.released);
+}
