@@ -1,0 +1,29 @@
+//@ crate: grid
+//@ kind: lib
+// Rule A1: library-crate `unwrap()`/`expect()` needs an annotation.
+
+fn bare(x: Option<u32>) -> u32 {
+    x.unwrap() //~ A1
+}
+
+fn described(r: Result<u32, String>) -> u32 {
+    r.expect("must hold") //~ A1
+}
+
+fn annotated(x: Option<u32>) -> u32 {
+    // invariant: the constructor only stores Some
+    x.unwrap()
+}
+
+fn propagated(t: &mut Tokens) -> Result<(), ParseError> {
+    // A Result-returning `expect`-style method, `?`-propagated: exempt.
+    t.expect("grid")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    fn looser_standards(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

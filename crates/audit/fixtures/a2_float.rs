@@ -1,0 +1,25 @@
+//@ crate: solver
+//@ kind: lib
+// Rule A2: NaN-unsafe float comparisons in the numerical crates.
+
+pub fn pick(values: &[f64], x: f64, nan: f64) -> f64 {
+    if x == 0.0 { //~ A2
+        return 1.0;
+    }
+    if nan != f64::NAN { //~ A2
+        return 2.0;
+    }
+    let best = values.iter().copied().min_by(|a, b| a.partial_cmp(b).unwrap()); //~ A2 A2 A1
+    // invariant: fixture guarantees non-empty input
+    best.unwrap()
+}
+
+pub fn rank(values: &mut [f64]) {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN")); //~ A2 A2 A1
+}
+
+pub fn safe(values: &mut [f64], x: f64) -> bool {
+    values.sort_by(|a, b| a.total_cmp(b));
+    // audit: allow(A2) -- exact zero is the documented sentinel here
+    x == 0.0
+}

@@ -1,0 +1,24 @@
+//@ crate: cpla
+//@ kind: lib
+// Rule A3: atomic orderings need a happens-before comment.
+
+fn claim(next: &AtomicUsize) -> usize {
+    next.fetch_add(1, Ordering::Relaxed) //~ A3
+}
+
+fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst); //~ A3
+}
+
+fn handoff(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire) //~ A3
+}
+
+fn justified(next: &AtomicUsize) -> usize {
+    // sync: pure claim counter; results are joined before any read
+    next.fetch_add(1, Ordering::Relaxed)
+}
+
+fn cmp_ordering_is_not_atomic(a: u32, b: u32) -> bool {
+    a.cmp(&b) == Ordering::Less && Ordering::Equal != Ordering::Greater
+}

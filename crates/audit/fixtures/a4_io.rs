@@ -1,0 +1,23 @@
+//@ crate: route
+//@ kind: lib
+// Rule A4: library crates do no I/O, take no wall-clock time and never
+// exit the process.
+
+fn report(count: usize) {
+    println!("routed {count} nets"); //~ A4
+    eprintln!("warning: detour"); //~ A4
+}
+
+fn bail() {
+    std::process::exit(3); //~ A4
+}
+
+fn stamp() -> std::time::SystemTime { //~ A4
+    std::time::SystemTime::now() //~ A4
+}
+
+fn fine() {
+    let message = "println! inside a string literal is data, not I/O";
+    // eprintln! inside a comment is prose, not I/O
+    let _ = message;
+}

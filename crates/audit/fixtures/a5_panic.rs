@@ -1,0 +1,33 @@
+//@ crate: net
+//@ kind: lib
+// Rule A5: `pub fn` returning `()` may not hide reachable panics.
+
+pub fn apply(x: u32) {
+    if x > 3 {
+        panic!("out of range"); //~ A5
+    }
+}
+
+pub fn unfinished() {
+    todo!() //~ A5
+}
+
+pub fn checked(x: u32) -> Result<(), String> {
+    if x > 3 {
+        panic!("a Result-returning fn gives callers a failure channel");
+    }
+    Ok(())
+}
+
+pub fn guarded(x: u32) {
+    // invariant: x was validated by the parser; > 3 cannot reach here
+    if x > 3 {
+        panic!("unreachable");
+    }
+}
+
+fn private_helpers_are_exempt(x: u32) {
+    if x > 3 {
+        panic!("callers are in-crate and see the precondition");
+    }
+}

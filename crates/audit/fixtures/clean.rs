@@ -1,0 +1,17 @@
+//@ crate: solver
+//@ kind: lib
+// A file the analyzer must stay silent on: NaN-safe comparisons,
+// annotated panics, justified orderings.
+
+pub fn max_total(values: &[f64]) -> Option<f64> {
+    values.iter().copied().max_by(|a, b| a.total_cmp(b))
+}
+
+pub fn near(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+fn head(values: &[f64]) -> f64 {
+    // invariant: callers pass non-empty slices (checked at the API edge)
+    *values.first().unwrap()
+}

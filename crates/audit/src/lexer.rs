@@ -1,0 +1,616 @@
+//! A small hand-rolled Rust lexer — just enough fidelity for the audit
+//! rules: identifiers, literals, punctuation and per-line comment text,
+//! each tagged with its 1-based source line. No external dependencies,
+//! so the workspace stays hermetic and offline.
+//!
+//! The lexer is deliberately not a parser: the rules in
+//! [`crate::rules`] pattern-match over the token stream. What matters
+//! here is that string/char/comment content can never masquerade as
+//! code (a `println!` inside a doc example or a string literal must not
+//! trip rule A4), that float literals are distinguishable from integer
+//! ones (rule A2), and that `#[cfg(test)]` regions can be delimited by
+//! brace matching (test code is held to looser standards).
+
+use std::collections::BTreeMap;
+
+/// Token classification, as coarse as the rules allow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (the rules treat keywords textually).
+    Ident,
+    /// Integer literal, including hex/octal/binary forms.
+    Int,
+    /// Float literal (`1.0`, `1e-9`, `2f64`).
+    Float,
+    /// String literal (regular, raw or byte); content not retained.
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation, multi-character operators kept whole (`::`, `==`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// Coarse classification.
+    pub kind: TokKind,
+    /// The token text (`""` for string literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Everything the rules need to know about one source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and literals' content stripped.
+    pub tokens: Vec<Token>,
+    /// Comment text per 1-based line (line and block comments; a block
+    /// comment contributes each of its lines separately).
+    pub comments: BTreeMap<u32, String>,
+    /// `in_test[i]` — whether token `i` sits inside a `#[cfg(test)]`
+    /// item (module, function or impl), delimited by brace matching.
+    pub in_test: Vec<bool>,
+}
+
+impl Lexed {
+    /// Comment text on `line`, `""` when the line has none.
+    pub fn comment_on(&self, line: u32) -> &str {
+        self.comments.get(&line).map_or("", |s| s.as_str())
+    }
+
+    /// Whether any of `line` or the `above` lines preceding it carries a
+    /// comment containing `marker` (the adjacency rule for `//
+    /// invariant:`, `// sync:` and `// audit: allow(..)` annotations).
+    pub fn marker_near(&self, line: u32, above: u32, marker: &str) -> bool {
+        let lo = line.saturating_sub(above);
+        (lo..=line).any(|l| self.comment_on(l).contains(marker))
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch wins.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source`, producing the token stream, the per-line comment map
+/// and the `#[cfg(test)]` region marking.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => lex_line_comment(&mut cur, &mut out),
+            '/' if cur.peek(1) == Some('*') => lex_block_comment(&mut cur, &mut out),
+            '"' => {
+                lex_string(&mut cur);
+                push(&mut out, TokKind::Str, "", line);
+            }
+            '\'' => lex_quote(&mut cur, &mut out),
+            c if c.is_ascii_digit() => {
+                let kind = lex_number(&mut cur);
+                push(&mut out, kind, "", line);
+            }
+            c if is_ident_start(c) => lex_ident_or_prefixed(&mut cur, &mut out),
+            _ => {
+                let text = lex_punct(&mut cur);
+                push(&mut out, TokKind::Punct, &text, line);
+            }
+        }
+    }
+    out.in_test = mark_test_regions(&out.tokens);
+    out
+}
+
+fn push(out: &mut Lexed, kind: TokKind, text: &str, line: u32) {
+    out.tokens.push(Token {
+        kind,
+        text: text.to_string(),
+        line,
+    });
+}
+
+fn record_comment(out: &mut Lexed, line: u32, text: &str) {
+    let slot = out.comments.entry(line).or_default();
+    slot.push_str(text);
+    slot.push(' ');
+}
+
+fn lex_line_comment(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    record_comment(out, line, &text);
+}
+
+fn lex_block_comment(cur: &mut Cursor, out: &mut Lexed) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1usize;
+    let mut line = cur.line;
+    let mut text = String::from("/*");
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                text.push_str("/*");
+                cur.bump();
+                cur.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                text.push_str("*/");
+                cur.bump();
+                cur.bump();
+            }
+            (Some('\n'), _) => {
+                record_comment(out, line, &text);
+                text.clear();
+                cur.bump();
+                line = cur.line;
+            }
+            (Some(c), _) => {
+                text.push(c);
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+    if !text.is_empty() {
+        record_comment(out, line, &text);
+    }
+}
+
+/// Consumes a `"…"` string body (opening quote at the cursor).
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string `r##"…"##` with `hashes` leading `#`s (cursor
+/// on the opening quote).
+fn lex_raw_string(cur: &mut Cursor, hashes: usize) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let mut seen = 0;
+                while seen < hashes && cur.peek(0) == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+            None => return,
+        }
+    }
+}
+
+/// `'` starts either a lifetime or a char literal.
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    cur.bump(); // '\''
+    match (cur.peek(0), cur.peek(1)) {
+        // `'a` / `'_` not closed by a quote: a lifetime.
+        (Some(c), next) if is_ident_start(c) && next != Some('\'') => {
+            let mut text = String::from("'");
+            while let Some(c) = cur.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            push(out, TokKind::Lifetime, &text, line);
+        }
+        _ => {
+            // Char literal: consume to the closing quote.
+            while let Some(c) = cur.bump() {
+                match c {
+                    '\\' => {
+                        cur.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            push(out, TokKind::Char, "", line);
+        }
+    }
+}
+
+/// Number literal; returns its classification.
+fn lex_number(cur: &mut Cursor) -> TokKind {
+    let mut float = false;
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+        cur.bump();
+        cur.bump();
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_hexdigit() || c == '_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        // Suffix (u32 etc.) — consume trailing ident chars.
+        while let Some(c) = cur.peek(0) {
+            if is_ident_continue(c) {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return TokKind::Int;
+    }
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_digit() || c == '_' {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part — but not the `..` of a range expression.
+    if cur.peek(0) == Some('.') && cur.peek(1).map(|c| c.is_ascii_digit()) == Some(true) {
+        float = true;
+        cur.bump();
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    } else if cur.peek(0) == Some('.')
+        && !matches!(cur.peek(1), Some(c) if is_ident_start(c) || c == '.')
+    {
+        // `1.` with nothing after: still a float.
+        float = true;
+        cur.bump();
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let (sign, digit) = (cur.peek(1), cur.peek(2));
+        let has_exp = match sign {
+            Some('+' | '-') => digit.map(|c| c.is_ascii_digit()) == Some(true),
+            Some(c) => c.is_ascii_digit(),
+            None => false,
+        };
+        if has_exp {
+            float = true;
+            cur.bump(); // e
+            if matches!(cur.peek(0), Some('+' | '-')) {
+                cur.bump();
+            }
+            while let Some(c) = cur.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix.
+    let mut suffix = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            suffix.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix.starts_with('f') {
+        float = true;
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+/// Identifier — or the prefix of a raw string / byte string / raw
+/// identifier (`r"…"`, `br#"…"#`, `b'x'`, `r#ident`).
+fn lex_ident_or_prefixed(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    match (text.as_str(), cur.peek(0)) {
+        ("r" | "b" | "br" | "rb", Some('"')) => {
+            lex_string(cur);
+            push(out, TokKind::Str, "", line);
+        }
+        ("r" | "br", Some('#')) => {
+            let mut hashes = 0usize;
+            while cur.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(hashes) == Some('"') {
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                lex_raw_string(cur, hashes);
+                push(out, TokKind::Str, "", line);
+            } else if text == "r" {
+                // Raw identifier `r#ident`.
+                cur.bump(); // '#'
+                let mut ident = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    ident.push(c);
+                    cur.bump();
+                }
+                push(out, TokKind::Ident, &ident, line);
+            } else {
+                push(out, TokKind::Ident, &text, line);
+            }
+        }
+        ("b", Some('\'')) => {
+            cur.bump(); // opening quote
+            while let Some(c) = cur.bump() {
+                match c {
+                    '\\' => {
+                        cur.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            push(out, TokKind::Char, "", line);
+        }
+        _ => push(out, TokKind::Ident, &text, line),
+    }
+}
+
+fn lex_punct(cur: &mut Cursor) -> String {
+    for op in OPS {
+        if op.chars().enumerate().all(|(i, c)| cur.peek(i) == Some(c)) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            return (*op).to_string();
+        }
+    }
+    let c = cur.bump().unwrap_or(' ');
+    c.to_string()
+}
+
+/// Marks every token inside a `#[cfg(test)]`-attributed item.
+///
+/// The item's extent is found structurally: skip any further
+/// attributes, then brace-match from the first `{` (or stop at a
+/// top-level `;` for item declarations without a body).
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut marks = vec![false; tokens.len()];
+    let is = |i: usize, text: &str| tokens.get(i).map(|t| t.text == text) == Some(true);
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is(i, "#")
+            && is(i + 1, "[")
+            && is(i + 2, "cfg")
+            && is(i + 3, "(")
+            && is(i + 4, "test")
+            && is(i + 5, ")")
+            && is(i + 6, "]")
+        {
+            let mut j = i + 7;
+            // Skip further attributes on the same item.
+            while is(j, "#") && is(j + 1, "[") {
+                let mut depth = 0usize;
+                j += 1;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // Find the item body (`{ … }`) or a bodyless `;`.
+            let mut brace = 0usize;
+            let mut end = j;
+            while end < tokens.len() {
+                match tokens[end].text.as_str() {
+                    "{" => {
+                        brace += 1;
+                    }
+                    "}" => {
+                        brace = brace.saturating_sub(1);
+                        if brace == 0 {
+                            break;
+                        }
+                    }
+                    ";" if brace == 0 => break,
+                    _ => {}
+                }
+                end += 1;
+            }
+            for mark in marks.iter_mut().take(end.min(tokens.len() - 1) + 1).skip(i) {
+                *mark = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    marks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_ops_and_lines() {
+        let l = lex("a::b == c\n  x != 0.5");
+        let kinds: Vec<TokKind> = l.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Ident,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Float,
+            ]
+        );
+        assert_eq!(l.tokens[3].text, "==");
+        assert_eq!(l.tokens[7].line, 2);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_code() {
+        let l = lex("let s = \"println!(x)\"; // println! here\n/* unwrap() */ let t = 1;");
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "println" && t.text != "unwrap"));
+        assert!(l.comment_on(1).contains("println!"));
+        assert!(l.comment_on(2).contains("unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let v = texts("r#\"unwrap()\"# b'x' &'a T 'c' x");
+        assert_eq!(v, vec!["", "", "&", "'a", "T", "", "x"]);
+    }
+
+    #[test]
+    fn float_versus_int_versus_range() {
+        let l = lex("1.0 1e-9 2f64 0x1f 3 0..n 1.");
+        let kinds: Vec<TokKind> = l.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Punct,
+                TokKind::Ident,
+                TokKind::Float,
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\nfn after() {}";
+        let l = lex(src);
+        let unwraps: Vec<(String, bool)> = l
+            .tokens
+            .iter()
+            .zip(&l.in_test)
+            .filter(|(t, _)| t.text == "unwrap" || t.text == "after" || t.text == "live")
+            .map(|(t, &m)| (t.text.clone(), m))
+            .collect();
+        assert_eq!(
+            unwraps,
+            vec![
+                ("live".to_string(), false),
+                ("unwrap".to_string(), false),
+                ("unwrap".to_string(), true),
+                ("after".to_string(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ x");
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.tokens[0].text, "x");
+    }
+
+    #[test]
+    fn marker_adjacency() {
+        let l = lex("// invariant: fine\n\nlet x = 1;");
+        assert!(l.marker_near(3, 3, "invariant:"));
+        assert!(!l.marker_near(3, 1, "invariant:"));
+    }
+}

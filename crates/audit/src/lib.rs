@@ -1,0 +1,34 @@
+//! Workspace lint + invariant audit.
+//!
+//! Two halves, one contract: the repo's correctness conventions are
+//! *checked*, not remembered.
+//!
+//! 1. **Static** — the `cpla-audit` binary runs a hand-rolled lexical
+//!    analyzer ([`lexer`] + [`rules`]) over every workspace source file
+//!    and enforces rules A1–A5: annotated panics (`// invariant:`),
+//!    NaN-safe float comparisons, justified atomic orderings
+//!    (`// sync:`), I/O-free library crates and panic-free unit-return
+//!    APIs, with `// audit: allow(<rule>) -- reason` as the escape
+//!    hatch. The analyzer tests itself: `cpla-audit --fixture` replays
+//!    the deliberately-violating files in `crates/audit/fixtures/` and
+//!    asserts every rule fires exactly where planted.
+//! 2. **Dynamic** — [`check_solution`] re-verifies the paper's
+//!    feasibility constraints (Eqn. 4b/4c/4d, including the `Vo` via
+//!    overflow) and the incremental-vs-full Elmore agreement from
+//!    scratch. The CPLA `Gate` stage runs it each round when
+//!    `CplaConfig::audit_invariants` is set.
+//!
+//! Everything is dependency-free by design; the workspace builds
+//! offline.
+
+pub mod invariant;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use invariant::{check_solution, ELMORE_TOLERANCE};
+pub use rules::{FileClass, FileUnit, Finding, Rule};
+pub use walk::{
+    audit_workspace, find_workspace_root, gather_workspace, is_workspace_root, run_fixtures,
+    FixtureOutcome,
+};

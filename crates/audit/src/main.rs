@@ -1,0 +1,132 @@
+//! `cpla-audit` — the workspace lint driver.
+//!
+//! ```text
+//! cpla-audit [--root DIR] [--fixture]
+//! ```
+//!
+//! Default mode walks the workspace and prints one `file:line` + rule
+//! ID diagnostic per finding; exit code 0 means clean, 1 means
+//! findings, 2 means usage or I/O failure. `--fixture` runs the
+//! analyzer's self-test over `crates/audit/fixtures/` instead.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use audit::{audit_workspace, find_workspace_root, run_fixtures};
+
+const USAGE: &str = "usage: cpla-audit [--root DIR] [--fixture]
+
+Lints every workspace source file against the repo's correctness
+conventions (rules A1..A5); see DESIGN.md section 7. With --fixture,
+runs the analyzer's self-test over crates/audit/fixtures/ instead.";
+
+struct Options {
+    root: Option<PathBuf>,
+    fixture: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        fixture: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fixture" => opts.fixture = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn resolve_root(opts: &Options) -> Result<PathBuf, String> {
+    if let Some(root) = &opts.root {
+        if audit::is_workspace_root(root) {
+            return Ok(root.clone());
+        }
+        return Err(format!(
+            "`{}` is not a workspace root (no Cargo.toml + crates/)",
+            root.display()
+        ));
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read current dir: {e}"))?;
+    find_workspace_root(&cwd)
+        .or_else(|| {
+            // Fall back to the workspace this binary was built from, so
+            // `cargo run -p audit` works from any directory.
+            find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        })
+        .ok_or_else(|| "no workspace root found; pass --root DIR".to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("cpla-audit: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match resolve_root(&opts) {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("cpla-audit: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.fixture {
+        return match run_fixtures(&root) {
+            Ok(outcome) if outcome.passed() => {
+                println!(
+                    "cpla-audit: fixture self-test passed ({} fixtures, {} planted violations, all rules caught)",
+                    outcome.fixtures, outcome.expectations
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(outcome) => {
+                for problem in &outcome.problems {
+                    eprintln!("{problem}");
+                }
+                eprintln!(
+                    "cpla-audit: fixture self-test FAILED ({} problems)",
+                    outcome.problems.len()
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("cpla-audit: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match audit_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("cpla-audit: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("cpla-audit: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("cpla-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,715 @@
+//! The audit rules — the repo's correctness conventions, enforced.
+//!
+//! | Rule | Name            | Scope                         | Convention |
+//! |------|-----------------|-------------------------------|------------|
+//! | A1   | unwrap-invariant| library crates, non-test      | every surviving `unwrap()`/`expect()` carries an adjacent `// invariant:` comment |
+//! | A2   | float-cmp       | `solver`/`timing`/`cpla`, non-test | no `f64`/`f32` `==`/`!=` against float literals or IEEE sentinels, no `partial_cmp().unwrap()`, no `sort_by(partial_cmp)` — use `total_cmp` or an epsilon helper |
+//! | A3   | atomic-sync     | all crates, non-test          | every atomic memory-`Ordering` use carries an adjacent `// sync:` comment stating the happens-before argument |
+//! | A4   | lib-io          | library crates, non-test      | no `SystemTime`, `println!`/`eprintln!` or `process::exit` — observers and the CLI own I/O and exit codes |
+//! | A5   | unit-panic      | library crates, non-test      | `pub fn … ()` (unit return) may not contain `panic!`/`todo!`/`unimplemented!` without an adjacent `// invariant:` comment |
+//!
+//! Any finding is suppressible with `// audit: allow(<rule>) -- reason`
+//! on the offending line or one of the three lines above it; A1 and A5
+//! also accept `// invariant:` and A3 accepts `// sync:` as the
+//! native annotation. The rules are lexical by design — they match the
+//! token stream from [`crate::lexer`], not types — so they are cheap,
+//! dependency-free and predictable; anything genuinely justified is a
+//! one-line annotation away.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// How many lines above a token an annotation may sit and still count
+/// as "adjacent" (comments often span two or three lines).
+const ADJACENT: u32 = 3;
+
+/// Rule identifiers, stable across releases (they appear in suppression
+/// comments).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Rule {
+    /// `unwrap()`/`expect()` without an `// invariant:` comment.
+    A1,
+    /// NaN-unsafe floating-point comparison.
+    A2,
+    /// Atomic ordering without a `// sync:` happens-before comment.
+    A3,
+    /// I/O or process control inside a library crate.
+    A4,
+    /// `pub fn` returning `()` that can `panic!` internally.
+    A5,
+}
+
+impl Rule {
+    /// The stable rule ID (`A1`…`A5`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::A1 => "A1",
+            Rule::A2 => "A2",
+            Rule::A3 => "A3",
+            Rule::A4 => "A4",
+            Rule::A5 => "A5",
+        }
+    }
+
+    /// Short human name, printed next to the ID.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::A1 => "unwrap-invariant",
+            Rule::A2 => "float-cmp",
+            Rule::A3 => "atomic-sync",
+            Rule::A4 => "lib-io",
+            Rule::A5 => "unit-panic",
+        }
+    }
+
+    /// All rules, for fixture coverage checks.
+    pub const ALL: [Rule; 5] = [Rule::A1, Rule::A2, Rule::A3, Rule::A4, Rule::A5];
+
+    /// Parses an ID like `A1`/`a1` (as written in suppressions).
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL
+            .into_iter()
+            .find(|r| r.id().eq_ignore_ascii_case(s.trim()))
+    }
+}
+
+/// One diagnostic: where, which rule, which token, and why.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Finding {
+    /// Path as printed (workspace-relative).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// The offending token text.
+    pub token: String,
+    /// One-line explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} ({}): `{}` — {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.rule.name(),
+            self.token,
+            self.message
+        )
+    }
+}
+
+/// What kind of code a file holds, deciding which rules apply.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileClass {
+    /// Library-target source (`crates/<lib>/src`).
+    Lib,
+    /// Binary-target source (`src/main.rs`, `src/bin`, bin crates).
+    Bin,
+    /// Test or bench source (`tests/`, `benches/`).
+    Test,
+}
+
+/// One file ready for auditing.
+pub struct FileUnit {
+    /// Workspace-relative path, used in diagnostics.
+    pub path: String,
+    /// The owning crate's name (`solver`, `timing`, …).
+    pub crate_name: String,
+    /// Library / binary / test classification.
+    pub class: FileClass,
+    /// The lexed content.
+    pub lexed: Lexed,
+}
+
+/// Crates whose numerical kernels rule A2 protects.
+const FLOAT_SENSITIVE_CRATES: &[&str] = &["solver", "timing", "cpla"];
+
+/// IEEE sentinel constant names whose `==` comparison A2 flags.
+const FLOAT_SENTINELS: &[&str] = &["NAN", "INFINITY", "NEG_INFINITY", "EPSILON", "MIN_POSITIVE"];
+
+/// Atomic memory orderings (`std::sync::atomic::Ordering` variants;
+/// `std::cmp::Ordering`'s are disjoint, so no collision).
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Runs every applicable rule over `file`, appending to `findings`.
+pub fn check_file(file: &FileUnit, findings: &mut Vec<Finding>) {
+    let lib = file.class == FileClass::Lib;
+    let test = file.class == FileClass::Test;
+    if lib {
+        rule_a1(file, findings);
+        rule_a4(file, findings);
+        rule_a5(file, findings);
+    }
+    if !test && FLOAT_SENSITIVE_CRATES.contains(&file.crate_name.as_str()) {
+        rule_a2(file, findings);
+    }
+    if !test {
+        rule_a3(file, findings);
+    }
+}
+
+/// Whether the finding at `line` is suppressed by an adjacent
+/// `// audit: allow(<rule>)` comment.
+fn suppressed(lexed: &Lexed, line: u32, rule: Rule) -> bool {
+    let lo = line.saturating_sub(ADJACENT);
+    for l in lo..=line {
+        let text = lexed.comment_on(l);
+        let mut rest = text;
+        while let Some(at) = rest.find("audit: allow(") {
+            let inner = &rest[at + "audit: allow(".len()..];
+            if let Some(end) = inner.find(')') {
+                if inner[..end]
+                    .split(',')
+                    .any(|id| Rule::parse(id) == Some(rule))
+                {
+                    return true;
+                }
+                rest = &inner[end..];
+            } else {
+                break;
+            }
+        }
+    }
+    false
+}
+
+/// Whether `line` carries an adjacent native annotation (`marker`) or a
+/// suppression for `rule`.
+fn annotated(lexed: &Lexed, line: u32, marker: &str, rule: Rule) -> bool {
+    lexed.marker_near(line, ADJACENT, marker) || suppressed(lexed, line, rule)
+}
+
+fn emit(
+    file: &FileUnit,
+    findings: &mut Vec<Finding>,
+    line: u32,
+    rule: Rule,
+    token: &str,
+    message: &str,
+) {
+    findings.push(Finding {
+        path: file.path.clone(),
+        line,
+        rule,
+        token: token.to_string(),
+        message: message.to_string(),
+    });
+}
+
+/// Index of the token matching the `(` at `open` (which must be `(`),
+/// or `tokens.len()` when unbalanced.
+fn matching_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+fn is_punct(t: &Token, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+fn is_ident(t: &Token, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+/// A1 — `.unwrap()` / `.expect(…)` in non-test library code requires an
+/// adjacent `// invariant:` comment.
+///
+/// `.expect(…)?` is exempt: an `expect` whose result is `?`-propagated
+/// is a `Result`-returning parser-style method, not a panic site.
+fn rule_a1(file: &FileUnit, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        if file.lexed.in_test[i] || !is_punct(&toks[i], ".") {
+            continue;
+        }
+        let Some(callee) = toks.get(i + 1) else {
+            continue;
+        };
+        let is_unwrap = is_ident(callee, "unwrap");
+        let is_expect = is_ident(callee, "expect");
+        if !is_unwrap && !is_expect {
+            continue;
+        }
+        let Some(open) = toks.get(i + 2) else {
+            continue;
+        };
+        if !is_punct(open, "(") {
+            continue;
+        }
+        let close = matching_paren(toks, i + 2);
+        if toks.get(close + 1).map(|t| is_punct(t, "?")) == Some(true) {
+            continue; // Result-returning `expect`-style method, `?`-propagated.
+        }
+        let line = callee.line;
+        if annotated(&file.lexed, line, "invariant:", Rule::A1) {
+            continue;
+        }
+        emit(
+            file,
+            findings,
+            line,
+            Rule::A1,
+            &format!(".{}()", callee.text),
+            "library-crate panic sites need an adjacent `// invariant:` comment \
+             justifying why the failure is unreachable",
+        );
+    }
+}
+
+/// A2 — NaN-unsafe float comparisons in the numerical crates:
+/// `partial_cmp(…).unwrap()`, `sort_by(… partial_cmp …)`-family
+/// comparators, and `==`/`!=` against float literals or IEEE sentinel
+/// constants. Use `total_cmp` or an epsilon helper instead.
+fn rule_a2(file: &FileUnit, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        if file.lexed.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // `partial_cmp( … ).unwrap()` / `.expect(…)`.
+        if is_ident(t, "partial_cmp") && toks.get(i + 1).map(|n| is_punct(n, "(")) == Some(true) {
+            let close = matching_paren(toks, i + 1);
+            let unwrapped = toks.get(close + 1).map(|n| is_punct(n, ".")) == Some(true)
+                && toks
+                    .get(close + 2)
+                    .map(|n| is_ident(n, "unwrap") || is_ident(n, "expect"))
+                    == Some(true);
+            if unwrapped && !suppressed(&file.lexed, t.line, Rule::A2) {
+                emit(
+                    file,
+                    findings,
+                    t.line,
+                    Rule::A2,
+                    "partial_cmp().unwrap()",
+                    "NaN makes `partial_cmp` return `None`; use `total_cmp` \
+                     or an epsilon helper",
+                );
+            }
+            continue;
+        }
+        // `sort_by` / `min_by` / `max_by` whose comparator mentions
+        // `partial_cmp`.
+        if matches!(
+            t.text.as_str(),
+            "sort_by" | "sort_unstable_by" | "min_by" | "max_by"
+        ) && t.kind == TokKind::Ident
+            && toks.get(i + 1).map(|n| is_punct(n, "(")) == Some(true)
+        {
+            let close = matching_paren(toks, i + 1);
+            if toks[i + 1..close.min(toks.len())]
+                .iter()
+                .any(|n| is_ident(n, "partial_cmp"))
+                && !suppressed(&file.lexed, t.line, Rule::A2)
+            {
+                emit(
+                    file,
+                    findings,
+                    t.line,
+                    Rule::A2,
+                    &format!("{}(partial_cmp)", t.text),
+                    "a `partial_cmp` comparator is not a total order under NaN; \
+                     sort with `total_cmp`",
+                );
+            }
+            continue;
+        }
+        // `==` / `!=` with a float literal or IEEE sentinel on either side.
+        if is_punct(t, "==") || is_punct(t, "!=") {
+            let prev_float = i > 0 && toks[i - 1].kind == TokKind::Float;
+            let next_float = toks.get(i + 1).map(|n| n.kind == TokKind::Float) == Some(true);
+            let sentinel_after = {
+                // `f64::NEG_INFINITY` or a bare sentinel const.
+                let a = toks.get(i + 1);
+                let b = toks.get(i + 2);
+                let c = toks.get(i + 3);
+                match (a, b, c) {
+                    (Some(x), Some(y), Some(z))
+                        if (is_ident(x, "f64") || is_ident(x, "f32"))
+                            && is_punct(y, "::")
+                            && FLOAT_SENTINELS.contains(&z.text.as_str()) =>
+                    {
+                        true
+                    }
+                    (Some(x), _, _) if FLOAT_SENTINELS.contains(&x.text.as_str()) => true,
+                    _ => false,
+                }
+            };
+            let sentinel_before = i > 0 && FLOAT_SENTINELS.contains(&toks[i - 1].text.as_str());
+            if (prev_float || next_float || sentinel_after || sentinel_before)
+                && !suppressed(&file.lexed, t.line, Rule::A2)
+            {
+                emit(
+                    file,
+                    findings,
+                    t.line,
+                    Rule::A2,
+                    &t.text,
+                    "exact float equality is NaN-unsafe and brittle; compare with \
+                     `total_cmp`, an epsilon helper, or suppress with a reason",
+                );
+            }
+        }
+    }
+}
+
+/// A3 — every `Ordering::Relaxed/Acquire/Release/AcqRel/SeqCst` needs an
+/// adjacent `// sync:` comment stating the happens-before argument.
+fn rule_a3(file: &FileUnit, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        if file.lexed.in_test[i] {
+            continue;
+        }
+        if !is_ident(&toks[i], "Ordering") {
+            continue;
+        }
+        let (Some(sep), Some(variant)) = (toks.get(i + 1), toks.get(i + 2)) else {
+            continue;
+        };
+        if !is_punct(sep, "::") || !ATOMIC_ORDERINGS.contains(&variant.text.as_str()) {
+            continue;
+        }
+        let line = variant.line;
+        if annotated(&file.lexed, line, "sync:", Rule::A3) {
+            continue;
+        }
+        emit(
+            file,
+            findings,
+            line,
+            Rule::A3,
+            &format!("Ordering::{}", variant.text),
+            "atomic orderings need an adjacent `// sync:` comment stating \
+             the happens-before argument",
+        );
+    }
+}
+
+/// A4 — library crates do no I/O and never exit: no `SystemTime`,
+/// `println!`/`eprintln!`, or `process::exit` (observers and the CLI own
+/// both the output and the exit codes).
+fn rule_a4(file: &FileUnit, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        if file.lexed.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let flagged: Option<(String, &str)> = if is_ident(t, "SystemTime") {
+            Some((
+                t.text.clone(),
+                "wall-clock time is nondeterministic; libraries use `Instant` \
+                 spans or take timestamps from callers",
+            ))
+        } else if (is_ident(t, "println") || is_ident(t, "eprintln"))
+            && toks.get(i + 1).map(|n| is_punct(n, "!")) == Some(true)
+        {
+            Some((
+                format!("{}!", t.text),
+                "library crates do not print; emit data through observers or \
+                 return it to the caller",
+            ))
+        } else if is_ident(t, "process")
+            && toks.get(i + 1).map(|n| is_punct(n, "::")) == Some(true)
+            && toks.get(i + 2).map(|n| is_ident(n, "exit")) == Some(true)
+        {
+            Some((
+                "process::exit".to_string(),
+                "only binaries may exit the process; return a typed error instead",
+            ))
+        } else {
+            None
+        };
+        if let Some((token, message)) = flagged {
+            if !suppressed(&file.lexed, t.line, Rule::A4) {
+                emit(file, findings, t.line, Rule::A4, &token, message);
+            }
+        }
+    }
+}
+
+/// A5 — a `pub fn` returning `()` in a library crate may not contain
+/// `panic!`/`todo!`/`unimplemented!` (a unit return gives callers no
+/// channel to observe failure, so reachable panics become crashes).
+/// Justified sites carry `// invariant:`; `assert!`-style checks of
+/// documented preconditions are not flagged.
+fn rule_a5(file: &FileUnit, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if file.lexed.in_test[i] || !is_ident(&toks[i], "pub") {
+            i += 1;
+            continue;
+        }
+        // `pub` / `pub(crate)` / `pub(in …)`.
+        let mut j = i + 1;
+        if toks.get(j).map(|t| is_punct(t, "(")) == Some(true) {
+            j = matching_paren(toks, j) + 1;
+        }
+        if toks.get(j).map(|t| is_ident(t, "fn")) != Some(true) {
+            i += 1;
+            continue;
+        }
+        // Skip to the argument list, over the name and any generics.
+        let mut k = j + 1;
+        let mut angle = 0i64;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "(" if angle == 0 => break,
+                "{" | ";" if angle == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if toks.get(k).map(|t| is_punct(t, "(")) != Some(true) {
+            i = k;
+            continue;
+        }
+        let args_close = matching_paren(toks, k);
+        // Unit return: no `->` directly after the argument list (or an
+        // explicit `-> ()`).
+        let unit = match toks.get(args_close + 1) {
+            Some(t) if is_punct(t, "->") => {
+                toks.get(args_close + 2).map(|t| is_punct(t, "(")) == Some(true)
+                    && toks.get(args_close + 3).map(|t| is_punct(t, ")")) == Some(true)
+                    && toks
+                        .get(args_close + 4)
+                        .map(|t| is_punct(t, "{") || is_ident(t, "where"))
+                        == Some(true)
+            }
+            _ => true,
+        };
+        // Find the body (or `;` for trait-method declarations).
+        let mut b = args_close + 1;
+        while b < toks.len() && !is_punct(&toks[b], "{") && !is_punct(&toks[b], ";") {
+            b += 1;
+        }
+        if !unit || toks.get(b).map(|t| is_punct(t, ";")) == Some(true) {
+            i = b.max(i + 1);
+            continue;
+        }
+        // Brace-match the body and scan it for panic macros.
+        let mut depth = 0usize;
+        let mut e = b;
+        while e < toks.len() {
+            match toks[e].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            e += 1;
+        }
+        for p in b..e.min(toks.len()) {
+            let t = &toks[p];
+            if matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+                && t.kind == TokKind::Ident
+                && toks.get(p + 1).map(|n| is_punct(n, "!")) == Some(true)
+                && !annotated(&file.lexed, t.line, "invariant:", Rule::A5)
+            {
+                emit(
+                    file,
+                    findings,
+                    t.line,
+                    Rule::A5,
+                    &format!("{}!", t.text),
+                    "a `pub fn` returning `()` gives callers no failure channel; \
+                     return a `Result`, or justify with `// invariant:`",
+                );
+            }
+        }
+        i = e.max(i + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn unit(src: &str, crate_name: &str, class: FileClass) -> FileUnit {
+        FileUnit {
+            path: "test.rs".to_string(),
+            crate_name: crate_name.to_string(),
+            class,
+            lexed: lex(src),
+        }
+    }
+
+    fn run(src: &str, crate_name: &str, class: FileClass) -> Vec<Finding> {
+        let mut f = Vec::new();
+        check_file(&unit(src, crate_name, class), &mut f);
+        f
+    }
+
+    #[test]
+    fn a1_flags_bare_unwrap_and_accepts_invariant() {
+        let f = run("fn f() { x.unwrap(); }", "grid", FileClass::Lib);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::A1);
+        let ok = run(
+            "fn f() {\n    // invariant: x is always Some here\n    x.unwrap();\n}",
+            "grid",
+            FileClass::Lib,
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn a1_exempts_result_propagated_expect_and_tests() {
+        assert!(run(
+            "fn f() -> Result<(), E> { t.expect(\"kw\")?; Ok(()) }",
+            "ispd",
+            FileClass::Lib
+        )
+        .is_empty());
+        assert!(run(
+            "#[cfg(test)] mod t { fn g() { x.unwrap(); } }",
+            "grid",
+            FileClass::Lib
+        )
+        .is_empty());
+        assert!(run("fn f() { x.unwrap(); }", "cli", FileClass::Bin).is_empty());
+    }
+
+    #[test]
+    fn a2_flags_float_eq_and_partial_cmp_in_sensitive_crates_only() {
+        let src = "fn f() { if x == 0.0 {} v.sort_by(|a,b| a.partial_cmp(b).unwrap()); }";
+        let f = run(src, "solver", FileClass::Lib);
+        // Three reports: the `==`, the `sort_by` comparator, and the
+        // `partial_cmp().unwrap()` inside it.
+        assert_eq!(f.iter().filter(|x| x.rule == Rule::A2).count(), 3, "{f:?}");
+        assert!(run(src, "route", FileClass::Lib)
+            .iter()
+            .all(|x| x.rule != Rule::A2));
+    }
+
+    #[test]
+    fn a2_flags_sentinels_and_honors_suppression() {
+        let f = run(
+            "fn f() { if below == f64::NEG_INFINITY {} }",
+            "timing",
+            FileClass::Lib,
+        );
+        assert_eq!(f.iter().filter(|x| x.rule == Rule::A2).count(), 1);
+        let ok = run(
+            "fn f() {\n    // audit: allow(A2) -- exact sentinel check\n    if below == f64::NEG_INFINITY {}\n}",
+            "timing",
+            FileClass::Lib,
+        );
+        assert!(ok.iter().all(|x| x.rule != Rule::A2), "{ok:?}");
+    }
+
+    #[test]
+    fn a3_requires_sync_comment() {
+        let src = "fn f() { n.fetch_add(1, Ordering::Relaxed); }";
+        let f = run(src, "cpla", FileClass::Lib);
+        assert!(f.iter().any(|x| x.rule == Rule::A3));
+        let ok = run(
+            "fn f() {\n    // sync: counter only claims indices; no data published\n    n.fetch_add(1, Ordering::Relaxed);\n}",
+            "cpla",
+            FileClass::Lib,
+        );
+        assert!(ok.iter().all(|x| x.rule != Rule::A3));
+    }
+
+    #[test]
+    fn a3_ignores_cmp_ordering() {
+        assert!(run(
+            "fn f() { let _ = Ordering::Equal; a.cmp(b) == Ordering::Less; }",
+            "cpla",
+            FileClass::Lib
+        )
+        .iter()
+        .all(|x| x.rule != Rule::A3));
+    }
+
+    #[test]
+    fn a4_flags_io_in_lib_but_not_bin() {
+        let src = "fn f() { println!(\"x\"); std::process::exit(1); let t = SystemTime::now(); }";
+        let f = run(src, "grid", FileClass::Lib);
+        assert_eq!(f.iter().filter(|x| x.rule == Rule::A4).count(), 3, "{f:?}");
+        assert!(run(src, "bench", FileClass::Bin).is_empty());
+    }
+
+    #[test]
+    fn a4_ignores_strings_and_comments() {
+        assert!(run(
+            "fn f() { let s = \"println!\"; /* process::exit */ }",
+            "grid",
+            FileClass::Lib
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn a5_flags_panics_in_pub_unit_fns_only() {
+        let f = run(
+            "pub fn apply(x: u32) { if x > 3 { panic!(\"no\"); } }",
+            "net",
+            FileClass::Lib,
+        );
+        assert_eq!(f.iter().filter(|x| x.rule == Rule::A5).count(), 1);
+        // Result-returning functions are exempt: the caller has a channel.
+        assert!(run(
+            "pub fn apply(x: u32) -> Result<(), E> { if x > 3 { panic!(\"no\"); } Ok(()) }",
+            "net",
+            FileClass::Lib,
+        )
+        .iter()
+        .all(|x| x.rule != Rule::A5));
+        // Private functions are exempt (callers are in-crate).
+        assert!(run(
+            "fn apply(x: u32) { panic!(\"no\"); }",
+            "net",
+            FileClass::Lib,
+        )
+        .iter()
+        .all(|x| x.rule != Rule::A5));
+    }
+
+    #[test]
+    fn a5_accepts_invariant_annotation() {
+        assert!(run(
+            "pub fn apply(x: u32) {\n    // invariant: x was validated by the constructor\n    if x > 3 { panic!(\"no\"); }\n}",
+            "net",
+            FileClass::Lib,
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn finding_display_carries_position_rule_and_token() {
+        let f = run("fn f() { x.unwrap(); }", "grid", FileClass::Lib);
+        let s = f[0].to_string();
+        assert!(s.contains("test.rs:1:"), "{s}");
+        assert!(s.contains("A1"), "{s}");
+        assert!(s.contains(".unwrap()"), "{s}");
+    }
+}

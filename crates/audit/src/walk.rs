@@ -1,0 +1,360 @@
+//! Workspace walking, crate classification and the fixture self-test.
+//!
+//! The walker enumerates every `.rs` file of every workspace member —
+//! `crates/*/{src,tests,benches}` plus the umbrella crate's root
+//! `src/` and `tests/` — and classifies each file:
+//!
+//! - `src/main.rs` and files under `src/bin/` are **binary** sources;
+//! - other `src/` files are **library** sources when the crate has a
+//!   `src/lib.rs`, binary sources otherwise;
+//! - `tests/` and `benches/` files are **test** sources.
+//!
+//! Library sources get the full rule set; binaries own I/O and exit
+//! codes (A4 does not apply) and may panic at top level (A1/A5 do not
+//! apply); test sources are held only to the atomic-ordering rule.
+//! `crates/audit/fixtures/` is not a target directory of any crate, so
+//! the walker never visits the deliberately-violating fixture files.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::lex;
+use crate::rules::{check_file, FileClass, FileUnit, Finding, Rule};
+
+/// Name used for the workspace's root (umbrella) package.
+const ROOT_CRATE: &str = "cpla-suite";
+
+/// Whether `dir` looks like the workspace root this tool audits.
+pub fn is_workspace_root(dir: &Path) -> bool {
+    dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir()
+}
+
+/// Ascends from `start` to the nearest enclosing workspace root.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        if is_workspace_root(dir) {
+            return Some(dir.to_path_buf());
+        }
+        dir = dir.parent()?;
+    }
+}
+
+fn read(path: &Path) -> io::Result<String> {
+    fs::read_to_string(path)
+        .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+}
+
+/// Collects every `.rs` file under `dir` (recursively), sorted for
+/// deterministic diagnostics.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+fn load_unit(root: &Path, path: &Path, crate_name: &str, class: FileClass) -> io::Result<FileUnit> {
+    Ok(FileUnit {
+        path: relative(root, path),
+        crate_name: crate_name.to_string(),
+        class,
+        lexed: lex(&read(path)?),
+    })
+}
+
+/// Gathers every auditable file of the workspace at `root`.
+pub fn gather_workspace(root: &Path) -> io::Result<Vec<FileUnit>> {
+    let mut units = Vec::new();
+    let collect_crate = |dir: &Path, name: &str, units: &mut Vec<FileUnit>| -> io::Result<()> {
+        let src = dir.join("src");
+        let has_lib = src.join("lib.rs").is_file();
+        let bin_dir = src.join("bin");
+        for path in rust_files(&src)? {
+            let class = if path == src.join("main.rs") || path.starts_with(&bin_dir) {
+                FileClass::Bin
+            } else if has_lib {
+                FileClass::Lib
+            } else {
+                FileClass::Bin
+            };
+            units.push(load_unit(root, &path, name, class)?);
+        }
+        for sub in ["tests", "benches"] {
+            for path in rust_files(&dir.join(sub))? {
+                units.push(load_unit(root, &path, name, FileClass::Test)?);
+            }
+        }
+        Ok(())
+    };
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = Vec::new();
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let path = entry?.path();
+            if path.is_dir() && path.join("Cargo.toml").is_file() {
+                members.push(path);
+            }
+        }
+    }
+    members.sort();
+    for dir in &members {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        collect_crate(dir, &name, &mut units)?;
+    }
+    collect_crate(root, ROOT_CRATE, &mut units)?;
+    Ok(units)
+}
+
+/// Runs the full rule set over the workspace at `root`, returning the
+/// findings sorted by path, line and rule.
+///
+/// # Errors
+///
+/// Propagates I/O failures (unreadable files) with the path attached.
+pub fn audit_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for unit in gather_workspace(root)? {
+        check_file(&unit, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule.id()).cmp(&(b.path.as_str(), b.line, b.rule.id()))
+    });
+    Ok(findings)
+}
+
+/// Outcome of the `--fixture` self-test.
+#[derive(Clone, Debug, Default)]
+pub struct FixtureOutcome {
+    /// Number of fixture files exercised.
+    pub fixtures: usize,
+    /// Number of `//~ <RULE>` expectations checked.
+    pub expectations: usize,
+    /// Every discrepancy found; empty means the analyzer caught exactly
+    /// the planted violations, and every rule was exercised.
+    pub problems: Vec<String>,
+}
+
+impl FixtureOutcome {
+    /// Whether the self-test passed.
+    pub fn passed(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// Fixture header directives: forced crate name and file class.
+struct FixtureHeader {
+    crate_name: String,
+    class: FileClass,
+}
+
+fn parse_header(source: &str, path: &str, problems: &mut Vec<String>) -> FixtureHeader {
+    let mut header = FixtureHeader {
+        crate_name: "fixture".to_string(),
+        class: FileClass::Lib,
+    };
+    for line in source.lines() {
+        let Some(directive) = line.trim().strip_prefix("//@") else {
+            continue;
+        };
+        let directive = directive.trim();
+        if let Some(name) = directive.strip_prefix("crate:") {
+            header.crate_name = name.trim().to_string();
+        } else if let Some(kind) = directive.strip_prefix("kind:") {
+            header.class = match kind.trim() {
+                "lib" => FileClass::Lib,
+                "bin" => FileClass::Bin,
+                "test" => FileClass::Test,
+                other => {
+                    problems.push(format!("{path}: unknown fixture kind `{other}`"));
+                    FileClass::Lib
+                }
+            };
+        } else {
+            problems.push(format!(
+                "{path}: unknown fixture directive `//@ {directive}`"
+            ));
+        }
+    }
+    header
+}
+
+/// Planted expectations: one `(line, rule)` per rule ID listed after a
+/// `//~` marker.
+fn parse_expectations(source: &str, path: &str, problems: &mut Vec<String>) -> Vec<(u32, Rule)> {
+    let mut expected = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let Some(marker) = line.split("//~").nth(1) else {
+            continue;
+        };
+        for id in marker.split_whitespace() {
+            match Rule::parse(id) {
+                Some(rule) => expected.push((lineno, rule)),
+                None => problems.push(format!(
+                    "{path}:{lineno}: `//~ {id}` names no rule (expected A1..A5)"
+                )),
+            }
+        }
+    }
+    expected
+}
+
+/// Runs the analyzer over `crates/audit/fixtures/` and verifies that it
+/// reports exactly the planted `//~ <RULE>` violations — the analyzer's
+/// own end-to-end test, also asserting every rule fires at least once.
+///
+/// # Errors
+///
+/// Propagates I/O failures (missing fixture directory, unreadable
+/// files) with the path attached.
+pub fn run_fixtures(root: &Path) -> io::Result<FixtureOutcome> {
+    let dir = root.join("crates").join("audit").join("fixtures");
+    let mut outcome = FixtureOutcome::default();
+    let mut rules_seen: BTreeSet<&'static str> = BTreeSet::new();
+    let files = rust_files(&dir)?;
+    if files.is_empty() {
+        outcome
+            .problems
+            .push(format!("no fixture files under {}", dir.display()));
+        return Ok(outcome);
+    }
+    for path in files {
+        let rel = relative(root, &path);
+        let source = read(&path)?;
+        let header = parse_header(&source, &rel, &mut outcome.problems);
+        let mut expected = parse_expectations(&source, &rel, &mut outcome.problems);
+        let unit = FileUnit {
+            path: rel.clone(),
+            crate_name: header.crate_name,
+            class: header.class,
+            lexed: lex(&source),
+        };
+        let mut findings = Vec::new();
+        check_file(&unit, &mut findings);
+        outcome.fixtures += 1;
+        outcome.expectations += expected.len();
+        for &(_, rule) in &expected {
+            rules_seen.insert(rule.id());
+        }
+        // Exact matching: each finding must consume one expectation on
+        // its line, and every expectation must be consumed.
+        for f in &findings {
+            match expected
+                .iter()
+                .position(|&(l, r)| l == f.line && r == f.rule)
+            {
+                Some(at) => {
+                    expected.swap_remove(at);
+                }
+                None => outcome.problems.push(format!("unexpected finding: {f}")),
+            }
+        }
+        for (line, rule) in expected {
+            outcome.problems.push(format!(
+                "{rel}:{line}: expected {} ({}) was not reported",
+                rule.id(),
+                rule.name()
+            ));
+        }
+    }
+    for rule in Rule::ALL {
+        if !rules_seen.contains(rule.id()) {
+            outcome.problems.push(format!(
+                "no fixture exercises rule {} ({})",
+                rule.id(),
+                rule.name()
+            ));
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        // invariant: the audit crate always sits at crates/audit of the
+        // workspace it ships with.
+        find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root above CARGO_MANIFEST_DIR")
+    }
+
+    #[test]
+    fn walker_classifies_crates_and_skips_fixtures() {
+        let units = gather_workspace(&repo_root()).unwrap();
+        let find = |p: &str| units.iter().find(|u| u.path == p);
+        let cli = find("crates/cli/src/main.rs").expect("cli main present");
+        assert_eq!(cli.class, FileClass::Bin);
+        let solver = find("crates/solver/src/sdp.rs").expect("solver sdp present");
+        assert_eq!(solver.class, FileClass::Lib);
+        assert_eq!(solver.crate_name, "solver");
+        let bench_bin = units
+            .iter()
+            .find(|u| u.path.starts_with("crates/bench/src/bin/"))
+            .expect("bench bin present");
+        assert_eq!(bench_bin.class, FileClass::Bin);
+        assert!(
+            units.iter().all(|u| !u.path.contains("fixtures")),
+            "fixtures must never be audited as workspace code"
+        );
+        assert!(
+            units.iter().any(|u| u.path.starts_with("tests/")
+                && u.crate_name == "cpla-suite"
+                && u.class == FileClass::Test),
+            "umbrella integration tests present"
+        );
+    }
+
+    #[test]
+    fn fixture_self_test_passes() {
+        let outcome = run_fixtures(&repo_root()).unwrap();
+        assert!(
+            outcome.passed(),
+            "fixture self-test failed:\n{}",
+            outcome.problems.join("\n")
+        );
+        assert!(outcome.fixtures >= 5, "one fixture per rule at minimum");
+        assert!(outcome.expectations >= 5);
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        let findings = audit_workspace(&repo_root()).unwrap();
+        assert!(
+            findings.is_empty(),
+            "workspace has audit findings:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

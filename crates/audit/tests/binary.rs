@@ -1,0 +1,86 @@
+//! End-to-end tests of the `cpla-audit` binary: exit codes and
+//! diagnostic formatting, run against the real workspace, the fixture
+//! suite, and a synthetic throwaway workspace with a planted violation.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cpla-audit"))
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/audit -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_mode_exits_zero_on_clean_tree() {
+    let out = bin()
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "expected clean workspace, got:\n{stdout}\n{stderr}"
+    );
+    assert!(stdout.contains("workspace clean"), "{stdout}");
+}
+
+#[test]
+fn fixture_mode_exits_zero() {
+    let out = bin()
+        .arg("--fixture")
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fixture self-test failed:\n{stderr}");
+    assert!(stdout.contains("fixture self-test passed"), "{stdout}");
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = bin().arg("--bogus").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn planted_violation_exits_one_with_rule_id() {
+    // Build a minimal throwaway workspace with one dirty library crate.
+    let dir = std::env::temp_dir().join(format!("cpla-audit-e2e-{}", std::process::id()));
+    let src = dir.join("crates").join("dirty").join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(
+        dir.join("crates").join("dirty").join("Cargo.toml"),
+        "[package]\nname = \"dirty\"\n",
+    )
+    .unwrap();
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )
+    .unwrap();
+
+    let out = bin().arg("--root").arg(&dir).output().expect("binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lib.rs:2"), "{stdout}");
+    assert!(stdout.contains("A1"), "{stdout}");
+    assert!(stdout.contains(".unwrap()"), "{stdout}");
+}

@@ -65,6 +65,7 @@ impl Harness {
         times.sort_by(f64::total_cmp);
         let median = times[times.len() / 2];
         let mean = times.iter().sum::<f64>() / times.len() as f64;
+        // audit: allow(A4) -- the harness owns the bench terminal output.
         println!(
             "{name:<40} median {:>12} mean {:>12} ({iters} iters)",
             pretty(median),
@@ -101,6 +102,7 @@ impl Harness {
         times.sort_by(f64::total_cmp);
         let median = times[times.len() / 2];
         let mean = times.iter().sum::<f64>() / times.len() as f64;
+        // audit: allow(A4) -- the harness owns the bench terminal output.
         println!(
             "{name:<40} median {:>12} mean {:>12} ({iters} iters)",
             pretty(median),

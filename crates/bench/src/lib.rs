@@ -37,6 +37,7 @@ impl Prepared {
     ///
     /// Panics if the configuration is degenerate.
     pub fn from_config(config: &SyntheticConfig) -> Prepared {
+        // invariant: the named paper benchmark configs all generate.
         let (mut grid, specs) = config.generate().expect("benchmark configs are valid");
         let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
         let assignment = initial_assignment(&mut grid, &netlist);
@@ -83,10 +84,10 @@ pub fn run_tila(
     let mut grid = prepared.grid.clone();
     let mut assignment = prepared.assignment.clone();
     let start = Instant::now();
-    // invariant: `Prepared` workloads are well-formed and the paper
-    // configs validate, so a flow error here is an experiment-setup bug.
     let result = Tila::new(config)
         .run(&mut grid, &prepared.netlist, &mut assignment, released)
+        // invariant: `Prepared` workloads are well-formed and the paper
+        // configs validate; a flow error here is an experiment-setup bug.
         .expect("benchmark workloads are well-formed");
     let seconds = start.elapsed().as_secs_f64();
     let metrics = Metrics::measure(&grid, &prepared.netlist, &assignment, released);
@@ -115,10 +116,10 @@ pub fn run_cpla(
     let mut grid = prepared.grid.clone();
     let mut assignment = prepared.assignment.clone();
     let start = Instant::now();
-    // invariant: `Prepared` workloads are well-formed and the paper
-    // configs validate, so a flow error here is an experiment-setup bug.
     let report = Cpla::new(config)
         .run_released(&mut grid, &prepared.netlist, &mut assignment, released)
+        // invariant: `Prepared` workloads are well-formed and the paper
+        // configs validate; a flow error here is an experiment-setup bug.
         .expect("benchmark workloads are well-formed");
     let seconds = start.elapsed().as_secs_f64();
     let metrics = Metrics::measure(&grid, &prepared.netlist, &assignment, released);
@@ -169,6 +170,8 @@ pub fn benchmarks_from_args(fallback: &[&str]) -> Vec<SyntheticConfig> {
         .iter()
         .map(|n| {
             SyntheticConfig::named(n).unwrap_or_else(|| {
+                // audit: allow(A4) -- CLI-arg helper for the bench
+                // binaries; usage errors go straight to the terminal.
                 eprintln!(
                     "unknown benchmark `{n}`; valid: {}",
                     SyntheticConfig::all_paper_benchmarks()
@@ -177,6 +180,8 @@ pub fn benchmarks_from_args(fallback: &[&str]) -> Vec<SyntheticConfig> {
                         .collect::<Vec<_>>()
                         .join(", ")
                 );
+                // audit: allow(A4) -- aborting a bench run on a bad
+                // benchmark name is the whole point of this helper.
                 std::process::exit(2);
             })
         })

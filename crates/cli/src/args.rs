@@ -59,8 +59,9 @@ pub enum Command {
         input: String,
     },
     /// `optimize <file> [--assigner cpla|tila] [--ratio R]
-    /// [--engine sdp|ilp|tila] [--neighbors] [--threads N]`: run
-    /// incremental layer assignment through the `LayerAssigner` seam.
+    /// [--engine sdp|ilp|tila] [--neighbors] [--threads N]
+    /// [--alpha A] [--node-budget N]`: run incremental layer
+    /// assignment through the `LayerAssigner` seam.
     Optimize {
         /// ISPD'08 input path.
         input: String,
@@ -75,6 +76,13 @@ pub enum Command {
         neighbors: bool,
         /// Partition-solver threads.
         threads: usize,
+        /// Overflow weight α (`None` keeps the engine default). Range
+        /// checking is the engine's job, so a bad value surfaces as a
+        /// typed `ConfigError` with its own exit code.
+        alpha: Option<f64>,
+        /// ILP search budget in branch-and-bound nodes (`None` keeps
+        /// the front end's default).
+        node_budget: Option<u64>,
     },
     /// `svg <file> -o <out.svg> [--ratio R]`: render congestion +
     /// critical nets after the initial assignment.
@@ -100,6 +108,7 @@ USAGE:
   cpla-cli optimize <file.ispd> [--assigner cpla|tila] [--ratio 0.005]
                                 [--engine sdp|ilp|tila]
                                 [--neighbors] [--threads N]
+                                [--alpha A] [--node-budget N]
   cpla-cli svg      <file.ispd> -o <out.svg> [--ratio 0.005]
   cpla-cli help
 
@@ -145,6 +154,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut engine = Engine::Sdp;
             let mut neighbors = false;
             let mut threads = 1usize;
+            let mut alpha: Option<f64> = None;
+            let mut node_budget: Option<u64> = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--assigner" => {
@@ -179,6 +190,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             return Err("--threads must be positive".into());
                         }
                     }
+                    "--alpha" => {
+                        let v = it.next().ok_or("--alpha needs a value")?;
+                        alpha = Some(v.parse().map_err(|_| format!("bad alpha `{v}`"))?);
+                    }
+                    "--node-budget" => {
+                        let v = it.next().ok_or("--node-budget needs a value")?;
+                        node_budget =
+                            Some(v.parse().map_err(|_| format!("bad node budget `{v}`"))?);
+                    }
                     other => return Err(format!("optimize: unknown argument `{other}`")),
                 }
             }
@@ -195,6 +215,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 engine,
                 neighbors,
                 threads,
+                alpha,
+                node_budget,
             })
         }
         "svg" => {
@@ -264,6 +286,8 @@ mod tests {
                 engine: Engine::Sdp,
                 neighbors: false,
                 threads: 1,
+                alpha: None,
+                node_budget: None,
             }
         );
         let c = parse(&v(&[
@@ -287,6 +311,8 @@ mod tests {
                 engine: Engine::Tila,
                 neighbors: true,
                 threads: 4,
+                alpha: None,
+                node_budget: None,
             }
         );
     }

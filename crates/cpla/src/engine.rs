@@ -104,6 +104,11 @@ pub struct CplaConfig {
     pub threads: usize,
     /// Evaluation pipeline (see [`PipelineMode`]).
     pub mode: PipelineMode,
+    /// Re-verify the paper's constraints (4b/4c/4d) and the incremental
+    /// Elmore caches against from-scratch recomputation at every gate,
+    /// failing the run with [`FlowError::Invariant`](::flow::FlowError)
+    /// on any drift. Costly; meant for CI and debugging, off by default.
+    pub audit_invariants: bool,
 }
 
 impl Default for CplaConfig {
@@ -132,6 +137,7 @@ impl Default for CplaConfig {
             neighbor_weight: 0.2,
             threads: 1,
             mode: PipelineMode::Incremental,
+            audit_invariants: false,
         }
     }
 }

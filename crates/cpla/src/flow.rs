@@ -448,6 +448,9 @@ impl FlowStage for SolveStage {
                     handles.push(scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
+                            // sync: Relaxed — the counter is a pure claim
+                            // ticket (atomicity alone prevents double
+                            // claims); results publish via the scope join.
                             let k = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&mi) = order.get(k) else { break };
                             let (_, p, w) = &misses[mi];
@@ -583,6 +586,12 @@ impl FlowStage for GateStage {
                 layers
             };
             ctx.pending.push((ni, current, layers));
+        }
+        // Optional paranoia gate: before any pending change lands,
+        // re-verify the paper's constraints (4b/4c/4d) and the cached
+        // Elmore timing against from-scratch recomputation.
+        if ctx.config.audit_invariants {
+            audit::check_solution(ctx.grid, ctx.netlist, ctx.assignment)?;
         }
         Ok(())
     }
@@ -760,6 +769,10 @@ pub(crate) fn drive(
     // Restore the best accepted state.
     *ctx.assignment = ctx.best_assignment;
     ctx.grid.restore_usage(ctx.best_usage);
+    // The restored incumbent is what callers keep: audit it too.
+    if ctx.config.audit_invariants {
+        audit::check_solution(ctx.grid, ctx.netlist, ctx.assignment)?;
+    }
     let final_metrics = Metrics::measure(ctx.grid, ctx.netlist, ctx.assignment, ctx.released);
     Ok(CplaReport {
         released: released.to_vec(),

@@ -24,7 +24,7 @@ mod metrics;
 mod observer;
 mod select;
 
-pub use error::{ConfigError, FlowError, InputError};
+pub use error::{ConfigError, FlowError, InputError, InvariantError};
 pub use grid::GridError;
 pub use ispd::ParseError;
 pub use solver::SolveError;

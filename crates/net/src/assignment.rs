@@ -28,6 +28,7 @@ impl Assignment {
         let lowest = |dir| {
             grid.layers_in_direction(dir)
                 .next()
+                // invariant: GridBuilder requires both directions.
                 .expect("grid must have a layer per direction")
         };
         let layers = netlist

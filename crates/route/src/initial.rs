@@ -120,6 +120,9 @@ fn assign_net(grid: &Grid, net: &Net, config: &InitialConfig) -> Vec<usize> {
                     .iter()
                     .map(|&cl| (cl, dp[cs][cl] + config.via_cost * l.abs_diff(cl) as f64))
                     .min_by(|a, b| a.1.total_cmp(&b.1))
+                    // invariant: GridBuilder rejects grids lacking a
+                    // layer in either direction, so layers_of is
+                    // non-empty.
                     .expect("every direction has at least one layer");
                 cost += best_c;
                 choices.push(best_l);
@@ -147,6 +150,7 @@ fn assign_net(grid: &Grid, net: &Net, config: &InitialConfig) -> Vec<usize> {
                 )
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
+            // invariant: same non-empty layers_of as the DP fill above.
             .expect("layer exists");
         stack.push((cs, best_l));
     }

@@ -54,6 +54,7 @@ pub fn find_path(
             (y + 1 < height).then(|| Cell::new(x, y + 1)),
         ];
         for next in neighbors.into_iter().flatten() {
+            // invariant: the neighbor table only yields 4-adjacent cells.
             let edge = Edge2d::between(cur, next).expect("neighbors are adjacent by construction");
             if forbidden.contains(&edge) {
                 continue;
@@ -72,6 +73,7 @@ pub fn find_path(
         return None;
     }
     let mut path = vec![goal];
+    // invariant: `path` is seeded with `goal` and only ever grows.
     while let Some(p) = prev[idx(*path.last().unwrap())] {
         path.push(p);
     }
@@ -103,6 +105,7 @@ pub fn path_waypoints(path: &[Cell]) -> Vec<Cell> {
             dir = d;
         }
     }
+    // invariant: the len() < 2 early return leaves path non-empty here.
     out.push(*path.last().unwrap());
     out
 }

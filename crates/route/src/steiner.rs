@@ -215,6 +215,7 @@ fn path_cost(
             } else {
                 Cell::new(cur.x, cur.y - 1)
             };
+            // invariant: `next` steps one cell toward `w`.
             total += cong.cost(Edge2d::between(cur, next).expect("adjacent"), config);
             cur = next;
         }
@@ -237,6 +238,7 @@ fn path_overflows(cong: &CongestionMap, mut from: Cell, waypoints: &[Cell]) -> b
             } else {
                 Cell::new(cur.x, cur.y - 1)
             };
+            // invariant: `next` steps one cell toward `w`.
             let e = Edge2d::between(cur, next).expect("adjacent");
             if cong.usage(e) >= cong.capacity(e) {
                 return true;
@@ -257,6 +259,7 @@ fn closest_tree_point(builder: &RouteTreeBuilder, tree_cells: &[Cell], target: C
     *tree_cells
         .iter()
         .min_by_key(|c| c.manhattan(target))
+        // invariant: callers seed `tree_cells` with the source cell.
         .expect("tree has at least the root cell")
 }
 
@@ -290,6 +293,7 @@ pub fn route_spec(
 
     let source = pins[0];
     let mut builder = RouteTreeBuilder::new(source.cell);
+    // invariant: a just-built root node carries no pin yet.
     builder.attach_pin(0, 0).expect("fresh root has no pin");
 
     // Tree geometry bookkeeping: every covered cell, and covered edges
@@ -310,6 +314,7 @@ pub fn route_spec(
                     .min()
                     .unwrap_or(u32::MAX)
             })
+            // invariant: guarded by the loop's !remaining.is_empty().
             .expect("remaining is non-empty");
         remaining.swap_remove(pos);
         let target = pins[pin_idx].cell;
@@ -358,9 +363,13 @@ pub fn route_spec(
             None => {
                 let seg = builder
                     .find_segment_through(attach_cell)
+                    // invariant: attach_cell came from `tree_cells`, all
+                    // of which are node cells or segment interiors.
                     .expect("closest tree cell must lie on the tree");
                 builder
                     .split_segment_at(seg, attach_cell)
+                    // invariant: attach_cell is interior to `seg` (it is
+                    // on the segment but is not a node cell).
                     .expect("interior split cannot fail")
             }
         };
@@ -371,6 +380,8 @@ pub fn route_spec(
             let before = builder.num_nodes();
             let end = builder
                 .add_path(attach_node, &waypoints)
+                // invariant: pattern_candidates and path_waypoints only
+                // emit axis-aligned waypoint sequences.
                 .expect("waypoints are rectilinear by construction");
             // Record new geometry.
             let mut cur = attach_cell;
@@ -385,6 +396,7 @@ pub fn route_spec(
                     } else {
                         Cell::new(cur.x, cur.y - 1)
                     };
+                    // invariant: `next` steps one cell toward `w`.
                     let e = Edge2d::between(cur, next).expect("adjacent");
                     congestion.add(e);
                     tree_edges.insert(e);
@@ -397,9 +409,13 @@ pub fn route_spec(
         };
         builder
             .attach_pin(end_node, pin_idx as u32)
+            // invariant: dedup above leaves one pin per cell, so no node
+            // is asked to carry a second pin.
             .expect("pin cells are deduplicated");
     }
 
+    // invariant: pins.len() >= 2 above guarantees at least one path was
+    // added, so the builder holds a segment.
     let tree = builder.build().expect("two distinct pins imply a segment");
     let mut net = Net::new(spec.name.clone(), pins, tree);
     net.driver_resistance = spec.driver_resistance;

@@ -4,6 +4,14 @@
 
 use crate::SymMatrix;
 
+/// NaN-safe exact-zero test: true for `±0.0`, false for everything else
+/// including NaN — bit-identical to the bare `== 0.0` it replaces, but
+/// expressed through the IEEE total order so the comparison cannot be
+/// silently NaN-poisoned (audit rule A2).
+fn is_zero(x: f64) -> bool {
+    x.abs().total_cmp(&0.0).is_eq()
+}
+
 /// Eigendecomposition `A = V · diag(values) · Vᵀ` of a symmetric matrix.
 ///
 /// `vectors` holds the eigenvectors as *columns*: `vectors.get(i, k)` is
@@ -70,7 +78,7 @@ fn tred2(z: &mut SymMatrix, d: &mut [f64], e: &mut [f64]) {
             for k in 0..=l {
                 scale += a[i * n + k].abs();
             }
-            if scale == 0.0 {
+            if is_zero(scale) {
                 e[i] = a[i * n + l];
             } else {
                 for k in 0..=l {
@@ -114,7 +122,7 @@ fn tred2(z: &mut SymMatrix, d: &mut [f64], e: &mut [f64]) {
     e[0] = 0.0;
     for i in 0..n {
         let l = i;
-        if d[i] != 0.0 {
+        if !is_zero(d[i]) {
             for j in 0..l {
                 let mut g = 0.0f64;
                 for k in 0..l {
@@ -170,7 +178,7 @@ fn tqli(d: &mut [f64], e: &mut [f64], z: &mut SymMatrix) {
                 let b = c * e[i];
                 r = f.hypot(g);
                 e[i + 1] = r;
-                if r == 0.0 {
+                if is_zero(r) {
                     d[i + 1] -= p;
                     e[m] = 0.0;
                     break;
@@ -189,7 +197,7 @@ fn tqli(d: &mut [f64], e: &mut [f64], z: &mut SymMatrix) {
                     a[k * n + i] = c * a[k * n + i] - s * f;
                 }
             }
-            if r == 0.0 && m > l {
+            if is_zero(r) && m > l {
                 continue;
             }
             d[l] -= p;

@@ -350,6 +350,8 @@ impl ChoiceProblem {
                 self.best = Some((acc, choices));
                 // Roll back state for the exact search.
                 for &it in &order {
+                    // invariant: the greedy pass assigned every item in
+                    // `order`; take() restores the pre-search state.
                     let c = self.assigned[it].take().unwrap();
                     if let Some(gs) = self.hard_of.get(&(it, c)) {
                         for &g in gs {

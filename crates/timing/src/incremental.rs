@@ -64,6 +64,21 @@
 use grid::Grid;
 use net::Net;
 
+/// NaN-safe exact-zero test: true for `±0.0`, false for everything else
+/// including NaN — bit-identical to the bare `== 0.0` it replaces, but
+/// expressed through the IEEE total order so the comparison cannot be
+/// silently NaN-poisoned (audit rule A2).
+fn is_zero(x: f64) -> bool {
+    x.abs().total_cmp(&0.0).is_eq()
+}
+
+/// Exact `-∞` sentinel test via the IEEE total order (audit rule A2):
+/// the aggregates below use `NEG_INFINITY` as the "no sink in this
+/// subtree" marker, and only the exact sentinel may match.
+fn is_neg_infinity(x: f64) -> bool {
+    x.total_cmp(&f64::NEG_INFINITY).is_eq()
+}
+
 /// The electrical parameters timing needs, snapshotted from a [`Grid`].
 ///
 /// [`IncrementalTiming`] holds a shared reference to one of these
@@ -250,7 +265,7 @@ impl<'a> IncrementalTiming<'a> {
         let tree = self.net.tree();
         let len = tree.segment_length(s) as f64;
         let delta_c = (self.model.unit_c[layer] - self.model.unit_c[old]) * len;
-        if delta_c != 0.0 {
+        if !is_zero(delta_c) {
             // The segment's own wire cap sits *above* its downstream
             // cap, so cap[s] is untouched; every ancestor and the
             // driver's total load shift by delta_c.
@@ -434,7 +449,7 @@ impl<'a> IncrementalTiming<'a> {
         for &cs in tree.child_segments(to) {
             below = below.max(self.rel[cs as usize]);
         }
-        if below == f64::NEG_INFINITY {
+        if is_neg_infinity(below) {
             return f64::NEG_INFINITY;
         }
         let (via, wire) = self.segment_terms(s);
@@ -459,7 +474,7 @@ impl<'a> IncrementalTiming<'a> {
         for &cs in tree.child_segments(root) {
             best = best.max(self.rel[cs as usize]);
         }
-        if best == f64::NEG_INFINITY {
+        if is_neg_infinity(best) {
             return 0.0;
         }
         (self.net.driver_resistance * self.total_cap + best).max(0.0)

@@ -17,6 +17,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
+echo "==> audit: workspace lint"
+cargo run -p audit --offline
+
+echo "==> audit: analyzer self-test"
+cargo run -p audit --offline -- --fixture
+
 echo "==> tier-1: cargo build --release"
 cargo build --release --offline
 
