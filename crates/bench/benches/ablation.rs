@@ -49,6 +49,7 @@ mod real {
         let no_penalty = CplaConfig {
             problem: ProblemConfig {
                 via_penalty_weight: 0.0,
+                overflow_penalty_weight: 0.0,
             },
             ..CplaConfig::default()
         };

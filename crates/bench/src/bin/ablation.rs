@@ -49,6 +49,7 @@ fn main() {
                 CplaConfig {
                     problem: ProblemConfig {
                         via_penalty_weight: 0.0,
+                        overflow_penalty_weight: 0.0,
                     },
                     ..CplaConfig::default()
                 },

@@ -84,6 +84,12 @@ pub enum Command {
         /// the front end's default).
         node_budget: Option<u64>,
     },
+    /// `replay <repro.json>`: re-run a `cpla-conform` reproducer
+    /// through the full conformance check and report the outcome.
+    Replay {
+        /// Reproducer JSON path (written by `cpla-conform` on failure).
+        input: String,
+    },
     /// `svg <file> -o <out.svg> [--ratio R]`: render congestion +
     /// critical nets after the initial assignment.
     Svg {
@@ -109,6 +115,7 @@ USAGE:
                                 [--engine sdp|ilp|tila]
                                 [--neighbors] [--threads N]
                                 [--alpha A] [--node-budget N]
+  cpla-cli replay   <repro.json>
   cpla-cli svg      <file.ispd> -o <out.svg> [--ratio 0.005]
   cpla-cli help
 
@@ -218,6 +225,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 alpha,
                 node_budget,
             })
+        }
+        "replay" => {
+            let input = it.next().ok_or("replay: missing <repro.json>")?.clone();
+            if let Some(extra) = it.next() {
+                return Err(format!("replay: unexpected `{extra}`"));
+            }
+            Ok(Command::Replay { input })
         }
         "svg" => {
             let input = it.next().ok_or("svg: missing <file>")?.clone();
@@ -359,6 +373,19 @@ mod tests {
             }
         );
         assert!(parse(&v(&["svg", "d.ispd"])).is_err());
+    }
+
+    #[test]
+    fn replay_takes_exactly_one_path() {
+        let c = parse(&v(&["replay", "repro.json"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Replay {
+                input: "repro.json".into()
+            }
+        );
+        assert!(parse(&v(&["replay"])).is_err());
+        assert!(parse(&v(&["replay", "a", "b"])).is_err());
     }
 
     #[test]

@@ -145,6 +145,61 @@ fn run(command: Command) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::Replay { input } => {
+            let text =
+                std::fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+            let doc = conform::json::parse(&text).map_err(|e| format!("{input}: {e}"))?;
+            let w = conform::io::workload_from_json(&doc).map_err(|e| format!("{input}: {e}"))?;
+            // The failure envelope (when present) records the driving
+            // seed; bare workload files replay under the default.
+            let seed = doc
+                .get("failure")
+                .and_then(|f| f.get("seed"))
+                .and_then(|s| s.as_u64())
+                .unwrap_or_else(|| conform::TrialConfig::default().seed);
+            let cfg = conform::TrialConfig {
+                seed,
+                ..conform::TrialConfig::default()
+            };
+            // Rebuild the trial's exact rng stream position: seed, fork
+            // on the trial index, then the lattice draw the generator
+            // consumed before the workload was built.
+            let mut rng = prng::Rng::seed_from_u64(cfg.seed).fork(w.params.trial);
+            let _ = conform::gen::GenParams::lattice(w.params.trial, &mut rng);
+            let out = conform::check_workload(&cfg, &w, &mut rng);
+            println!(
+                "{input}: trial {} [{}], {} nets",
+                w.params.trial,
+                w.params.describe(),
+                w.netlist.len()
+            );
+            if let Some(c) = out.oracle_combos {
+                println!(
+                    "oracle: {c} combos enumerated (cpla gap {:?}, tila gap {:?})",
+                    out.cpla_gap, out.tila_gap
+                );
+            }
+            for note in &out.notes {
+                println!("note: {note}");
+            }
+            for f in &out.failures {
+                println!(
+                    "FAIL assigner={} class={}: {}",
+                    f.assigner,
+                    f.class.label(),
+                    f.detail
+                );
+            }
+            if out.passed() {
+                println!("replay: all conformance gates passed");
+                Ok(())
+            } else {
+                Err(CliError::Other(format!(
+                    "replay: {} conformance failure(s)",
+                    out.failures.len()
+                )))
+            }
+        }
         Command::Svg {
             input,
             output,

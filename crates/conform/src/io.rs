@@ -1,0 +1,467 @@
+//! Workload serialization: self-contained JSON reproducers.
+//!
+//! A serialized [`Workload`] carries the full grid recipe and routed
+//! netlist, so a failure found by the fuzzer can be replayed (and
+//! shrunk, and checked in as a regression test) without the generator
+//! or its seed stream. Route trees are stored as their builder replay:
+//! node 0 is the root, each segment names its from-node id and to-cell
+//! in storage order, which reproduces the original node numbering
+//! exactly.
+
+use grid::Direction;
+use net::{Net, Netlist, Pin, RouteTreeBuilder};
+
+use crate::gen::{CapOverride, Degenerate, GenParams, GridSpec, LayerSpec, Workload};
+use crate::json::{self, Value};
+
+/// Format marker embedded in every reproducer.
+pub const FORMAT: &str = "cpla-conform-workload-v1";
+
+fn dir_label(dir: Direction) -> &'static str {
+    match dir {
+        Direction::Horizontal => "H",
+        Direction::Vertical => "V",
+    }
+}
+
+fn dir_from(label: &str) -> Result<Direction, String> {
+    match label {
+        "H" => Ok(Direction::Horizontal),
+        "V" => Ok(Direction::Vertical),
+        other => Err(format!("unknown direction {other:?}")),
+    }
+}
+
+fn degenerate_from(label: &str) -> Result<Degenerate, String> {
+    for d in [
+        Degenerate::None,
+        Degenerate::SingleSegment,
+        Degenerate::ZeroCapacityLayer,
+        Degenerate::AllCritical,
+        Degenerate::ViaStackOnly,
+    ] {
+        if d.label() == label {
+            return Ok(d);
+        }
+    }
+    Err(format!("unknown degenerate case {label:?}"))
+}
+
+fn net_to_json(net: &Net) -> Value {
+    let tree = net.tree();
+    let pins = net
+        .pins()
+        .iter()
+        .map(|p| {
+            json::obj(vec![
+                ("x", json::int(u64::from(p.cell.x))),
+                ("y", json::int(u64::from(p.cell.y))),
+                ("layer", json::int(p.layer as u64)),
+                ("capacitance", json::num(p.capacitance)),
+            ])
+        })
+        .collect();
+    let segments = tree
+        .segments()
+        .iter()
+        .map(|s| {
+            let to = tree.node(s.to as usize).cell;
+            Value::Arr(vec![
+                json::int(u64::from(s.from)),
+                json::int(u64::from(to.x)),
+                json::int(u64::from(to.y)),
+            ])
+        })
+        .collect();
+    let pin_nodes = (0..tree.num_nodes())
+        .filter_map(|n| {
+            tree.node(n)
+                .pin
+                .map(|p| Value::Arr(vec![json::int(u64::from(p)), json::int(n as u64)]))
+        })
+        .collect();
+    json::obj(vec![
+        ("name", Value::Str(net.name().to_string())),
+        ("driver_resistance", json::num(net.driver_resistance)),
+        ("pins", Value::Arr(pins)),
+        (
+            "root",
+            Value::Arr(vec![
+                json::int(u64::from(tree.node(tree.root()).cell.x)),
+                json::int(u64::from(tree.node(tree.root()).cell.y)),
+            ]),
+        ),
+        ("segments", Value::Arr(segments)),
+        ("pin_nodes", Value::Arr(pin_nodes)),
+    ])
+}
+
+fn net_from_json(v: &Value) -> Result<Net, String> {
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("net.name missing")?;
+    let driver = v
+        .get("driver_resistance")
+        .and_then(Value::as_num)
+        .ok_or("net.driver_resistance missing")?;
+    let mut pins = Vec::new();
+    for p in v
+        .get("pins")
+        .and_then(Value::as_arr)
+        .ok_or("net.pins missing")?
+    {
+        let cell = grid::Cell::new(read_u16(p, "x")?, read_u16(p, "y")?);
+        let layer = p
+            .get("layer")
+            .and_then(Value::as_u64)
+            .ok_or("pin.layer missing")? as usize;
+        let cap = p
+            .get("capacitance")
+            .and_then(Value::as_num)
+            .ok_or("pin.capacitance missing")?;
+        pins.push(Pin::new(cell, cap).on_layer(layer));
+    }
+    let root = v
+        .get("root")
+        .and_then(Value::as_arr)
+        .ok_or("net.root missing")?;
+    if root.len() != 2 {
+        return Err("net.root must be [x, y]".into());
+    }
+    let root = grid::Cell::new(cell_coord(&root[0])?, cell_coord(&root[1])?);
+    let mut b = RouteTreeBuilder::new(root);
+    for s in v
+        .get("segments")
+        .and_then(Value::as_arr)
+        .ok_or("net.segments missing")?
+    {
+        let s = s.as_arr().ok_or("segment must be [from, x, y]")?;
+        if s.len() != 3 {
+            return Err("segment must be [from, x, y]".into());
+        }
+        let from = s[0].as_u64().ok_or("segment.from not an id")? as usize;
+        let to = grid::Cell::new(cell_coord(&s[1])?, cell_coord(&s[2])?);
+        b.add_segment(from, to)
+            .map_err(|e| format!("segment replay failed: {e}"))?;
+    }
+    for pn in v
+        .get("pin_nodes")
+        .and_then(Value::as_arr)
+        .ok_or("net.pin_nodes missing")?
+    {
+        let pn = pn.as_arr().ok_or("pin_nodes entry must be [pin, node]")?;
+        if pn.len() != 2 {
+            return Err("pin_nodes entry must be [pin, node]".into());
+        }
+        let pin = pn[0].as_u64().ok_or("pin id not an integer")? as u32;
+        let node = pn[1].as_u64().ok_or("node id not an integer")? as usize;
+        b.attach_pin(node, pin)
+            .map_err(|e| format!("pin attach failed: {e}"))?;
+    }
+    let tree = b.build().map_err(|e| format!("tree rebuild failed: {e}"))?;
+    let mut net = Net::new(name, pins, tree);
+    net.driver_resistance = driver;
+    Ok(net)
+}
+
+fn cell_coord(v: &Value) -> Result<u16, String> {
+    let n = v.as_u64().ok_or("coordinate not an integer")?;
+    u16::try_from(n).map_err(|_| format!("coordinate {n} out of u16 range"))
+}
+
+fn read_u16(v: &Value, key: &str) -> Result<u16, String> {
+    let n = v
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{key} missing or not an integer"))?;
+    u16::try_from(n).map_err(|_| format!("{key}={n} out of u16 range"))
+}
+
+fn params_to_json(p: &GenParams) -> Value {
+    json::obj(vec![
+        ("trial", json::int(p.trial)),
+        ("layers", json::int(p.layers as u64)),
+        ("width", json::int(u64::from(p.width))),
+        ("height", json::int(u64::from(p.height))),
+        ("num_nets", json::int(p.num_nets as u64)),
+        ("capacity", json::int(u64::from(p.capacity))),
+        ("degenerate", Value::Str(p.degenerate.label().to_string())),
+        ("critical_ratio", json::num(p.critical_ratio)),
+        ("oracle_sized", Value::Bool(p.oracle_sized)),
+    ])
+}
+
+fn params_from_json(v: &Value) -> Result<GenParams, String> {
+    Ok(GenParams {
+        trial: v
+            .get("trial")
+            .and_then(Value::as_u64)
+            .ok_or("params.trial")?,
+        layers: v
+            .get("layers")
+            .and_then(Value::as_u64)
+            .ok_or("params.layers")? as usize,
+        width: read_u16(v, "width")?,
+        height: read_u16(v, "height")?,
+        num_nets: v
+            .get("num_nets")
+            .and_then(Value::as_u64)
+            .ok_or("params.num_nets")? as usize,
+        capacity: v
+            .get("capacity")
+            .and_then(Value::as_u64)
+            .ok_or("params.capacity")? as u32,
+        degenerate: degenerate_from(
+            v.get("degenerate")
+                .and_then(Value::as_str)
+                .ok_or("params.degenerate")?,
+        )?,
+        critical_ratio: v
+            .get("critical_ratio")
+            .and_then(Value::as_num)
+            .ok_or("params.critical_ratio")?,
+        oracle_sized: matches!(v.get("oracle_sized"), Some(Value::Bool(true))),
+    })
+}
+
+fn grid_to_json(g: &GridSpec) -> Value {
+    let layers = g
+        .layers
+        .iter()
+        .map(|l| {
+            json::obj(vec![
+                ("name", Value::Str(l.name.clone())),
+                ("dir", Value::Str(dir_label(l.dir).to_string())),
+                ("resistance", json::num(l.resistance)),
+                ("capacitance", json::num(l.capacitance)),
+                ("wire_width", json::num(l.wire_width)),
+                ("wire_spacing", json::num(l.wire_spacing)),
+                ("capacity", json::int(u64::from(l.capacity))),
+            ])
+        })
+        .collect();
+    let overrides = g
+        .capacity_overrides
+        .iter()
+        .map(|o| {
+            Value::Arr(vec![
+                json::int(o.layer as u64),
+                json::int(u64::from(o.x)),
+                json::int(u64::from(o.y)),
+                json::int(u64::from(o.capacity)),
+            ])
+        })
+        .collect();
+    json::obj(vec![
+        ("width", json::int(u64::from(g.width))),
+        ("height", json::int(u64::from(g.height))),
+        (
+            "tile",
+            Value::Arr(vec![json::num(g.tile.0), json::num(g.tile.1)]),
+        ),
+        (
+            "via_geometry",
+            Value::Arr(vec![
+                json::num(g.via_geometry.0),
+                json::num(g.via_geometry.1),
+            ]),
+        ),
+        ("layers", Value::Arr(layers)),
+        (
+            "via_resistances",
+            match &g.via_resistances {
+                None => Value::Null,
+                Some(t) => Value::Arr(t.iter().map(|&r| json::num(r)).collect()),
+            },
+        ),
+        ("capacity_overrides", Value::Arr(overrides)),
+    ])
+}
+
+fn grid_from_json(v: &Value) -> Result<GridSpec, String> {
+    let pair = |key: &str| -> Result<(f64, f64), String> {
+        let a = v
+            .get(key)
+            .and_then(Value::as_arr)
+            .ok_or_else(|| key.to_string())?;
+        if a.len() != 2 {
+            return Err(format!("{key} must have two entries"));
+        }
+        Ok((
+            a[0].as_num().ok_or_else(|| key.to_string())?,
+            a[1].as_num().ok_or_else(|| key.to_string())?,
+        ))
+    };
+    let mut layers = Vec::new();
+    for l in v
+        .get("layers")
+        .and_then(Value::as_arr)
+        .ok_or("grid.layers missing")?
+    {
+        layers.push(LayerSpec {
+            name: l
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("layer.name")?
+                .to_string(),
+            dir: dir_from(l.get("dir").and_then(Value::as_str).ok_or("layer.dir")?)?,
+            resistance: l
+                .get("resistance")
+                .and_then(Value::as_num)
+                .ok_or("layer.resistance")?,
+            capacitance: l
+                .get("capacitance")
+                .and_then(Value::as_num)
+                .ok_or("layer.capacitance")?,
+            wire_width: l
+                .get("wire_width")
+                .and_then(Value::as_num)
+                .ok_or("layer.wire_width")?,
+            wire_spacing: l
+                .get("wire_spacing")
+                .and_then(Value::as_num)
+                .ok_or("layer.wire_spacing")?,
+            capacity: l
+                .get("capacity")
+                .and_then(Value::as_u64)
+                .ok_or("layer.capacity")? as u32,
+        });
+    }
+    let via_resistances = match v.get("via_resistances") {
+        None | Some(Value::Null) => None,
+        Some(Value::Arr(a)) => Some(
+            a.iter()
+                .map(|r| r.as_num().ok_or("via resistance not a number"))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Some(_) => return Err("grid.via_resistances must be null or an array".into()),
+    };
+    let mut capacity_overrides = Vec::new();
+    for o in v
+        .get("capacity_overrides")
+        .and_then(Value::as_arr)
+        .ok_or("grid.capacity_overrides missing")?
+    {
+        let o = o.as_arr().ok_or("override must be [layer, x, y, cap]")?;
+        if o.len() != 4 {
+            return Err("override must be [layer, x, y, cap]".into());
+        }
+        capacity_overrides.push(CapOverride {
+            layer: o[0].as_u64().ok_or("override.layer")? as usize,
+            x: cell_coord(&o[1])?,
+            y: cell_coord(&o[2])?,
+            capacity: o[3].as_u64().ok_or("override.capacity")? as u32,
+        });
+    }
+    Ok(GridSpec {
+        width: read_u16(v, "width")?,
+        height: read_u16(v, "height")?,
+        tile: pair("tile")?,
+        via_geometry: pair("via_geometry")?,
+        layers,
+        via_resistances,
+        capacity_overrides,
+    })
+}
+
+/// Serializes a workload to a JSON value.
+pub fn workload_to_json(w: &Workload) -> Value {
+    json::obj(vec![
+        ("format", Value::Str(FORMAT.to_string())),
+        ("params", params_to_json(&w.params)),
+        ("grid", grid_to_json(&w.grid_spec)),
+        ("critical_ratio", json::num(w.critical_ratio)),
+        (
+            "nets",
+            Value::Arr(w.netlist.nets().iter().map(net_to_json).collect()),
+        ),
+    ])
+}
+
+/// Deserializes a workload from a JSON value.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first malformed field.
+pub fn workload_from_json(v: &Value) -> Result<Workload, String> {
+    match v.get("format").and_then(Value::as_str) {
+        Some(FORMAT) => {}
+        other => return Err(format!("unsupported format {other:?}, want {FORMAT:?}")),
+    }
+    let params = params_from_json(v.get("params").ok_or("params missing")?)?;
+    let grid_spec = grid_from_json(v.get("grid").ok_or("grid missing")?)?;
+    let critical_ratio = v
+        .get("critical_ratio")
+        .and_then(Value::as_num)
+        .ok_or("critical_ratio missing")?;
+    let mut netlist = Netlist::new();
+    for n in v
+        .get("nets")
+        .and_then(Value::as_arr)
+        .ok_or("nets missing")?
+    {
+        netlist.push(net_from_json(n)?);
+    }
+    Ok(Workload {
+        params,
+        grid_spec,
+        netlist,
+        critical_ratio,
+    })
+}
+
+/// Serializes a workload to pretty-printed JSON text.
+pub fn workload_to_string(w: &Workload) -> String {
+    workload_to_json(w).to_pretty()
+}
+
+/// Parses a workload from JSON text.
+///
+/// # Errors
+///
+/// Returns the parse or schema error as text.
+pub fn workload_from_str(text: &str) -> Result<Workload, String> {
+    workload_from_json(&json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenParams};
+    use prng::Rng;
+
+    #[test]
+    fn workloads_round_trip_exactly() {
+        for trial in 0..20 {
+            let mut rng = Rng::seed_from_u64(42).fork(trial);
+            let p = GenParams::lattice(trial, &mut rng);
+            let w = generate(&p, &mut rng);
+            let text = workload_to_string(&w);
+            let back = workload_from_str(&text)
+                .unwrap_or_else(|e| panic!("trial {trial}: round trip failed: {e}\n{text}"));
+            assert_eq!(w, back, "trial {trial} altered by serialization");
+        }
+    }
+
+    #[test]
+    fn round_tripped_workloads_rebuild_identical_instances() {
+        let mut rng = Rng::seed_from_u64(9).fork(4);
+        let p = GenParams::lattice(4, &mut rng);
+        let w = generate(&p, &mut rng);
+        let back = workload_from_str(&workload_to_string(&w)).unwrap();
+        let a = w.instance().unwrap();
+        let b = back.instance().unwrap();
+        assert_eq!(
+            a.metrics(&[0]).avg_tcp.to_bits(),
+            b.metrics(&[0]).avg_tcp.to_bits()
+        );
+        assert_eq!(w.released().unwrap(), back.released().unwrap());
+    }
+
+    #[test]
+    fn rejects_wrong_format_marker() {
+        let err = workload_from_str("{\"format\": \"something-else\"}").unwrap_err();
+        assert!(err.contains("unsupported format"), "{err}");
+    }
+}

@@ -1,0 +1,212 @@
+//! Greedy failure minimization.
+//!
+//! Given a failing workload and a predicate that re-runs the failing
+//! check, [`shrink`] deletes whole nets, then trims leaf branches off
+//! multi-sink trees, keeping every deletion that preserves the failure.
+//! The result is the workload a human actually debugs: typically one or
+//! two nets on the original grid instead of a dozen.
+
+use net::{Net, Netlist, Pin, RouteTreeBuilder};
+
+use crate::gen::Workload;
+
+/// Minimizes `w` against `still_fails`, which must return `true` for
+/// the input workload (and for any workload reproducing the failure).
+///
+/// The predicate sees structurally valid workloads only: nets are
+/// removed whole and branches trimmed leaf-first, so every candidate
+/// still builds an [`flow::Instance`]. Deterministic — the scan order
+/// is fixed, so the same failure always shrinks to the same reproducer.
+pub fn shrink(w: &Workload, still_fails: &mut dyn FnMut(&Workload) -> bool) -> Workload {
+    let mut best = w.clone();
+    // Releasing everything usually keeps the failure and decouples the
+    // reproducer from criticality selection.
+    if (best.critical_ratio - 1.0).abs() > f64::EPSILON {
+        let mut all = best.clone();
+        all.critical_ratio = 1.0;
+        if still_fails(&all) {
+            best = all;
+        }
+    }
+    loop {
+        let mut progressed = false;
+        // Pass 1: drop whole nets, last first (stable indices).
+        let mut i = best.netlist.len();
+        while i > 0 {
+            i -= 1;
+            if best.netlist.len() <= 1 {
+                break;
+            }
+            let candidate = without_net(&best, i);
+            if still_fails(&candidate) {
+                best = candidate;
+                progressed = true;
+            }
+        }
+        // Pass 2: trim one leaf branch per net per round.
+        for i in 0..best.netlist.len() {
+            if let Some(trimmed) = trim_leaf(best.netlist.net(i)) {
+                let mut candidate = best.clone();
+                let mut netlist = Netlist::new();
+                for (j, net) in candidate.netlist.nets().iter().enumerate() {
+                    netlist.push(if j == i { trimmed.clone() } else { net.clone() });
+                }
+                candidate.netlist = netlist;
+                if still_fails(&candidate) {
+                    best = candidate;
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            return best;
+        }
+    }
+}
+
+fn without_net(w: &Workload, index: usize) -> Workload {
+    let mut netlist = Netlist::new();
+    for (i, net) in w.netlist.nets().iter().enumerate() {
+        if i != index {
+            netlist.push(net.clone());
+        }
+    }
+    let mut out = w.clone();
+    out.netlist = netlist;
+    out.params.num_nets = out.netlist.len();
+    out
+}
+
+/// Removes one leaf segment (and its sink pin, if any) from a
+/// multi-segment net; `None` when the net cannot shrink further while
+/// keeping a sink.
+fn trim_leaf(net: &Net) -> Option<Net> {
+    let tree = net.tree();
+    if tree.num_segments() < 2 || net.sinks().len() < 2 {
+        return None;
+    }
+    // Scan leaves from the back so trunk segments survive longest.
+    let victim = (0..tree.num_nodes()).rev().find(|&n| {
+        tree.node(n).child_segments.is_empty() && tree.node(n).parent_segment.is_some()
+    })?;
+    let dropped_segment = tree.node(victim).parent_segment? as usize;
+    let dropped_pin = tree.node(victim).pin.map(|p| p as usize);
+    if dropped_pin == Some(0) {
+        return None; // never drop the source
+    }
+
+    // Rebuild pins without the dropped one, remembering the index shift.
+    let remap_pin = |p: usize| match dropped_pin {
+        Some(d) if p > d => p - 1,
+        _ => p,
+    };
+    let pins: Vec<Pin> = net
+        .pins()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| Some(i) != dropped_pin)
+        .map(|(_, &p)| p)
+        .collect();
+    if pins.len() < 2 {
+        return None;
+    }
+
+    // Replay the tree in storage order, skipping the dropped segment.
+    // Node ids shift by one past the victim; `node_map` tracks them.
+    let mut node_map = vec![usize::MAX; tree.num_nodes()];
+    node_map[tree.root()] = 0;
+    let mut b = RouteTreeBuilder::new(tree.node(tree.root()).cell);
+    for (s, seg) in tree.segments().iter().enumerate() {
+        if s == dropped_segment {
+            continue;
+        }
+        let from = node_map[seg.from as usize];
+        // invariant: storage order lists parents before children and
+        // only the leaf-side subtree (the victim alone) is skipped, so
+        // the from-node has already been replayed.
+        debug_assert_ne!(from, usize::MAX);
+        let to = tree.node(seg.to as usize).cell;
+        let new = b.add_segment(from, to).ok()?;
+        node_map[seg.to as usize] = new;
+    }
+    for (n, &mapped) in node_map.iter().enumerate().take(tree.num_nodes()) {
+        if n == victim {
+            continue;
+        }
+        if let Some(p) = tree.node(n).pin {
+            b.attach_pin(mapped, remap_pin(p as usize) as u32).ok()?;
+        }
+    }
+    let mut out = Net::new(net.name(), pins, b.build().ok()?);
+    out.driver_resistance = net.driver_resistance;
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenParams};
+    use prng::Rng;
+
+    fn big_workload() -> Workload {
+        // Odd trials are the larger non-oracle instances.
+        let mut rng = Rng::seed_from_u64(33).fork(5);
+        let p = GenParams::lattice(5, &mut rng);
+        generate(&p, &mut rng)
+    }
+
+    #[test]
+    fn shrinks_to_a_single_net_when_any_net_fails() {
+        let w = big_workload();
+        assert!(w.netlist.len() > 1);
+        let mut calls = 0usize;
+        let out = shrink(&w, &mut |c| {
+            calls += 1;
+            c.instance().is_ok() && !c.netlist.is_empty()
+        });
+        assert_eq!(out.netlist.len(), 1, "predicate holds for any subset");
+        assert!(calls > 0);
+        assert!((out.critical_ratio - 1.0).abs() < f64::EPSILON);
+        out.instance().unwrap();
+    }
+
+    #[test]
+    fn keeps_the_net_the_failure_depends_on() {
+        let w = big_workload();
+        let marker = w.netlist.net(2).name().to_string();
+        let out = shrink(&w, &mut |c| {
+            c.netlist.nets().iter().any(|n| n.name() == marker)
+        });
+        assert_eq!(out.netlist.len(), 1);
+        assert_eq!(out.netlist.net(0).name(), marker);
+    }
+
+    #[test]
+    fn trims_branches_off_multi_sink_nets() {
+        let w = big_workload();
+        // Find a 3-pin net to exercise branch trimming.
+        let Some(ti) = (0..w.netlist.len()).find(|&i| w.netlist.net(i).sinks().len() == 2) else {
+            return; // this seed always has one, but stay robust
+        };
+        let trimmed = trim_leaf(w.netlist.net(ti)).expect("3-pin net must trim");
+        assert_eq!(trimmed.sinks().len(), 1);
+        assert_eq!(
+            trimmed.tree().num_segments(),
+            w.netlist.net(ti).tree().num_segments() - 1
+        );
+        trimmed
+            .validate(w.grid_spec.width, w.grid_spec.height)
+            .unwrap();
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let w = big_workload();
+        let run = || {
+            shrink(&w.clone(), &mut |c| {
+                c.netlist.len() % 2 == 1 || c.netlist.len() > 4
+            })
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -86,6 +86,15 @@ pub struct CplaConfig {
     /// per overflow wire) used when comparing mapped solutions — the
     /// role the paper's α = 2000 plays in its `V_o` relaxation.
     pub alpha: f64,
+    /// Incumbent overflow price: units of the *input state's* average
+    /// critical-path delay charged per unit of wire/via overflow a
+    /// round adds beyond the input. This is the Measure-stage
+    /// realization of the paper's `α·V_o` relaxation of constraint
+    /// (4d): overflow is not a hard wall (a dominant delay win may pay
+    /// for a unit of congestion), but it is priced steeply enough that
+    /// gratuitous overflow — e.g. via stacks punched through a
+    /// zero-capacity layer — never pays for itself.
+    pub overflow_price: f64,
     /// Criticality exponent: sink `k` weighs `(delay_k/delay_max)^focus`
     /// in the objective. 0 degenerates to TILA's uniform sum; larger
     /// values concentrate on the critical paths.
@@ -132,6 +141,7 @@ impl Default for CplaConfig {
             }),
             problem: crate::problem::ProblemConfig::default(),
             alpha: 20.0,
+            overflow_price: 0.5,
             focus: 4.0,
             release_neighbors: false,
             neighbor_weight: 0.2,
@@ -169,6 +179,13 @@ impl CplaConfig {
                 field: "alpha",
                 value: format!("{}", self.alpha),
                 reason: "the overflow weight must be finite and non-negative",
+            });
+        }
+        if !self.overflow_price.is_finite() || self.overflow_price < 0.0 {
+            return Err(ConfigError {
+                field: "overflow_price",
+                value: format!("{}", self.overflow_price),
+                reason: "the incumbent overflow price must be finite and non-negative",
             });
         }
         if !self.focus.is_finite() || self.focus < 0.0 {
@@ -472,8 +489,11 @@ mod tests {
     #[test]
     fn incremental_pipeline_caches_and_instruments() {
         let (mut grid, nl, mut a) = fixture(3);
+        // Release enough nets that some partitions sit outside any
+        // accepted change between same-offset rounds — those recur
+        // identically and must come out of the cache.
         let config = CplaConfig {
-            critical_ratio: 0.05,
+            critical_ratio: 0.2,
             max_rounds: 10,
             ..CplaConfig::default()
         };

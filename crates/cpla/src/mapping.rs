@@ -5,10 +5,14 @@
 //! traversed, and on each edge the layers of its direction are visited
 //! **top-down** (higher layers are less resistive, hence more
 //! contended); on layer `j` the `cap_e(j)` highest-valued unassigned
-//! `x_ij` entries win the layer. Segments left over after the sweep are
-//! placed on their best-valued candidate that still has capacity on all
-//! covered edges, or — when nothing fits — on their highest-valued
-//! candidate outright (the overflow is what `OV#` counts).
+//! `x_ij` entries win the layer — but only segments for which `j` is the
+//! best-valued candidate that still fits claim a slot, so a segment the
+//! relaxation parked on a lower layer (say, to duck a via-overflow
+//! penalty) is not hoisted into a top layer merely because capacity is
+//! free there. Segments left over after the sweep are placed on their
+//! best-valued candidate that still has capacity on all covered edges,
+//! or — when nothing fits — on their highest-valued candidate outright
+//! (the overflow is what `OV#` counts).
 
 #![allow(clippy::needless_range_loop)] // segment indices are the domain
 
@@ -116,6 +120,16 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
             }
         }
     };
+    // Best relaxed value among the segment's candidates that still fit:
+    // the sweep only lets a segment claim a layer it actually prefers.
+    let best_fitting = |i: usize, remaining: &HashMap<(usize, Edge2d), i64>| -> f64 {
+        problem.candidates[i]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| fits(i, l, remaining))
+            .map(|(c, _)| value(i, c))
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
 
     for &edge in &edges {
         // Layers available on this edge, highest first: take them from
@@ -142,12 +156,12 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
                 })
                 .collect();
             cands.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-            for (_, i, c) in cands {
+            for (v, i, c) in cands {
                 let slots = remaining.get(&(layer, edge)).copied().unwrap_or(i64::MAX);
                 if slots <= 0 {
                     break;
                 }
-                if fits(i, layer, &remaining) {
+                if fits(i, layer, &remaining) && v + 1e-12 >= best_fitting(i, &remaining) {
                     choice[i] = Some(c);
                     consume(i, layer, &mut remaining);
                 }
@@ -383,8 +397,10 @@ mod tests {
             );
         }
 
-        /// The winner on a contended layer always has the highest
-        /// relaxed value among candidates.
+        /// The winner on a contended layer prefers it (the low layer
+        /// always has room here, so a segment whose low value is higher
+        /// never claims the slot) and has the highest relaxed value
+        /// among the segments that prefer it.
         #[test]
         fn contended_slot_goes_to_max_value() {
             let mut picker = prng::Rng::seed_from_u64(0xc0de);
@@ -407,11 +423,13 @@ mod tests {
             let choices = post_map(&p, &x);
             let winners: Vec<usize> = (0..4).filter(|&i| choices[i] == 1).collect();
             assert!(winners.len() <= 1);
+            let prefers_high = |i: usize| x[2 * i + 1] + 1e-12 >= x[2 * i];
             if let Some(&w) = winners.first() {
-                for i in 0..4 {
+                assert!(prefers_high(w), "winner {w} prefers the low layer");
+                for i in (0..4).filter(|&i| prefers_high(i)) {
                     assert!(
                         x[2 * w + 1] >= x[2 * i + 1] - 1e-12,
-                        "winner {w} not maximal"
+                        "winner {w} not maximal among high-preferring segments"
                     );
                 }
             }

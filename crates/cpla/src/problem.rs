@@ -60,14 +60,25 @@ pub struct EdgeConstraint {
 pub struct ProblemConfig {
     /// Weight of the via-capacity penalty λ relative to the mean segment
     /// delay of the partition (the paper adds λ = usage/capacity onto
-    /// `t_v` entries; this scales that ratio into delay units).
+    /// `t_v` entries; this scales that ratio into delay units). Applies
+    /// to interior layers that still have headroom.
     pub via_penalty_weight: f64,
+    /// Weight charged per interior layer already *at or over* capacity,
+    /// in units of the partition's mean segment delay. A via through
+    /// such a layer is a guaranteed overflow unit, so it is priced like
+    /// one: this is the via-side (4d) counterpart of the wire-overflow
+    /// weight `CplaConfig::alpha` (4c) in the paper's `α·V_o`
+    /// relaxation, and the defaults match. Keeping the two prices
+    /// consistent is what stops the solver from proposing dead-layer
+    /// crossings that the round acceptor then rejects wholesale.
+    pub overflow_penalty_weight: f64,
 }
 
 impl Default for ProblemConfig {
     fn default() -> ProblemConfig {
         ProblemConfig {
             via_penalty_weight: 0.25,
+            overflow_penalty_weight: 20.0,
         }
     }
 }
@@ -153,17 +164,6 @@ impl PartitionProblem {
         let mut linear_cost = Vec::with_capacity(segments.len());
         let mut current = Vec::with_capacity(segments.len());
 
-        // Penalty ratio for a via stack spanning (lo, hi) at a cell:
-        // Σ usage/capacity over the strictly interior layers.
-        let penalty_ratio = |cell: grid::Cell, la: usize, lb: usize| -> f64 {
-            let (lo, hi) = if la <= lb { (la, lb) } else { (lb, la) };
-            let mut r = 0.0;
-            for l in (lo + 1)..hi {
-                let cap = grid.via_capacity(cell, l) as f64;
-                r += grid.via_usage(cell, l) as f64 / (cap + 1.0);
-            }
-            r
-        };
         let via_delay = |la: usize, lb: usize, cap: f64| -> f64 {
             let (lo, hi) = if la <= lb { (la, lb) } else { (lb, la) };
             grid.via_stack_resistance(lo, hi) * cap
@@ -213,6 +213,29 @@ impl PartitionProblem {
             }
         };
         let penalty_scale = config.via_penalty_weight * mean_linear;
+        let overflow_scale = config.overflow_penalty_weight * mean_linear;
+
+        // Penalty for a via stack spanning (la, lb) at a cell, summed
+        // over the strictly interior layers. A layer at or over capacity
+        // charges the full overflow weight — the marginal via there *is*
+        // an overflow unit, so it costs what any unit of the `α·V_o`
+        // relaxation costs (a zero-capacity layer charges from the first
+        // stack). Layers with headroom charge graduated congestion
+        // pressure at the λ weight.
+        let via_penalty = |cell: grid::Cell, la: usize, lb: usize| -> f64 {
+            let (lo, hi) = if la <= lb { (la, lb) } else { (lb, la) };
+            let mut cost = 0.0;
+            for l in (lo + 1)..hi {
+                let cap = grid.via_capacity(cell, l);
+                let usage = grid.via_usage(cell, l);
+                cost += if usage >= cap {
+                    overflow_scale
+                } else {
+                    penalty_scale * usage as f64 / (cap as f64 + 1.0)
+                };
+            }
+            cost
+        };
 
         // ---- pass 2: via couplings ----
         // A via between parent p and child i serves the sinks below i,
@@ -247,7 +270,7 @@ impl PartitionProblem {
                                         .iter()
                                         .map(|&lc| {
                                             via_delay(lp, lc, drive)
-                                                + penalty_scale * penalty_ratio(from_cell, lp, lc)
+                                                + via_penalty(from_cell, lp, lc)
                                         })
                                         .collect()
                                 })
@@ -258,8 +281,8 @@ impl PartitionProblem {
                             // Fixed neighbor: fold into linear cost.
                             let lp = assignment.layer_of(pref);
                             for (c, &lc) in candidates[i].iter().enumerate() {
-                                linear_cost[i][c] += via_delay(lp, lc, drive)
-                                    + penalty_scale * penalty_ratio(from_cell, lp, lc);
+                                linear_cost[i][c] +=
+                                    via_delay(lp, lc, drive) + via_penalty(from_cell, lp, lc);
                             }
                         }
                     }
@@ -269,7 +292,7 @@ impl PartitionProblem {
                     let src = net.source();
                     for (c, &lc) in candidates[i].iter().enumerate() {
                         linear_cost[i][c] += via_delay(src.layer, lc, ci.weight * ci.cd)
-                            + penalty_scale * penalty_ratio(from_cell, src.layer, lc);
+                            + via_penalty(from_cell, src.layer, lc);
                     }
                 }
             }
@@ -285,8 +308,7 @@ impl PartitionProblem {
                 let cc = ctx(cref);
                 let drive = cc.weight * ci.cd.min(cc.cd);
                 for (c, &l) in candidates[i].iter().enumerate() {
-                    linear_cost[i][c] +=
-                        via_delay(l, lc, drive) + penalty_scale * penalty_ratio(to_cell, l, lc);
+                    linear_cost[i][c] += via_delay(l, lc, drive) + via_penalty(to_cell, l, lc);
                 }
             }
 
@@ -296,7 +318,7 @@ impl PartitionProblem {
                 let pin = &net.pins()[p as usize];
                 for (c, &l) in candidates[i].iter().enumerate() {
                     linear_cost[i][c] += via_delay(pin.layer, l, ci.pin_weight * pin.capacitance)
-                        + penalty_scale * penalty_ratio(to_cell, pin.layer, l);
+                        + via_penalty(to_cell, pin.layer, l);
                 }
             }
         }

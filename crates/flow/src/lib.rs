@@ -20,12 +20,14 @@
 //! the Table-2 quality [`Metrics`] and [`select_critical_nets`].
 
 mod error;
+mod instance;
 mod metrics;
 mod observer;
 mod select;
 
 pub use error::{ConfigError, FlowError, InputError, InvariantError};
 pub use grid::GridError;
+pub use instance::Instance;
 pub use ispd::ParseError;
 pub use solver::SolveError;
 

@@ -100,6 +100,39 @@ mod tests {
     }
 
     #[test]
+    fn empty_netlist_selects_nothing_at_any_ratio() {
+        let r = report(&[]);
+        assert!(select_critical_nets(&r, 0.0).is_empty());
+        assert!(select_critical_nets(&r, 0.5).is_empty());
+        assert!(select_critical_nets(&r, 1.0).is_empty());
+    }
+
+    #[test]
+    fn single_net_is_selected_by_any_positive_ratio() {
+        let r = report(&[7]);
+        assert_eq!(select_critical_nets(&r, 1e-9), vec![0]);
+        assert_eq!(select_critical_nets(&r, 0.5), vec![0]);
+        assert_eq!(select_critical_nets(&r, 1.0), vec![0]);
+    }
+
+    #[test]
+    fn tied_nets_select_a_deterministic_prefix() {
+        // Every net has the same worst-sink delay: the count must still
+        // honor the ratio exactly, and repeated selection must return
+        // the identical prefix (stable tie ordering, no set semantics).
+        let r = report(&[12, 12, 12, 12]);
+        let half = select_critical_nets(&r, 0.5);
+        assert_eq!(half.len(), 2);
+        assert_eq!(half, select_critical_nets(&r, 0.5));
+        let all = select_critical_nets(&r, 1.0);
+        assert_eq!(all.len(), 4);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert_eq!(&all[..2], &half[..], "ratio prefixes must nest");
+    }
+
+    #[test]
     fn ratio_validation_rejects_out_of_range() {
         assert!(validate_ratio("critical_ratio", 0.5).is_ok());
         assert!(validate_ratio("critical_ratio", -0.1).is_err());

@@ -32,4 +32,8 @@ cargo test -q --offline
 echo "==> workspace tests"
 cargo test --workspace -q --offline
 
+echo "==> conformance: cpla-conform --trials 200 --seed 42"
+cargo build --release --offline -p conform
+./target/release/cpla-conform --trials 200 --seed 42
+
 echo "verify.sh: all checks passed"
