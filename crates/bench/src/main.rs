@@ -10,7 +10,12 @@
 //! Flags (all optional): `--seed N`, `--nets N`, `--size WxH`,
 //! `--layers N`, `--capacity N`, `--threads N`, `--ratio F`,
 //! `--rounds N`, `--mode both|legacy|incremental`,
-//! `--trace <file.jsonl>` (per-stage JSON-lines trace).
+//! `--trace <file.jsonl>` (per-stage JSON-lines trace),
+//! `--alloc-stats` (per-span allocation accounting),
+//! `--trace-chrome <file.json>` (Chrome `trace_event` span dump for
+//! `chrome://tracing`/Perfetto), `--metrics <file.txt>` (Prometheus
+//! text dump), `--bench-json <file|none>` (per-stage p50/p95 baseline,
+//! default `BENCH_cpla.json`).
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -21,7 +26,13 @@ use flow::{RoundSnapshot, Stage, StageObserver};
 use grid::Grid;
 use ispd::SyntheticConfig;
 use net::{Assignment, Netlist};
+use obs::Recorder;
 use route::{initial_assignment, route_netlist, RouterConfig};
+
+/// Counting allocator so `--alloc-stats` can attribute bytes to spans;
+/// counting stays disabled (one relaxed load per call) without the flag.
+#[global_allocator]
+static ALLOC: obs::CountingAlloc = obs::CountingAlloc::new();
 
 /// A [`StageObserver`] that appends one JSON object per stage boundary
 /// and per round to a file — the machine-readable counterpart of
@@ -117,6 +128,10 @@ struct Args {
     reps: usize,
     mode: String,
     trace: Option<String>,
+    alloc_stats: bool,
+    trace_chrome: Option<String>,
+    metrics: Option<String>,
+    bench_json: Option<String>,
 }
 
 impl Default for Args {
@@ -134,6 +149,10 @@ impl Default for Args {
             reps: 3,
             mode: "both".to_string(),
             trace: None,
+            alloc_stats: false,
+            trace_chrome: None,
+            metrics: None,
+            bench_json: Some("BENCH_cpla.json".to_string()),
         }
     }
 }
@@ -168,12 +187,21 @@ fn parse_args() -> Args {
             "--reps" => args.reps = value("--reps").parse().unwrap(),
             "--mode" => args.mode = value("--mode"),
             "--trace" => args.trace = Some(value("--trace")),
+            "--alloc-stats" => args.alloc_stats = true,
+            "--trace-chrome" => args.trace_chrome = Some(value("--trace-chrome")),
+            "--metrics" => args.metrics = Some(value("--metrics")),
+            "--bench-json" => {
+                let v = value("--bench-json");
+                args.bench_json = (v != "none").then_some(v);
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: cpla-bench [--seed N] [--nets N] [--size WxH] \
                      [--layers N] [--capacity N] [--threads N] [--ratio F] \
                      [--rounds N] [--reps N] \
-                     [--mode both|legacy|incremental] [--trace file.jsonl]"
+                     [--mode both|legacy|incremental] [--trace file.jsonl] \
+                     [--alloc-stats] [--trace-chrome file.json] \
+                     [--metrics file.txt] [--bench-json file|none]"
                 );
                 std::process::exit(0);
             }
@@ -189,6 +217,13 @@ fn parse_args() -> Args {
 struct RunOutcome {
     wall_secs: f64,
     report: CplaReport,
+    /// Span tree of the fastest repetition.
+    recorder: Recorder,
+    /// Peak live heap bytes (RSS proxy) over the fastest repetition;
+    /// zero unless `--alloc-stats`.
+    peak_alloc_bytes: u64,
+    /// Final wire overflow of the optimized assignment.
+    wire_overflow: u64,
 }
 
 fn run_mode(
@@ -205,6 +240,7 @@ fn run_mode(
         max_rounds: args.rounds,
         threads: args.threads,
         mode,
+        alloc_stats: args.alloc_stats,
         ..CplaConfig::default()
     };
     let mut trace = trace;
@@ -214,12 +250,15 @@ fn run_mode(
     for rep in 0..args.reps.max(1) {
         let mut grid = grid.clone();
         let mut assignment = assignment.clone();
+        let mut recorder = Recorder::new(label);
+        obs::alloc::reset_peak();
         let mut observers: Vec<&mut dyn flow::StageObserver> = Vec::new();
         if let Some(t) = trace.as_deref_mut() {
             t.mode = label;
             t.rep = rep;
             observers.push(t);
         }
+        observers.push(&mut recorder);
         let start = Instant::now();
         // invariant: the synthetic workload and CLI-derived config are
         // well-formed; a flow error here is a harness bug.
@@ -227,8 +266,17 @@ fn run_mode(
             .run_observed(&mut grid, netlist, &mut assignment, &mut observers)
             .expect("benchmark workload is well-formed");
         let wall_secs = start.elapsed().as_secs_f64();
+        recorder.finish();
+        let peak_alloc_bytes = obs::alloc::peak_bytes();
+        let wire_overflow = grid.total_wire_overflow();
         if best.as_ref().is_none_or(|b| wall_secs < b.wall_secs) {
-            best = Some(RunOutcome { wall_secs, report });
+            best = Some(RunOutcome {
+                wall_secs,
+                report,
+                recorder,
+                peak_alloc_bytes,
+                wire_overflow,
+            });
         }
     }
     best.expect("at least one repetition")
@@ -270,6 +318,84 @@ fn json_run(o: &RunOutcome) -> String {
         o.report.released.len(),
         json_stats(&o.report.stats),
     )
+}
+
+/// Per-mode entry of `BENCH_cpla.json`: run-level quality/cost numbers
+/// plus the per-stage p50/p95 wall and allocation rollup.
+fn json_bench_mode(o: &RunOutcome) -> String {
+    let stages = obs::summarize(&o.recorder)
+        .iter()
+        .map(|s| {
+            format!(
+                "\"{}\":{{\"rounds\":{},\"wall_total_secs\":{:.6},\
+                 \"wall_p50_secs\":{:.6},\"wall_p95_secs\":{:.6},\
+                 \"alloc_bytes\":{},\"alloc_events\":{},\"leaves\":{}}}",
+                s.stage.name(),
+                s.samples,
+                s.wall_total_secs,
+                s.wall_p50_secs,
+                s.wall_p95_secs,
+                s.alloc_bytes,
+                s.alloc_events,
+                s.leaves,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"wall_secs\":{:.6},\"avg_tcp_initial\":{:.6},\
+         \"avg_tcp_final\":{:.6},\"max_tcp_final\":{:.6},\
+         \"via_overflow\":{},\"via_count\":{},\"wire_overflow\":{},\
+         \"rounds\":{},\"released\":{},\"peak_alloc_bytes\":{},\
+         \"stages\":{{{}}}}}",
+        o.wall_secs,
+        o.report.initial_metrics.avg_tcp,
+        o.report.final_metrics.avg_tcp,
+        o.report.final_metrics.max_tcp,
+        o.report.final_metrics.via_overflow,
+        o.report.final_metrics.via_count,
+        o.wire_overflow,
+        o.report.rounds.len(),
+        o.report.released.len(),
+        o.peak_alloc_bytes,
+        stages,
+    )
+}
+
+/// The whole `BENCH_cpla.json` document. Stage *keys* are the stable
+/// contract (CI diffs them against the committed baseline); the numeric
+/// values are a trajectory, expected to drift run to run.
+fn json_bench(args: &Args, modes: &[(&str, &RunOutcome)]) -> String {
+    let mode_objs = modes
+        .iter()
+        .map(|(label, o)| format!("\"{label}\":{}", json_bench_mode(o)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\n\"schema\":1,\n\"design\":{{\"seed\":{},\"nets\":{},\"width\":{},\
+         \"height\":{},\"layers\":{},\"capacity\":{}}},\n\
+         \"threads\":{},\"reps\":{},\"ratio\":{},\"rounds\":{},\
+         \"alloc_stats\":{},\n\"modes\":{{{}}}\n}}\n",
+        args.seed,
+        args.nets,
+        args.width,
+        args.height,
+        args.layers,
+        args.capacity,
+        args.threads,
+        args.reps,
+        args.ratio,
+        args.rounds,
+        args.alloc_stats,
+        mode_objs,
+    )
+}
+
+fn write_artifact(path: &str, what: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("cannot write {what} {path}: {e}");
+        std::process::exit(2);
+    });
 }
 
 fn main() {
@@ -316,6 +442,24 @@ fn main() {
             eprintln!("trace flush failed: {e}");
             std::process::exit(2);
         });
+    }
+
+    let modes: Vec<(&str, &RunOutcome)> = [
+        legacy.as_ref().map(|o| ("legacy", o)),
+        incremental.as_ref().map(|o| ("incremental", o)),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    let recorders: Vec<&Recorder> = modes.iter().map(|(_, o)| &o.recorder).collect();
+    if let Some(path) = &args.trace_chrome {
+        write_artifact(path, "chrome trace", &obs::chrome::export(&recorders));
+    }
+    if let Some(path) = &args.metrics {
+        write_artifact(path, "metrics dump", &obs::prom::export(&recorders));
+    }
+    if let Some(path) = &args.bench_json {
+        write_artifact(path, "bench baseline", &json_bench(&args, &modes));
     }
 
     let mut fields = vec![format!(

@@ -60,8 +60,9 @@ pub enum Command {
     },
     /// `optimize <file> [--assigner cpla|tila] [--ratio R]
     /// [--engine sdp|ilp|tila] [--neighbors] [--threads N]
-    /// [--alpha A] [--node-budget N]`: run incremental layer
-    /// assignment through the `LayerAssigner` seam.
+    /// [--alpha A] [--node-budget N] [--trace-chrome FILE]
+    /// [--metrics FILE]`: run incremental layer assignment through the
+    /// `LayerAssigner` seam.
     Optimize {
         /// ISPD'08 input path.
         input: String,
@@ -83,6 +84,11 @@ pub enum Command {
         /// ILP search budget in branch-and-bound nodes (`None` keeps
         /// the front end's default).
         node_budget: Option<u64>,
+        /// Write a Chrome `trace_event` span dump of the run here
+        /// (loadable in `chrome://tracing` / Perfetto).
+        trace_chrome: Option<String>,
+        /// Write a Prometheus-text metrics dump of the run here.
+        metrics: Option<String>,
     },
     /// `replay <repro.json>`: re-run a `cpla-conform` reproducer
     /// through the full conformance check and report the outcome.
@@ -115,6 +121,7 @@ USAGE:
                                 [--engine sdp|ilp|tila]
                                 [--neighbors] [--threads N]
                                 [--alpha A] [--node-budget N]
+                                [--trace-chrome out.json] [--metrics out.txt]
   cpla-cli replay   <repro.json>
   cpla-cli svg      <file.ispd> -o <out.svg> [--ratio 0.005]
   cpla-cli help
@@ -163,6 +170,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut threads = 1usize;
             let mut alpha: Option<f64> = None;
             let mut node_budget: Option<u64> = None;
+            let mut trace_chrome: Option<String> = None;
+            let mut metrics: Option<String> = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--assigner" => {
@@ -206,6 +215,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         node_budget =
                             Some(v.parse().map_err(|_| format!("bad node budget `{v}`"))?);
                     }
+                    "--trace-chrome" => {
+                        trace_chrome =
+                            Some(it.next().ok_or("--trace-chrome needs a path")?.clone());
+                    }
+                    "--metrics" => {
+                        metrics = Some(it.next().ok_or("--metrics needs a path")?.clone());
+                    }
                     other => return Err(format!("optimize: unknown argument `{other}`")),
                 }
             }
@@ -224,6 +240,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 threads,
                 alpha,
                 node_budget,
+                trace_chrome,
+                metrics,
             })
         }
         "replay" => {
@@ -302,6 +320,8 @@ mod tests {
                 threads: 1,
                 alpha: None,
                 node_budget: None,
+                trace_chrome: None,
+                metrics: None,
             }
         );
         let c = parse(&v(&[
@@ -327,8 +347,34 @@ mod tests {
                 threads: 4,
                 alpha: None,
                 node_budget: None,
+                trace_chrome: None,
+                metrics: None,
             }
         );
+    }
+
+    #[test]
+    fn optimize_parses_observability_flags() {
+        let c = parse(&v(&[
+            "optimize",
+            "d.ispd",
+            "--trace-chrome",
+            "spans.json",
+            "--metrics",
+            "m.txt",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Optimize {
+                ref trace_chrome,
+                ref metrics,
+                ..
+            } if trace_chrome.as_deref() == Some("spans.json")
+                && metrics.as_deref() == Some("m.txt")
+        ));
+        assert!(parse(&v(&["optimize", "d.ispd", "--trace-chrome"])).is_err());
+        assert!(parse(&v(&["optimize", "d.ispd", "--metrics"])).is_err());
     }
 
     #[test]

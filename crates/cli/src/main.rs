@@ -10,7 +10,7 @@ mod args;
 mod svg;
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -22,11 +22,15 @@ use route::{initial_assignment, route_netlist, RouterConfig};
 use tila::{Tila, TilaConfig};
 
 /// Anything `run` can fail with: a typed flow failure (mapped to a
-/// distinct exit code per class) or a front-end problem (exit 1).
+/// distinct exit code per class), a front-end problem (exit 1), or a
+/// failed result write to stdout (quiet success for `BrokenPipe` — the
+/// Unix contract when the reader, e.g. `head`, hangs up — exit 1
+/// otherwise).
 #[derive(Debug)]
 enum CliError {
     Flow { context: String, error: FlowError },
     Other(String),
+    Stdout(std::io::Error),
 }
 
 impl CliError {
@@ -35,14 +39,22 @@ impl CliError {
             CliError::Flow { context, error } if context.is_empty() => error.to_string(),
             CliError::Flow { context, error } => format!("{context}: {error}"),
             CliError::Other(msg) => msg.clone(),
+            CliError::Stdout(e) => format!("cannot write to stdout: {e}"),
         }
     }
 
     fn exit_code(&self) -> u8 {
         match self {
             CliError::Flow { error, .. } => exit_code_for(error),
-            CliError::Other(_) => 1,
+            CliError::Other(_) | CliError::Stdout(_) => 1,
         }
+    }
+
+    /// The downstream reader closed the pipe; by Unix convention this
+    /// ends the program quietly with success, not a panic (the default
+    /// `println!` behavior) or an error report.
+    fn is_broken_pipe(&self) -> bool {
+        matches!(self, CliError::Stdout(e) if e.kind() == std::io::ErrorKind::BrokenPipe)
     }
 }
 
@@ -50,6 +62,14 @@ impl From<String> for CliError {
     fn from(msg: String) -> CliError {
         CliError::Other(msg)
     }
+}
+
+/// `writeln!` onto the locked stdout writer, lifting I/O failures into
+/// [`CliError::Stdout`] so every print site stays one line.
+macro_rules! outln {
+    ($out:expr $(, $arg:expr)* $(,)?) => {
+        writeln!($out $(, $arg)*).map_err(CliError::Stdout)
+    };
 }
 
 /// One distinct non-zero exit code per [`FlowError`] class (2 is taken
@@ -75,8 +95,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(command) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let result = run(command, &mut out).and_then(|()| out.flush().map_err(CliError::Stdout));
+    match result {
         Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.is_broken_pipe() => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {}", e.message());
             ExitCode::from(e.exit_code())
@@ -84,10 +108,10 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(command: Command) -> Result<(), CliError> {
+fn run(command: Command, out: &mut dyn Write) -> Result<(), CliError> {
     match command {
         Command::Help => {
-            println!("{USAGE}");
+            outln!(out, "{USAGE}")?;
             Ok(())
         }
         Command::Generate { benchmark, output } => {
@@ -95,13 +119,14 @@ fn run(command: Command) -> Result<(), CliError> {
             let design = config.design()?;
             let file = File::create(&output).map_err(|e| format!("cannot create {output}: {e}"))?;
             ispd::write(&design, BufWriter::new(file)).map_err(|e| format!("write failed: {e}"))?;
-            println!(
+            outln!(
+                out,
                 "wrote {output}: {}x{}x{} grid, {} nets",
                 design.grid_x,
                 design.grid_y,
                 design.num_layers,
                 design.nets.len()
-            );
+            )?;
             Ok(())
         }
         Command::Report { input } => {
@@ -110,15 +135,17 @@ fn run(command: Command) -> Result<(), CliError> {
             let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
             let assignment = initial_assignment(&mut grid, &netlist);
             let report = timing::analyze(&grid, &netlist, &assignment);
-            println!(
+            outln!(
+                out,
                 "{input}: {}x{}x{} grid, {} nets routed in {:.2}s",
                 grid.width(),
                 grid.height(),
                 grid.num_layers(),
                 netlist.len(),
                 t0.elapsed().as_secs_f64()
-            );
-            println!(
+            )?;
+            outln!(
+                out,
                 "wirelength {}  vias {}  wire-OV {}  via-OV {}",
                 netlist
                     .nets()
@@ -128,20 +155,22 @@ fn run(command: Command) -> Result<(), CliError> {
                 assignment.total_via_count(&netlist),
                 grid.total_wire_overflow(),
                 grid.total_via_overflow()
-            );
-            println!(
+            )?;
+            outln!(
+                out,
                 "critical-path delay: avg {:.1}  max {:.1}",
                 report.avg_critical_delay(),
                 report.max_critical_delay()
-            );
+            )?;
             let order = report.nets_by_criticality();
-            println!("worst 5 nets:");
+            outln!(out, "worst 5 nets:")?;
             for &i in order.iter().take(5) {
-                println!(
+                outln!(
+                    out,
                     "  {:<12} Tcp {:.1}",
                     netlist.net(i).name(),
                     report.net(i).critical_delay()
-                );
+                )?;
             }
             Ok(())
         }
@@ -166,37 +195,41 @@ fn run(command: Command) -> Result<(), CliError> {
             // consumed before the workload was built.
             let mut rng = prng::Rng::seed_from_u64(cfg.seed).fork(w.params.trial);
             let _ = conform::gen::GenParams::lattice(w.params.trial, &mut rng);
-            let out = conform::check_workload(&cfg, &w, &mut rng);
-            println!(
+            let outcome = conform::check_workload(&cfg, &w, &mut rng);
+            outln!(
+                out,
                 "{input}: trial {} [{}], {} nets",
                 w.params.trial,
                 w.params.describe(),
                 w.netlist.len()
-            );
-            if let Some(c) = out.oracle_combos {
-                println!(
+            )?;
+            if let Some(c) = outcome.oracle_combos {
+                outln!(
+                    out,
                     "oracle: {c} combos enumerated (cpla gap {:?}, tila gap {:?})",
-                    out.cpla_gap, out.tila_gap
-                );
+                    outcome.cpla_gap,
+                    outcome.tila_gap
+                )?;
             }
-            for note in &out.notes {
-                println!("note: {note}");
+            for note in &outcome.notes {
+                outln!(out, "note: {note}")?;
             }
-            for f in &out.failures {
-                println!(
+            for f in &outcome.failures {
+                outln!(
+                    out,
                     "FAIL assigner={} class={}: {}",
                     f.assigner,
                     f.class.label(),
                     f.detail
-                );
+                )?;
             }
-            if out.passed() {
-                println!("replay: all conformance gates passed");
+            if outcome.passed() {
+                outln!(out, "replay: all conformance gates passed")?;
                 Ok(())
             } else {
                 Err(CliError::Other(format!(
                     "replay: {} conformance failure(s)",
-                    out.failures.len()
+                    outcome.failures.len()
                 )))
             }
         }
@@ -212,11 +245,12 @@ fn run(command: Command) -> Result<(), CliError> {
             let highlight = cpla::select_critical_nets(&report, ratio);
             let doc = svg::render(&grid, &netlist, &assignment, &highlight);
             std::fs::write(&output, doc).map_err(|e| format!("cannot write {output}: {e}"))?;
-            println!(
+            outln!(
+                out,
                 "wrote {output} ({} layers, {} highlighted nets)",
                 grid.num_layers(),
                 highlight.len()
-            );
+            )?;
             Ok(())
         }
         Command::Optimize {
@@ -228,6 +262,8 @@ fn run(command: Command) -> Result<(), CliError> {
             threads,
             alpha,
             node_budget,
+            trace_chrome,
+            metrics,
         } => {
             let (mut grid, specs) = load(&input)?;
             let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
@@ -258,44 +294,71 @@ fn run(command: Command) -> Result<(), CliError> {
                     }))
                 }
             };
-            println!(
+            outln!(
+                out,
                 "{input}: {} nets, {}",
                 netlist.len(),
                 backend.config_description()
-            );
+            )?;
 
+            // Only pay for span recording when an exporter was requested;
+            // the plain path stays observer-free.
+            let observe = trace_chrome.is_some() || metrics.is_some();
+            let mut recorder = obs::Recorder::new(assigner.to_string());
             let t0 = Instant::now();
-            let report = backend
-                .assign(&mut grid, &netlist, &mut assignment)
-                .map_err(|error| CliError::Flow {
-                    context: input.clone(),
-                    error,
-                })?;
+            let report = if observe {
+                backend.assign_observed(&mut grid, &netlist, &mut assignment, &mut [&mut recorder])
+            } else {
+                backend.assign(&mut grid, &netlist, &mut assignment)
+            }
+            .map_err(|error| CliError::Flow {
+                context: input.clone(),
+                error,
+            })?;
             let secs = t0.elapsed().as_secs_f64();
+            recorder.finish();
+            if let Some(path) = &trace_chrome {
+                std::fs::write(path, obs::chrome::export(&[&recorder]))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                outln!(out, "wrote chrome trace {path}")?;
+            }
+            if let Some(path) = &metrics {
+                std::fs::write(path, obs::prom::export(&[&recorder]))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                outln!(out, "wrote metrics {path}")?;
+            }
             let initial = report.initial_metrics;
             let m = report.final_metrics;
-            println!(
+            outln!(
+                out,
                 "released {} nets ({:.2}%), {} rounds",
                 report.released.len(),
                 ratio * 100.0,
                 report.rounds
-            );
-            println!(
+            )?;
+            outln!(
+                out,
                 "Avg(Tcp) {:>10.1} -> {:>10.1}  ({:+.1}%)",
                 initial.avg_tcp,
                 m.avg_tcp,
                 100.0 * (m.avg_tcp - initial.avg_tcp) / initial.avg_tcp.max(1e-12)
-            );
-            println!(
+            )?;
+            outln!(
+                out,
                 "Max(Tcp) {:>10.1} -> {:>10.1}  ({:+.1}%)",
                 initial.max_tcp,
                 m.max_tcp,
                 100.0 * (m.max_tcp - initial.max_tcp) / initial.max_tcp.max(1e-12)
-            );
-            println!(
+            )?;
+            outln!(
+                out,
                 "OV# {} -> {}   via# {} -> {}   {:.2}s",
-                initial.via_overflow, m.via_overflow, initial.via_count, m.via_count, secs
-            );
+                initial.via_overflow,
+                m.via_overflow,
+                initial.via_count,
+                m.via_count,
+                secs
+            )?;
             assignment
                 .validate(&netlist, &grid)
                 .map_err(|e| format!("internal: invalid result: {e}"))?;

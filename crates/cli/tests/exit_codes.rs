@@ -123,6 +123,65 @@ fn config_errors_exit_five() {
 }
 
 #[test]
+fn broken_pipe_exits_zero() {
+    // `cpla-cli optimize ... | head -1` closes our stdout after one
+    // line; the remaining report lines hit EPIPE. That is the reader's
+    // prerogative, not an error: the run must finish with exit 0 and
+    // an empty stderr (before the locked-writer fix this aborted with
+    // the panic exit code 101).
+    use std::process::Stdio;
+    let f = Scratch::new("epipe.ispd", TINY);
+    let mut child = bin()
+        .args(["optimize", f.path()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Close the read end immediately, before the child has written its
+    // multi-line report; the kernel buffer is too small to hide it.
+    drop(child.stdout.take());
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(exit_of(&out), 0, "stderr: {stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "child panicked on EPIPE: {stderr}"
+    );
+}
+
+#[test]
+fn optimize_writes_trace_and_metrics_artifacts() {
+    // The observability flags must produce a parseable chrome trace and
+    // a non-empty metrics dump without disturbing the exit code.
+    let f = Scratch::new("trace.ispd", TINY);
+    let trace = std::env::temp_dir().join(format!("cpla-cli-{}-trace.json", std::process::id()));
+    let prom = std::env::temp_dir().join(format!("cpla-cli-{}-metrics.txt", std::process::id()));
+    let out = bin()
+        .args([
+            "optimize",
+            f.path(),
+            "--trace-chrome",
+            trace.to_str().unwrap(),
+            "--metrics",
+            prom.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        exit_of(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace_body = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_body.contains("\"traceEvents\""), "{trace_body}");
+    let prom_body = std::fs::read_to_string(&prom).unwrap();
+    assert!(prom_body.contains("cpla_stage_wall_seconds"), "{prom_body}");
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&prom).ok();
+}
+
+#[test]
 fn a_starved_ilp_budget_degrades_gracefully() {
     // Even a 1-node branch-and-bound budget must not fail the run: the
     // greedy seed ("stay on current layers" is always hard-feasible)

@@ -49,7 +49,14 @@ impl Default for TrialConfig {
             // with up to 8 released segments, i.e. the ISSUE's "roughly
             // a dozen" once 2-layer grids (2 candidates) are counted.
             max_combos: 1 << 16,
-            cpla_gap_bound: 0.10,
+            // Calibrated, not a placeholder: the worst gated gap across
+            // the CI campaign (200 trials, seed 42) is 0.0398 (trial
+            // 20), so 5% leaves ~25% headroom while still catching the
+            // 10–30% regressions the dead-layer pricing bugs produced.
+            // `cpla-conform` prints "worst gated cpla gap" each run —
+            // re-derive this constant from that line when the engine
+            // legitimately moves.
+            cpla_gap_bound: 0.05,
         }
     }
 }
@@ -109,6 +116,11 @@ pub struct TrialOutcome {
     pub cpla_gap: Option<f64>,
     /// TILA's relative optimality gap (reported, never gated).
     pub tila_gap: Option<f64>,
+    /// Whether this trial's CPLA gap was subject to the gated bound
+    /// (oracle-sized, overflow-free input). The bound itself is
+    /// calibrated from the worst gap seen across gated trials only, so
+    /// the two populations must stay distinguishable downstream.
+    pub gap_gated: bool,
 }
 
 impl TrialOutcome {
@@ -165,6 +177,7 @@ pub fn check_workload(cfg: &TrialConfig, workload: &Workload, rng: &mut Rng) -> 
         oracle_combos: None,
         cpla_gap: None,
         tila_gap: None,
+        gap_gated: false,
     };
 
     let inst = match workload.instance() {
@@ -213,6 +226,7 @@ pub fn check_workload(cfg: &TrialConfig, workload: &Workload, rng: &mut Rng) -> 
     let input_clean =
         inst.grid().total_wire_overflow() == 0 && inst.grid().total_via_overflow() == 0;
     let gap_gated = input_clean && workload.params.oracle_sized;
+    out.gap_gated = gap_gated;
     if oracle::enumeration_size(&inst, &released, cfg.max_combos).is_some() {
         if let Some(opt) = oracle::solve(&inst, &released, cfg.max_combos) {
             out.oracle_combos = Some(opt.combos);

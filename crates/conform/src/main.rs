@@ -116,6 +116,7 @@ fn main() -> ExitCode {
     let mut class_counts = [0u64; 4];
     let mut oracle_trials = 0u64;
     let mut worst_cpla_gap: Option<(f64, u64)> = None;
+    let mut worst_gated_gap: Option<(f64, u64)> = None;
     let mut worst_tila_gap: Option<(f64, u64)> = None;
     let mut notes = 0usize;
 
@@ -135,8 +136,10 @@ fn main() -> ExitCode {
         } else if args.verbose {
             println!("conform: trial {trial} [{}]", out.params.describe());
         }
+        let gated_gap = if out.gap_gated { out.cpla_gap } else { None };
         for (g, worst) in [
             (out.cpla_gap, &mut worst_cpla_gap),
+            (gated_gap, &mut worst_gated_gap),
             (out.tila_gap, &mut worst_tila_gap),
         ] {
             if let Some(g) = g {
@@ -175,52 +178,71 @@ fn main() -> ExitCode {
             );
         }
 
-        // Shrink against the first failure's (class, assigner) signature
-        // and emit a reproducer for it.
-        let first = out.failures[0].clone();
-        let cfg = args.cfg;
-        let mut predicate = |w: &conform::gen::Workload| {
-            // The mutation stream must be as deterministic as the trial
-            // itself; derive it from the workload's own provenance.
-            let mut rng = Rng::seed_from_u64(cfg.seed).fork(w.params.trial);
-            let _ = conform::gen::GenParams::lattice(w.params.trial, &mut rng);
-            check_workload(&cfg, w, &mut rng)
+        // Shrink and emit one reproducer per distinct (class, assigner)
+        // failure signature — a trial that trips, say, a CPLA gap bound
+        // AND a TILA property violation yields two independent repro
+        // files, so neither regression hides behind the other. The
+        // filename already encodes the signature, so a trial's
+        // reproducers never collide.
+        let mut signatures: Vec<(FailureClass, &'static str)> = Vec::new();
+        for f in &out.failures {
+            let sig = (f.class, f.assigner);
+            if !signatures.contains(&sig) {
+                signatures.push(sig);
+            }
+        }
+        for (class, assigner) in signatures {
+            let witness = out
                 .failures
                 .iter()
-                .any(|f| f.class == first.class && f.assigner == first.assigner)
-        };
-        let minimized = if predicate(&out.workload) {
-            shrink::shrink(&out.workload, &mut predicate)
-        } else {
-            out.workload.clone()
-        };
-        match write_reproducer(&args.out_dir, &args.cfg, trial, &first, &minimized) {
-            Ok(path) => {
-                eprintln!(
-                    "conform: reproducer written to {} ({} nets); replay with `cpla-cli replay {}`",
-                    path.display(),
-                    minimized.netlist.len(),
-                    path.display()
-                );
-                eprintln!(
-                    "conform: pin it as a regression test:\n\
-                         #[test]\n\
-                         fn replays_seed{}_trial{}() {{\n\
-                             let w = conform::io::workload_from_str(include_str!(\"{}\")).unwrap();\n\
-                             let mut rng = prng::Rng::seed_from_u64({}).fork({});\n\
-                             let _ = conform::gen::GenParams::lattice({}, &mut rng);\n\
-                             let out = conform::check_workload(&conform::TrialConfig::default(), &w, &mut rng);\n\
-                             assert!(out.passed(), \"{{:?}}\", out.failures);\n\
-                         }}",
-                    args.cfg.seed,
-                    trial,
-                    path.file_name().and_then(|n| n.to_str()).unwrap_or("repro.json"),
-                    args.cfg.seed,
-                    trial,
-                    trial
-                );
+                .find(|f| f.class == class && f.assigner == assigner)
+                .cloned()
+                .expect("signature came from this failure list");
+            let cfg = args.cfg;
+            let mut predicate = |w: &conform::gen::Workload| {
+                // The mutation stream must be as deterministic as the
+                // trial itself; derive it from the workload's own
+                // provenance.
+                let mut rng = Rng::seed_from_u64(cfg.seed).fork(w.params.trial);
+                let _ = conform::gen::GenParams::lattice(w.params.trial, &mut rng);
+                check_workload(&cfg, w, &mut rng)
+                    .failures
+                    .iter()
+                    .any(|f| f.class == class && f.assigner == assigner)
+            };
+            let minimized = if predicate(&out.workload) {
+                shrink::shrink(&out.workload, &mut predicate)
+            } else {
+                out.workload.clone()
+            };
+            match write_reproducer(&args.out_dir, &args.cfg, trial, &witness, &minimized) {
+                Ok(path) => {
+                    eprintln!(
+                        "conform: reproducer written to {} ({} nets); replay with `cpla-cli replay {}`",
+                        path.display(),
+                        minimized.netlist.len(),
+                        path.display()
+                    );
+                    eprintln!(
+                        "conform: pin it as a regression test:\n\
+                             #[test]\n\
+                             fn replays_seed{}_trial{}() {{\n\
+                                 let w = conform::io::workload_from_str(include_str!(\"{}\")).unwrap();\n\
+                                 let mut rng = prng::Rng::seed_from_u64({}).fork({});\n\
+                                 let _ = conform::gen::GenParams::lattice({}, &mut rng);\n\
+                                 let out = conform::check_workload(&conform::TrialConfig::default(), &w, &mut rng);\n\
+                                 assert!(out.passed(), \"{{:?}}\", out.failures);\n\
+                             }}",
+                        args.cfg.seed,
+                        trial,
+                        path.file_name().and_then(|n| n.to_str()).unwrap_or("repro.json"),
+                        args.cfg.seed,
+                        trial,
+                        trial
+                    );
+                }
+                Err(e) => eprintln!("conform: could not write reproducer: {e}"),
             }
-            Err(e) => eprintln!("conform: could not write reproducer: {e}"),
         }
     }
 
@@ -237,6 +259,12 @@ fn main() -> ExitCode {
     );
     if let Some((g, t)) = worst_cpla_gap {
         println!("conform: worst cpla gap {g:.4} (trial {t})");
+    }
+    if let Some((g, t)) = worst_gated_gap {
+        println!(
+            "conform: worst gated cpla gap {g:.4} (trial {t}, bound {})",
+            args.cfg.cpla_gap_bound
+        );
     }
     if let Some((g, t)) = worst_tila_gap {
         println!("conform: worst tila gap {g:.4} (trial {t}, reported only)");

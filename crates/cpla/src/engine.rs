@@ -118,6 +118,11 @@ pub struct CplaConfig {
     /// failing the run with [`FlowError::Invariant`](::flow::FlowError)
     /// on any drift. Costly; meant for CI and debugging, off by default.
     pub audit_invariants: bool,
+    /// Enable per-span allocation accounting for the duration of the
+    /// run (scoped via [`obs::alloc`]). Only meaningful when the hosting
+    /// binary installs [`obs::CountingAlloc`] as its global allocator —
+    /// otherwise the switch is a harmless no-op. Off by default.
+    pub alloc_stats: bool,
 }
 
 impl Default for CplaConfig {
@@ -148,6 +153,7 @@ impl Default for CplaConfig {
             threads: 1,
             mode: PipelineMode::Incremental,
             audit_invariants: false,
+            alloc_stats: false,
         }
     }
 }

@@ -18,7 +18,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use ::flow::{FlowCounters, FlowError, Metrics, RoundSnapshot, SolveError, Stage, StageObserver};
+use ::flow::{
+    FlowCounters, FlowError, LeafSpan, Metrics, RoundSnapshot, SolveError, Stage, StageObserver,
+};
 use grid::{Grid, UsageSnapshot};
 use net::{Assignment, Netlist, SegmentRef};
 use solver::SymMatrix;
@@ -87,6 +89,10 @@ pub(crate) struct FlowContext<'a> {
     raw: Vec<RawSolve>,
     proposals: Vec<(SegmentRef, usize)>,
     pending: Vec<(usize, Vec<usize>, Vec<usize>)>,
+    /// Leaf spans recorded by the running stage (partition solves,
+    /// accept applications); [`drive`] drains them to the observers
+    /// between the stage body and its `on_stage_end` callback.
+    leaves: Vec<LeafSpan>,
 
     // Incumbent tracking. Rounds compete on a *priced* objective
     // mirroring the paper's `α·V_o` relaxation of (4c)/(4d):
@@ -194,6 +200,7 @@ impl<'a> FlowContext<'a> {
             raw: Vec::new(),
             proposals: Vec::new(),
             pending: Vec::new(),
+            leaves: Vec::new(),
             best_avg,
             best_score: best_avg,
             best_assignment,
@@ -438,12 +445,32 @@ impl FlowStage for SolveStage {
     fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<(), FlowError> {
         let config = &ctx.config;
         let misses = &ctx.misses;
+        let round = ctx.round;
         let threads = config.threads.max(1).min(misses.len());
+        // One monotonic anchor for the whole stage: leaf offsets are
+        // seconds since this instant, on whichever thread ran the leaf.
+        let anchor = Instant::now();
         let raw: Vec<Result<RawSolve, SolveError>> = if threads <= 1 {
-            misses
-                .iter()
-                .map(|(_, p, w)| self.solve_raw(config, p, w.as_ref()))
-                .collect()
+            let mut out = Vec::with_capacity(misses.len());
+            for (pi, p, w) in misses.iter() {
+                let alloc0 = obs::alloc::thread_stats();
+                let start_secs = anchor.elapsed().as_secs_f64();
+                out.push(self.solve_raw(config, p, w.as_ref()));
+                let dur_secs = anchor.elapsed().as_secs_f64() - start_secs;
+                let alloc = obs::alloc::thread_stats().since(alloc0);
+                ctx.leaves.push(LeafSpan {
+                    round,
+                    stage: Stage::Solve,
+                    index: *pi,
+                    items: p.segments.len(),
+                    thread: 0,
+                    start_secs,
+                    dur_secs,
+                    alloc_bytes: alloc.bytes,
+                    alloc_events: alloc.events,
+                });
+            }
+            out
         } else {
             let mut order: Vec<usize> = (0..misses.len()).collect();
             order.sort_unstable_by(|&a, &b| {
@@ -457,9 +484,10 @@ impl FlowStage for SolveStage {
             let next = AtomicUsize::new(0);
             let mut slots: Vec<Option<Result<RawSolve, SolveError>>> =
                 (0..misses.len()).map(|_| None).collect();
+            let mut leaf_slots: Vec<Option<LeafSpan>> = vec![None; misses.len()];
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for _ in 0..threads {
+                for worker in 0..threads {
                     let next = &next;
                     let order = &order;
                     let stage = &*self;
@@ -471,8 +499,24 @@ impl FlowStage for SolveStage {
                             // claims); results publish via the scope join.
                             let k = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&mi) = order.get(k) else { break };
-                            let (_, p, w) = &misses[mi];
-                            local.push((mi, stage.solve_raw(config, p, w.as_ref())));
+                            let (pi, p, w) = &misses[mi];
+                            let alloc0 = obs::alloc::thread_stats();
+                            let start_secs = anchor.elapsed().as_secs_f64();
+                            let out = stage.solve_raw(config, p, w.as_ref());
+                            let dur_secs = anchor.elapsed().as_secs_f64() - start_secs;
+                            let alloc = obs::alloc::thread_stats().since(alloc0);
+                            let leaf = LeafSpan {
+                                round,
+                                stage: Stage::Solve,
+                                index: *pi,
+                                items: p.segments.len(),
+                                thread: worker + 1,
+                                start_secs,
+                                dur_secs,
+                                alloc_bytes: alloc.bytes,
+                                alloc_events: alloc.events,
+                            };
+                            local.push((mi, out, leaf));
                         }
                         local
                     }));
@@ -480,11 +524,15 @@ impl FlowStage for SolveStage {
                 for h in handles {
                     // invariant: workers run no user code and cannot
                     // unwind past solve_raw's Result.
-                    for (mi, out) in h.join().expect("partition worker panicked") {
+                    for (mi, out, leaf) in h.join().expect("partition worker panicked") {
                         slots[mi] = Some(out);
+                        leaf_slots[mi] = Some(leaf);
                     }
                 }
             });
+            // Deliver leaves in miss order: deterministic regardless of
+            // which worker claimed what.
+            ctx.leaves.extend(leaf_slots.into_iter().flatten());
             slots.into_iter().flatten().collect()
         };
         ctx.raw = raw.into_iter().collect::<Result<Vec<_>, SolveError>>()?;
@@ -616,7 +664,8 @@ impl FlowStage for GateStage {
 }
 
 /// Lands the surviving per-net layer vectors in the assignment and grid
-/// usage, visiting nets in index order.
+/// usage, visiting nets in index order. Each application is recorded as
+/// one leaf span (`items` = layers actually changed).
 struct AcceptStage;
 
 impl FlowStage for AcceptStage {
@@ -625,11 +674,29 @@ impl FlowStage for AcceptStage {
     }
 
     fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<(), FlowError> {
+        let anchor = Instant::now();
+        let round = ctx.round;
         for (ni, current, layers) in std::mem::take(&mut ctx.pending) {
+            let alloc0 = obs::alloc::thread_stats();
+            let start_secs = anchor.elapsed().as_secs_f64();
+            let changed = current.iter().zip(&layers).filter(|(a, b)| a != b).count();
             let net = ctx.netlist.net(ni);
             net::remove_net_from_grid(ctx.grid, net, &current);
             net::restore_net_to_grid(ctx.grid, net, &layers);
             ctx.assignment.set_net_layers(ni, layers);
+            let dur_secs = anchor.elapsed().as_secs_f64() - start_secs;
+            let alloc = obs::alloc::thread_stats().since(alloc0);
+            ctx.leaves.push(LeafSpan {
+                round,
+                stage: Stage::Accept,
+                index: ni,
+                items: changed,
+                thread: 0,
+                start_secs,
+                dur_secs,
+                alloc_bytes: alloc.bytes,
+                alloc_events: alloc.events,
+            });
         }
         Ok(())
     }
@@ -760,6 +827,9 @@ pub(crate) fn drive(
     observers: &mut [&mut dyn StageObserver],
 ) -> Result<CplaReport, FlowError> {
     let mut stats = StatsCollector::default();
+    // Scoped allocation accounting: a no-op unless the hosting binary
+    // installed `obs::CountingAlloc`; restored on every exit path.
+    let _alloc_scope = config.alloc_stats.then(obs::alloc::ScopedEnable::new);
     let mut stages = stages_for(config.mode);
     let mut ctx = FlowContext::new(config, grid, netlist, assignment, released, initial_metrics);
 
@@ -774,6 +844,15 @@ pub(crate) fn drive(
             let t = Instant::now();
             stage.run(&mut ctx)?;
             let secs = t.elapsed().as_secs_f64();
+            // Leaves recorded by the stage body (possibly on worker
+            // threads) are delivered here, on the driver thread, before
+            // the stage-end boundary — observers stay lock-free.
+            for leaf in ctx.leaves.drain(..) {
+                stats.on_leaf(&leaf);
+                for obs in observers.iter_mut() {
+                    obs.on_leaf(&leaf);
+                }
+            }
             stats.on_stage_end(round, s, secs);
             for obs in observers.iter_mut() {
                 obs.on_stage_end(round, s, secs);

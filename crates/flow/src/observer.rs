@@ -90,6 +90,41 @@ pub struct RoundSnapshot {
     pub counters: FlowCounters,
 }
 
+/// One unit of work inside a stage: a partition solve, an accept-loop
+/// net application, or any other leaf the engine cares to attribute.
+///
+/// Leaves are *recorded* wherever the work ran (a work-stealing worker
+/// records its own leaves, stamping [`LeafSpan::thread`]), but always
+/// *delivered* on the driver thread between the stage body and its
+/// [`StageObserver::on_stage_end`] callback, so observers still need no
+/// synchronization. Timestamps are offsets from the owning stage's
+/// start, taken from the same monotonic clock that times the stage.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LeafSpan {
+    /// 1-based round the leaf ran in.
+    pub round: usize,
+    /// The stage the leaf belongs to.
+    pub stage: Stage,
+    /// Engine-defined index: the partition index for solve leaves, the
+    /// net index for accept leaves.
+    pub index: usize,
+    /// Engine-defined size: segments in the partition for solve leaves,
+    /// layers changed for accept leaves.
+    pub items: usize,
+    /// Worker ordinal that ran the leaf; `0` is the driver thread,
+    /// work-stealing workers are `1..=threads`.
+    pub thread: usize,
+    /// Leaf start, in seconds after the owning stage started.
+    pub start_secs: f64,
+    /// Leaf duration in seconds.
+    pub dur_secs: f64,
+    /// Bytes allocated on the leaf's thread while it ran (zero unless a
+    /// counting allocator is installed and enabled).
+    pub alloc_bytes: u64,
+    /// Allocation events on the leaf's thread while it ran.
+    pub alloc_events: u64,
+}
+
 /// Stage-boundary hooks threaded through a flow driver.
 ///
 /// All methods default to no-ops so observers implement only what they
@@ -99,6 +134,15 @@ pub trait StageObserver {
     /// A stage is about to run.
     fn on_stage_start(&mut self, round: usize, stage: Stage) {
         let _ = (round, stage);
+    }
+
+    /// A leaf unit of work inside the current stage completed.
+    ///
+    /// Delivered after the stage body returns and before
+    /// [`StageObserver::on_stage_end`], in deterministic (index) order
+    /// regardless of which worker ran the leaf.
+    fn on_leaf(&mut self, leaf: &LeafSpan) {
+        let _ = leaf;
     }
 
     /// A stage finished after `seconds` of wall time.
@@ -133,6 +177,17 @@ mod tests {
         impl StageObserver for Nop {}
         let mut n = Nop;
         n.on_stage_start(1, Stage::Solve);
+        n.on_leaf(&LeafSpan {
+            round: 1,
+            stage: Stage::Solve,
+            index: 0,
+            items: 0,
+            thread: 0,
+            start_secs: 0.0,
+            dur_secs: 0.0,
+            alloc_bytes: 0,
+            alloc_events: 0,
+        });
         n.on_stage_end(1, Stage::Solve, 0.0);
         n.on_round_end(&RoundSnapshot {
             round: 1,

@@ -47,11 +47,12 @@
 #![allow(clippy::needless_range_loop)]
 
 use flow::{
-    ConfigError, FlowCounters, FlowError, FlowReport, LayerAssigner, Metrics, RoundSnapshot,
+    ConfigError, FlowCounters, FlowError, FlowReport, LayerAssigner, Metrics, RoundSnapshot, Stage,
     StageObserver,
 };
 use grid::{Direction, Grid};
 use net::{Assignment, Net, Netlist};
+use std::time::Instant;
 use timing::{IncrementalTiming, NetTiming, TimingModel};
 
 /// Tunables of the Lagrangian-relaxation loop.
@@ -191,9 +192,11 @@ impl Tila {
         self.run_observed(grid, netlist, assignment, released, &mut [])
     }
 
-    /// [`Tila::run`] with [`StageObserver`]s attached: TILA has no
-    /// internal stage pipeline, so observers receive one
-    /// [`RoundSnapshot`] per LR round (objective = weighted-sum delay).
+    /// [`Tila::run`] with [`StageObserver`]s attached: observers receive
+    /// the stages TILA has — Solve (DP sweep + multiplier update),
+    /// Accept (legalization) and Measure (objective/incumbent) — plus
+    /// one [`RoundSnapshot`] per LR round (objective = weighted-sum
+    /// delay).
     ///
     /// # Errors
     ///
@@ -281,6 +284,14 @@ impl Tila {
         let mut rounds_run = 0;
         for round in 1..=self.config.rounds {
             rounds_run = round;
+            // TILA's LR round maps onto three of the shared flow stages:
+            // the per-net DP sweep + multiplier update is its Solve, the
+            // legalization sweep its Accept, and the objective/incumbent
+            // bookkeeping its Measure.
+            for obs in observers.iter_mut() {
+                obs.on_stage_start(round, Stage::Solve);
+            }
+            let solve_t = Instant::now();
             for &ni in &order {
                 let net = netlist.net(ni);
                 let old_layers = assignment.net_layers(ni).to_vec();
@@ -309,11 +320,28 @@ impl Tila {
                 }
             }
 
+            let solve_secs = solve_t.elapsed().as_secs_f64();
+            for obs in observers.iter_mut() {
+                obs.on_stage_end(round, Stage::Solve, solve_secs);
+            }
+
             // Legalization sweep: LR iterates may leave wire overflow;
             // relocate released segments off overfilled edges at the
             // least delay cost before judging the round.
+            for obs in observers.iter_mut() {
+                obs.on_stage_start(round, Stage::Accept);
+            }
+            let accept_t = Instant::now();
             self.legalize(grid, netlist, assignment, released, &model);
+            let accept_secs = accept_t.elapsed().as_secs_f64();
+            for obs in observers.iter_mut() {
+                obs.on_stage_end(round, Stage::Accept, accept_secs);
+            }
 
+            for obs in observers.iter_mut() {
+                obs.on_stage_start(round, Stage::Measure);
+            }
+            let measure_t = Instant::now();
             let obj = objective(grid, assignment);
             let pen = penalized(grid, obj);
             let improved = pen < best_penalized;
@@ -323,6 +351,10 @@ impl Tila {
                 for (slot, &i) in best_layers.iter_mut().zip(released) {
                     *slot = assignment.net_layers(i).to_vec();
                 }
+            }
+            let measure_secs = measure_t.elapsed().as_secs_f64();
+            for obs in observers.iter_mut() {
+                obs.on_stage_end(round, Stage::Measure, measure_secs);
             }
             let snapshot = RoundSnapshot {
                 round,

@@ -7,47 +7,76 @@ use std::fmt;
 /// Fig. 1 of the paper plots the number of critical-net sink pins per
 /// delay bin on a logarithmic count axis; this type produces exactly that
 /// data series.
+///
+/// NaN delays never reach a bin: `(NaN as usize)` is `0`, so counting
+/// them would silently inflate the lowest-delay bin and skew the shared
+/// `[min, max]` range. They are instead skipped and tallied in
+/// [`DelayHistogram::nan_count`].
 #[derive(Clone, PartialEq, Debug)]
 pub struct DelayHistogram {
     lo: f64,
     hi: f64,
     counts: Vec<u64>,
+    /// Samples that were NaN and therefore excluded from every bin.
+    nan: u64,
 }
 
 impl DelayHistogram {
     /// Builds a histogram of `delays` with `bins` equal-width bins
-    /// spanning `[min, max]` of the data. Values equal to the maximum
-    /// land in the last bin.
+    /// spanning `[min, max]` of the finite data. Values equal to the
+    /// maximum land in the last bin. NaN samples are excluded from both
+    /// the range and the bins and reported via
+    /// [`DelayHistogram::nan_count`].
     ///
     /// # Panics
     ///
     /// Panics if `bins == 0`.
     pub fn from_delays(delays: &[f64], bins: usize) -> DelayHistogram {
         assert!(bins > 0, "histogram needs at least one bin");
-        if delays.is_empty() {
+        let nan = delays.iter().filter(|d| d.is_nan()).count() as u64;
+        if delays.len() as u64 == nan {
             return DelayHistogram {
                 lo: 0.0,
                 hi: 0.0,
                 counts: vec![0; bins],
+                nan,
             };
         }
-        let lo = delays.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = delays.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lo = delays
+            .iter()
+            .copied()
+            .filter(|d| !d.is_nan())
+            .fold(f64::INFINITY, f64::min);
+        let hi = delays
+            .iter()
+            .copied()
+            .filter(|d| !d.is_nan())
+            .fold(f64::NEG_INFINITY, f64::max);
         let mut counts = vec![0u64; bins];
         let span = (hi - lo).max(f64::MIN_POSITIVE);
         for &d in delays {
+            if d.is_nan() {
+                continue;
+            }
             let mut b = ((d - lo) / span * bins as f64) as usize;
             if b >= bins {
                 b = bins - 1;
             }
             counts[b] += 1;
         }
-        DelayHistogram { lo, hi, counts }
+        DelayHistogram {
+            lo,
+            hi,
+            counts,
+            nan,
+        }
     }
 
     /// Builds a histogram over an explicit `[lo, hi]` range so that two
-    /// distributions (e.g. TILA vs CPLA) share comparable bins. Values
-    /// outside the range are clamped into the boundary bins.
+    /// distributions (e.g. TILA vs CPLA) share comparable bins. Finite
+    /// values outside the range are clamped into the boundary bins; NaN
+    /// samples are skipped and reported via
+    /// [`DelayHistogram::nan_count`].
     ///
     /// # Panics
     ///
@@ -56,12 +85,22 @@ impl DelayHistogram {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi >= lo, "invalid range {lo}..{hi}");
         let mut counts = vec![0u64; bins];
+        let mut nan = 0u64;
         let span = (hi - lo).max(f64::MIN_POSITIVE);
         for &d in delays {
+            if d.is_nan() {
+                nan += 1;
+                continue;
+            }
             let b = (((d - lo) / span * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
             counts[b] += 1;
         }
-        DelayHistogram { lo, hi, counts }
+        DelayHistogram {
+            lo,
+            hi,
+            counts,
+            nan,
+        }
     }
 
     /// Bin counts, low delay first.
@@ -69,7 +108,14 @@ impl DelayHistogram {
         &self.counts
     }
 
-    /// `(bin center, count)` series for plotting.
+    /// Number of NaN samples that were excluded from the bins.
+    pub fn nan_count(&self) -> u64 {
+        self.nan
+    }
+
+    /// `(bin center, count)` series for plotting. NaN samples are not
+    /// part of the series; check [`DelayHistogram::nan_count`] before
+    /// treating the series as the full sample set.
     pub fn series(&self) -> Vec<(f64, u64)> {
         let bins = self.counts.len();
         let width = (self.hi - self.lo) / bins as f64;
@@ -90,7 +136,7 @@ impl DelayHistogram {
         self.hi
     }
 
-    /// Total number of samples.
+    /// Total number of binned samples (NaN samples excluded).
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
@@ -105,7 +151,8 @@ impl DelayHistogram {
 
 impl fmt::Display for DelayHistogram {
     /// Renders an ASCII bar chart, one bin per line, with a
-    /// logarithmically scaled bar like the paper's log-count axis.
+    /// logarithmically scaled bar like the paper's log-count axis. A
+    /// trailing `NaN` row appears only when NaN samples were excluded.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (center, count) in self.series() {
             let bar = if count == 0 {
@@ -114,6 +161,9 @@ impl fmt::Display for DelayHistogram {
                 (count as f64).log2().ceil() as usize + 1
             };
             writeln!(f, "{center:>14.1} | {:<12} {count}", "#".repeat(bar))?;
+        }
+        if self.nan > 0 {
+            writeln!(f, "{:>14} | excluded     {}", "NaN", self.nan)?;
         }
         Ok(())
     }
@@ -137,6 +187,50 @@ mod tests {
         let h = DelayHistogram::from_delays(&[], 8);
         assert_eq!(h.total(), 0);
         assert_eq!(h.tail_bin(), None);
+        assert_eq!(h.nan_count(), 0);
+    }
+
+    #[test]
+    fn nan_is_excluded_not_binned_low() {
+        // Regression: `(NaN as usize)` is 0, so NaN used to be counted
+        // in bin 0 and poison the auto range via the min/max folds.
+        let h = DelayHistogram::from_delays(&[1.0, f64::NAN, 2.0], 4);
+        assert_eq!(h.nan_count(), 1);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.counts()[0], 1); // only the real 1.0 sample
+        assert_eq!(h.lo(), 1.0);
+        assert_eq!(h.hi(), 2.0);
+    }
+
+    #[test]
+    fn nan_is_excluded_from_shared_range() {
+        let h = DelayHistogram::with_range(&[0.5, f64::NAN, f64::NAN], 0.0, 1.0, 2);
+        assert_eq!(h.nan_count(), 2);
+        assert_eq!(h.counts(), &[0, 1]);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn all_nan_input_is_all_zero() {
+        let h = DelayHistogram::from_delays(&[f64::NAN, f64::NAN], 4);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.nan_count(), 2);
+        assert_eq!(h.tail_bin(), None);
+        // Degenerate range collapses to [0, 0] like the empty case.
+        assert_eq!(h.lo(), 0.0);
+        assert_eq!(h.hi(), 0.0);
+    }
+
+    #[test]
+    fn display_reports_excluded_nans() {
+        let h = DelayHistogram::from_delays(&[1.0, f64::NAN, 2.0], 3);
+        let s = h.to_string();
+        assert_eq!(s.lines().count(), 4); // 3 bins + NaN row
+        assert!(s.contains("NaN"), "{s}");
+        // No NaN samples, no NaN row.
+        let clean = DelayHistogram::from_delays(&[1.0, 2.0], 3).to_string();
+        assert_eq!(clean.lines().count(), 3);
+        assert!(!clean.contains("NaN"), "{clean}");
     }
 
     #[test]

@@ -32,6 +32,21 @@ cargo test -q --offline
 echo "==> workspace tests"
 cargo test --workspace -q --offline
 
+echo "==> observability artifacts: cpla-bench + cpla-bench-check"
+# One instrumented rep of the default workload; the checker validates
+# that both exporters still emit parseable artifacts and that the
+# BENCH_cpla.json stage/mode keys match the committed baseline (values
+# are machine-dependent and allowed to drift). The root `cargo build`
+# only covers the root package's deps, so build the bench bins
+# explicitly.
+cargo build --release --offline -p cpla-bench
+./target/release/cpla-bench --reps 1 --alloc-stats \
+    --trace-chrome target/obs-trace.json --metrics target/obs-metrics.txt \
+    --bench-json target/BENCH_cpla.json >/dev/null
+./target/release/cpla-bench-check --trace target/obs-trace.json \
+    --metrics target/obs-metrics.txt --bench target/BENCH_cpla.json \
+    --baseline BENCH_cpla.json
+
 echo "==> conformance: cpla-conform --trials 200 --seed 42"
 cargo build --release --offline -p conform
 ./target/release/cpla-conform --trials 200 --seed 42
