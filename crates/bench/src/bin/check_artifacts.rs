@@ -14,7 +14,7 @@
 //!    and mentions every pipeline stage at least once;
 //! 2. every metrics sample line parses as `name{labels} value` with a
 //!    finite value, and the per-stage wall metric is present;
-//! 3. `BENCH_cpla.json` parses, carries `schema` 1, and every mode's
+//! 3. `BENCH_cpla.json` parses, carries `schema` 2, and every mode's
 //!    `stages` object has exactly the eight pipeline stage keys;
 //! 4. with `--baseline`, the bench report's mode labels and stage keys
 //!    match the committed baseline (values are allowed to drift —
@@ -202,8 +202,8 @@ fn check_bench(path: &str, baseline: Option<&str>) -> Result<String, String> {
         .get("schema")
         .and_then(Value::as_u64)
         .ok_or_else(|| format!("{path}: missing numeric `schema`"))?;
-    if schema != 1 {
-        return Err(format!("{path}: unsupported schema {schema} (expected 1)"));
+    if schema != 2 {
+        return Err(format!("{path}: unsupported schema {schema} (expected 2)"));
     }
     let modes = mode_map(&root, path)?;
     let mut expected: Vec<String> = Stage::ALL.iter().map(|s| s.name().to_string()).collect();
@@ -216,7 +216,7 @@ fn check_bench(path: &str, baseline: Option<&str>) -> Result<String, String> {
         }
     }
     let mut summary = format!(
-        "bench {path}: schema 1, {} mode(s), stage keys ok",
+        "bench {path}: schema 2, {} mode(s), stage keys ok",
         modes.len()
     );
     if let Some(base_path) = baseline {

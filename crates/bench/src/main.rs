@@ -10,6 +10,8 @@
 //! Flags (all optional): `--seed N`, `--nets N`, `--size WxH`,
 //! `--layers N`, `--capacity N`, `--threads N`, `--ratio F`,
 //! `--rounds N`, `--mode both|legacy|incremental`,
+//! `--solve-backend both|per-leaf|batched` (Solve-stage execution
+//! shape; `both` benches the full mode × backend matrix),
 //! `--trace <file.jsonl>` (per-stage JSON-lines trace),
 //! `--alloc-stats` (per-span allocation accounting),
 //! `--trace-chrome <file.json>` (Chrome `trace_event` span dump for
@@ -22,7 +24,7 @@ use std::io::{BufWriter, Write};
 use std::time::Instant;
 
 use cpla::{Cpla, CplaConfig, CplaReport, PipelineMode, PipelineStats};
-use flow::{RoundSnapshot, Stage, StageObserver};
+use flow::{RoundSnapshot, SolveBackend, Stage, StageObserver};
 use grid::Grid;
 use ispd::SyntheticConfig;
 use net::{Assignment, Netlist};
@@ -127,6 +129,7 @@ struct Args {
     rounds: usize,
     reps: usize,
     mode: String,
+    solve_backend: String,
     trace: Option<String>,
     alloc_stats: bool,
     trace_chrome: Option<String>,
@@ -148,6 +151,7 @@ impl Default for Args {
             rounds: 8,
             reps: 3,
             mode: "both".to_string(),
+            solve_backend: "both".to_string(),
             trace: None,
             alloc_stats: false,
             trace_chrome: None,
@@ -186,6 +190,14 @@ fn parse_args() -> Args {
             "--rounds" => args.rounds = value("--rounds").parse().unwrap(),
             "--reps" => args.reps = value("--reps").parse().unwrap(),
             "--mode" => args.mode = value("--mode"),
+            "--solve-backend" => {
+                let v = value("--solve-backend");
+                if !matches!(v.as_str(), "both" | "per-leaf" | "batched") {
+                    eprintln!("--solve-backend expects both|per-leaf|batched, got {v}");
+                    std::process::exit(2);
+                }
+                args.solve_backend = v;
+            }
             "--trace" => args.trace = Some(value("--trace")),
             "--alloc-stats" => args.alloc_stats = true,
             "--trace-chrome" => args.trace_chrome = Some(value("--trace-chrome")),
@@ -199,7 +211,9 @@ fn parse_args() -> Args {
                     "usage: cpla-bench [--seed N] [--nets N] [--size WxH] \
                      [--layers N] [--capacity N] [--threads N] [--ratio F] \
                      [--rounds N] [--reps N] \
-                     [--mode both|legacy|incremental] [--trace file.jsonl] \
+                     [--mode both|legacy|incremental] \
+                     [--solve-backend both|per-leaf|batched] \
+                     [--trace file.jsonl] \
                      [--alloc-stats] [--trace-chrome file.json] \
                      [--metrics file.txt] [--bench-json file|none]"
                 );
@@ -226,9 +240,11 @@ struct RunOutcome {
     wire_overflow: u64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_mode(
     args: &Args,
     mode: PipelineMode,
+    solve_backend: SolveBackend,
     label: &'static str,
     grid: &Grid,
     netlist: &Netlist,
@@ -240,6 +256,7 @@ fn run_mode(
         max_rounds: args.rounds,
         threads: args.threads,
         mode,
+        solve_backend,
         alloc_stats: args.alloc_stats,
         ..CplaConfig::default()
     };
@@ -288,7 +305,8 @@ fn json_stats(s: &PipelineStats) -> String {
          \"extract_secs\":{:.6},\"solve_secs\":{:.6},\"apply_secs\":{:.6},\
          \"metrics_secs\":{:.6},\"rounds\":{},\"partitions_solved\":{},\
          \"partitions_reused\":{},\"cache_hit_rate\":{:.4},\
-         \"evaluations\":{},\"gate_accepted\":{},\"gate_rejected\":{}}}",
+         \"evaluations\":{},\"gate_accepted\":{},\"gate_rejected\":{},\
+         \"batch_sweeps\":{},\"batch_retired_early\":{}}}",
         s.context_secs,
         s.partition_secs,
         s.extract_secs,
@@ -302,6 +320,8 @@ fn json_stats(s: &PipelineStats) -> String {
         s.evaluations,
         s.gate_accepted,
         s.gate_rejected,
+        s.batch_sweeps,
+        s.batch_retired_early,
     )
 }
 
@@ -347,7 +367,8 @@ fn json_bench_mode(o: &RunOutcome) -> String {
          \"avg_tcp_final\":{:.6},\"max_tcp_final\":{:.6},\
          \"via_overflow\":{},\"via_count\":{},\"wire_overflow\":{},\
          \"rounds\":{},\"released\":{},\"peak_alloc_bytes\":{},\
-         \"stages\":{{{}}}}}",
+         \"solve_secs\":{:.6},\"batch_sweeps\":{},\
+         \"batch_retired_early\":{},\"stages\":{{{}}}}}",
         o.wall_secs,
         o.report.initial_metrics.avg_tcp,
         o.report.final_metrics.avg_tcp,
@@ -358,6 +379,9 @@ fn json_bench_mode(o: &RunOutcome) -> String {
         o.report.rounds.len(),
         o.report.released.len(),
         o.peak_alloc_bytes,
+        o.report.stats.solve_secs,
+        o.report.stats.batch_sweeps,
+        o.report.stats.batch_retired_early,
         stages,
     )
 }
@@ -372,10 +396,10 @@ fn json_bench(args: &Args, modes: &[(&str, &RunOutcome)]) -> String {
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "{{\n\"schema\":1,\n\"design\":{{\"seed\":{},\"nets\":{},\"width\":{},\
+        "{{\n\"schema\":2,\n\"design\":{{\"seed\":{},\"nets\":{},\"width\":{},\
          \"height\":{},\"layers\":{},\"capacity\":{}}},\n\
          \"threads\":{},\"reps\":{},\"ratio\":{},\"rounds\":{},\
-         \"alloc_stats\":{},\n\"modes\":{{{}}}\n}}\n",
+         \"alloc_stats\":{},\"solve_backend\":\"{}\",\n\"modes\":{{{}}}\n}}\n",
         args.seed,
         args.nets,
         args.width,
@@ -387,6 +411,7 @@ fn json_bench(args: &Args, modes: &[(&str, &RunOutcome)]) -> String {
         args.ratio,
         args.rounds,
         args.alloc_stats,
+        args.solve_backend,
         mode_objs,
     )
 }
@@ -414,28 +439,57 @@ fn main() {
 
     let mut trace = args.trace.as_deref().map(JsonlTrace::create);
 
-    let legacy = (args.mode == "both" || args.mode == "legacy").then(|| {
-        run_mode(
-            &args,
-            PipelineMode::Legacy,
-            "legacy",
-            &grid,
-            &netlist,
-            &assignment,
-            trace.as_mut(),
-        )
-    });
-    let incremental = (args.mode == "both" || args.mode == "incremental").then(|| {
-        run_mode(
-            &args,
-            PipelineMode::Incremental,
+    // The bench matrix: pipeline mode × solve backend. Per-leaf cells
+    // keep their historical labels; batched cells are suffixed so the
+    // baseline diff in CI treats them as distinct entries.
+    let mode_on = |m: &str| args.mode == "both" || args.mode == m;
+    let backend_on = |b: &str| args.solve_backend == "both" || args.solve_backend == b;
+    let cells: [(&'static str, PipelineMode, SolveBackend); 4] = [
+        ("legacy", PipelineMode::Legacy, SolveBackend::PerLeaf),
+        (
             "incremental",
-            &grid,
-            &netlist,
-            &assignment,
-            trace.as_mut(),
-        )
-    });
+            PipelineMode::Incremental,
+            SolveBackend::PerLeaf,
+        ),
+        (
+            "legacy+batched",
+            PipelineMode::Legacy,
+            SolveBackend::Batched,
+        ),
+        (
+            "incremental+batched",
+            PipelineMode::Incremental,
+            SolveBackend::Batched,
+        ),
+    ];
+    let outcomes: Vec<(&'static str, RunOutcome)> = cells
+        .into_iter()
+        .filter(|&(_, mode, backend)| {
+            let m = match mode {
+                PipelineMode::Legacy => "legacy",
+                PipelineMode::Incremental => "incremental",
+            };
+            mode_on(m) && backend_on(backend.name())
+        })
+        .map(|(label, mode, backend)| {
+            (
+                label,
+                run_mode(
+                    &args,
+                    mode,
+                    backend,
+                    label,
+                    &grid,
+                    &netlist,
+                    &assignment,
+                    trace.as_mut(),
+                ),
+            )
+        })
+        .collect();
+    let find = |label: &str| outcomes.iter().find(|(l, _)| *l == label).map(|(_, o)| o);
+    let legacy = find("legacy");
+    let incremental = find("incremental");
 
     if let Some(t) = trace.as_mut() {
         t.out.flush().unwrap_or_else(|e| {
@@ -444,13 +498,7 @@ fn main() {
         });
     }
 
-    let modes: Vec<(&str, &RunOutcome)> = [
-        legacy.as_ref().map(|o| ("legacy", o)),
-        incremental.as_ref().map(|o| ("incremental", o)),
-    ]
-    .into_iter()
-    .flatten()
-    .collect();
+    let modes: Vec<(&str, &RunOutcome)> = outcomes.iter().map(|(l, o)| (*l, o)).collect();
     let recorders: Vec<&Recorder> = modes.iter().map(|(_, o)| &o.recorder).collect();
     if let Some(path) = &args.trace_chrome {
         write_artifact(path, "chrome trace", &obs::chrome::export(&recorders));
@@ -467,17 +515,31 @@ fn main() {
          \"layers\":{},\"capacity\":{}}},\"threads\":{}",
         args.seed, args.nets, args.width, args.height, args.layers, args.capacity, args.threads,
     )];
-    if let Some(l) = &legacy {
-        fields.push(format!("\"legacy\":{}", json_run(l)));
+    for (label, o) in &outcomes {
+        fields.push(format!("\"{label}\":{}", json_run(o)));
     }
-    if let Some(i) = &incremental {
-        fields.push(format!("\"incremental\":{}", json_run(i)));
-    }
-    if let (Some(l), Some(i)) = (&legacy, &incremental) {
+    if let (Some(l), Some(i)) = (legacy, incremental) {
         fields.push(format!(
             "\"speedup\":{:.3}",
             l.wall_secs / i.wall_secs.max(1e-12)
         ));
+    }
+    // The backend comparison the batched path exists for: Solve+PostMap
+    // wall of the batched cell over its per-leaf twin, per mode.
+    for (per_leaf_label, batched_label, key) in [
+        ("legacy", "legacy+batched", "batched_solve_ratio_legacy"),
+        (
+            "incremental",
+            "incremental+batched",
+            "batched_solve_ratio_incremental",
+        ),
+    ] {
+        if let (Some(p), Some(b)) = (find(per_leaf_label), find(batched_label)) {
+            fields.push(format!(
+                "\"{key}\":{:.3}",
+                b.report.stats.solve_secs / p.report.stats.solve_secs.max(1e-12)
+            ));
+        }
     }
     println!("{{{}}}", fields.join(","));
 }

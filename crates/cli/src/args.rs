@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use flow::SolveBackend;
+
 /// Which engine `optimize` runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Engine {
@@ -59,10 +61,10 @@ pub enum Command {
         input: String,
     },
     /// `optimize <file> [--assigner cpla|tila] [--ratio R]
-    /// [--engine sdp|ilp|tila] [--neighbors] [--threads N]
-    /// [--alpha A] [--node-budget N] [--trace-chrome FILE]
-    /// [--metrics FILE]`: run incremental layer assignment through the
-    /// `LayerAssigner` seam.
+    /// [--engine sdp|ilp|tila] [--solve-backend per-leaf|batched]
+    /// [--neighbors] [--threads N] [--alpha A] [--node-budget N]
+    /// [--trace-chrome FILE] [--metrics FILE]`: run incremental layer
+    /// assignment through the `LayerAssigner` seam.
     Optimize {
         /// ISPD'08 input path.
         input: String,
@@ -73,6 +75,8 @@ pub enum Command {
         ratio: f64,
         /// CPLA solver selection.
         engine: Engine,
+        /// CPLA Solve-stage execution shape (per-leaf or batched SoA).
+        solve_backend: SolveBackend,
         /// Enable the neighbor-release extension.
         neighbors: bool,
         /// Partition-solver threads.
@@ -119,6 +123,7 @@ USAGE:
   cpla-cli report   <file.ispd>
   cpla-cli optimize <file.ispd> [--assigner cpla|tila] [--ratio 0.005]
                                 [--engine sdp|ilp|tila]
+                                [--solve-backend per-leaf|batched]
                                 [--neighbors] [--threads N]
                                 [--alpha A] [--node-budget N]
                                 [--trace-chrome out.json] [--metrics out.txt]
@@ -166,6 +171,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut assigner = None;
             let mut ratio = 0.005f64;
             let mut engine = Engine::Sdp;
+            let mut solve_backend = SolveBackend::PerLeaf;
             let mut neighbors = false;
             let mut threads = 1usize;
             let mut alpha: Option<f64> = None;
@@ -197,6 +203,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             "tila" => Engine::Tila,
                             other => return Err(format!("unknown engine `{other}`")),
                         };
+                    }
+                    "--solve-backend" => {
+                        let v = it.next().ok_or("--solve-backend needs a value")?;
+                        solve_backend = SolveBackend::parse(v)
+                            .ok_or_else(|| format!("unknown solve backend `{v}`"))?;
                     }
                     "--neighbors" => neighbors = true,
                     "--threads" => {
@@ -236,6 +247,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 assigner,
                 ratio,
                 engine,
+                solve_backend,
                 neighbors,
                 threads,
                 alpha,
@@ -316,6 +328,7 @@ mod tests {
                 assigner: Assigner::Cpla,
                 ratio: 0.005,
                 engine: Engine::Sdp,
+                solve_backend: SolveBackend::PerLeaf,
                 neighbors: false,
                 threads: 1,
                 alpha: None,
@@ -343,6 +356,7 @@ mod tests {
                 assigner: Assigner::Tila,
                 ratio: 0.02,
                 engine: Engine::Tila,
+                solve_backend: SolveBackend::PerLeaf,
                 neighbors: true,
                 threads: 4,
                 alpha: None,
@@ -351,6 +365,20 @@ mod tests {
                 metrics: None,
             }
         );
+    }
+
+    #[test]
+    fn optimize_parses_solve_backend() {
+        let c = parse(&v(&["optimize", "d.ispd", "--solve-backend", "batched"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Optimize {
+                solve_backend: SolveBackend::Batched,
+                ..
+            }
+        ));
+        assert!(parse(&v(&["optimize", "d", "--solve-backend", "magic"])).is_err());
+        assert!(parse(&v(&["optimize", "d", "--solve-backend"])).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod oracle;
 pub mod props;
 pub mod shrink;
 
+pub use cpla::SolveBackend;
 use cpla::{Cpla, CplaConfig};
 use flow::{FlowReport, Instance, LayerAssigner, Metrics};
 use prng::Rng;
@@ -39,6 +40,11 @@ pub struct TrialConfig {
     pub max_combos: u64,
     /// Gated bound on CPLA's relative optimality gap.
     pub cpla_gap_bound: f64,
+    /// Solve backend of the CPLA engine under test. The backends are
+    /// bit-identical (every trial cross-checks them regardless of this
+    /// setting), so the choice only decides which execution shape the
+    /// full gate battery exercises.
+    pub solve_backend: SolveBackend,
 }
 
 impl Default for TrialConfig {
@@ -57,6 +63,7 @@ impl Default for TrialConfig {
             // re-derive this constant from that line when the engine
             // legitimately moves.
             cpla_gap_bound: 0.05,
+            solve_backend: SolveBackend::PerLeaf,
         }
     }
 }
@@ -134,10 +141,16 @@ impl TrialOutcome {
 /// release ratio, single-threaded, *without* neighbor release so the
 /// engine optimizes exactly the net set the oracle enumerates.
 pub fn cpla_backend(critical_ratio: f64, threads: usize) -> Cpla {
+    cpla_backend_with(critical_ratio, threads, SolveBackend::PerLeaf)
+}
+
+/// [`cpla_backend`] with an explicit Solve-stage execution shape.
+pub fn cpla_backend_with(critical_ratio: f64, threads: usize, solve_backend: SolveBackend) -> Cpla {
     Cpla::new(CplaConfig {
         critical_ratio,
         threads,
         release_neighbors: false,
+        solve_backend,
         ..CplaConfig::default()
     })
 }
@@ -203,7 +216,7 @@ pub fn check_workload(cfg: &TrialConfig, workload: &Workload, rng: &mut Rng) -> 
         }
     };
 
-    let cpla1 = cpla_backend(workload.critical_ratio, 1);
+    let cpla1 = cpla_backend_with(workload.critical_ratio, 1, cfg.solve_backend);
     let tila = tila_backend(workload.critical_ratio);
     let runs: [(&'static str, &dyn LayerAssigner); 2] = [("cpla", &cpla1), ("tila", &tila)];
 
@@ -297,7 +310,8 @@ pub fn check_workload(cfg: &TrialConfig, workload: &Workload, rng: &mut Rng) -> 
     }
 
     relabel_timing_check(workload, rng, &mut out);
-    parallel_determinism_check(workload, &inst, &mut out);
+    parallel_determinism_check(cfg, workload, &inst, &mut out);
+    backend_equivalence_check(workload, &inst, &mut out);
 
     out
 }
@@ -415,10 +429,15 @@ fn run_and_verify(
 }
 
 /// CPLA's serial == parallel guarantee: thread count must not change a
-/// single bit of the result.
-fn parallel_determinism_check(workload: &Workload, inst: &Instance, out: &mut TrialOutcome) {
-    let serial = cpla_backend(workload.critical_ratio, 1);
-    let parallel = cpla_backend(workload.critical_ratio, 4);
+/// single bit of the result (checked on the configured solve backend).
+fn parallel_determinism_check(
+    cfg: &TrialConfig,
+    workload: &Workload,
+    inst: &Instance,
+    out: &mut TrialOutcome,
+) {
+    let serial = cpla_backend_with(workload.critical_ratio, 1, cfg.solve_backend);
+    let parallel = cpla_backend_with(workload.critical_ratio, 4, cfg.solve_backend);
     let mut a = inst.clone();
     let mut b = inst.clone();
     match (a.run(&serial), b.run(&parallel)) {
@@ -443,6 +462,45 @@ fn parallel_determinism_check(workload: &Workload, inst: &Instance, out: &mut Tr
                 assigner: "cpla",
                 detail: format!(
                     "threads=1 and threads=4 disagreed on success: {:?} vs {:?}",
+                    ra.map(|r| r.final_metrics),
+                    rb.map(|r| r.final_metrics)
+                ),
+            });
+        }
+    }
+}
+
+/// The solve-backend bit-identity guarantee: the batched SoA backend
+/// and the per-leaf baseline must agree on every bit of the gated
+/// report — same assignment, same `avg_tcp` bit pattern, and the same
+/// success/failure verdict on every trial.
+fn backend_equivalence_check(workload: &Workload, inst: &Instance, out: &mut TrialOutcome) {
+    let per_leaf = cpla_backend_with(workload.critical_ratio, 1, SolveBackend::PerLeaf);
+    let batched = cpla_backend_with(workload.critical_ratio, 1, SolveBackend::Batched);
+    let mut a = inst.clone();
+    let mut b = inst.clone();
+    match (a.run(&per_leaf), b.run(&batched)) {
+        (Ok(ra), Ok(rb)) => {
+            if !assignments_identical(&a, &b)
+                || ra.final_metrics.avg_tcp.to_bits() != rb.final_metrics.avg_tcp.to_bits()
+            {
+                out.failures.push(Failure {
+                    class: FailureClass::PropertyViolation,
+                    assigner: "cpla",
+                    detail: format!(
+                        "per-leaf and batched solve backends diverged: avg_tcp {} vs {}",
+                        ra.final_metrics.avg_tcp, rb.final_metrics.avg_tcp
+                    ),
+                });
+            }
+        }
+        (Err(_), Err(_)) => {}
+        (ra, rb) => {
+            out.failures.push(Failure {
+                class: FailureClass::PropertyViolation,
+                assigner: "cpla",
+                detail: format!(
+                    "per-leaf and batched solve backends disagreed on success: {:?} vs {:?}",
                     ra.map(|r| r.final_metrics),
                     rb.map(|r| r.final_metrics)
                 ),

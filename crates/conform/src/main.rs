@@ -20,7 +20,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: cpla-conform [--trials N] [--seed S] [--max-combos M] \
-[--gap-bound G] [--out DIR] [--verbose]";
+[--gap-bound G] [--backend per-leaf|batched] [--out DIR] [--verbose]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -44,6 +44,12 @@ fn parse_args() -> Result<Args, String> {
                 args.cfg.cpla_gap_bound = v
                     .parse::<f64>()
                     .map_err(|_| format!("--gap-bound: not a number: {v}"))?;
+            }
+            "--backend" => {
+                let v = value("--backend")?;
+                args.cfg.solve_backend = conform::SolveBackend::parse(&v).ok_or_else(|| {
+                    format!("--backend expects per-leaf|batched, got {v}\n{USAGE}")
+                })?;
             }
             "--out" => args.out_dir = PathBuf::from(value("--out")?),
             "--verbose" | "-v" => args.verbose = true,

@@ -32,7 +32,7 @@ pub use ispd::ParseError;
 pub use solver::SolveError;
 
 pub use metrics::Metrics;
-pub use observer::{FlowCounters, LeafSpan, RoundSnapshot, Stage, StageObserver};
+pub use observer::{FlowCounters, LeafSpan, RoundSnapshot, SolveBackend, Stage, StageObserver};
 pub use select::{select_critical_nets, validate_ratio};
 
 use grid::Grid;

@@ -50,26 +50,15 @@ impl Cholesky {
     pub fn factor(a: &SymMatrix) -> Result<Cholesky, CholeskyError> {
         let n = a.dim();
         let mut l = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in 0..=i {
-                let mut sum = a.get(i, j);
-                for k in 0..j {
-                    sum -= l[i * n + k] * l[j * n + k];
-                }
-                if i == j {
-                    if sum <= 0.0 {
-                        return Err(CholeskyError {
-                            pivot: i,
-                            value: sum,
-                        });
-                    }
-                    l[i * n + i] = sum.sqrt();
-                } else {
-                    l[i * n + j] = sum / l[j * n + j];
-                }
-            }
-        }
+        factor_into(a.as_slice(), n, &mut l)?;
         Ok(Cholesky { n, l })
+    }
+
+    /// Wraps an already-computed factor (from [`factor_into`]) without
+    /// copying; the batched solver builds its per-lane factors this way.
+    pub(crate) fn from_raw(n: usize, l: Vec<f64>) -> Cholesky {
+        assert_eq!(l.len(), n * n);
+        Cholesky { n, l }
     }
 
     /// Solves `A x = b` using the stored factor.
@@ -78,10 +67,27 @@ impl Cholesky {
     ///
     /// Panics if `b.len()` differs from the factored dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        let mut x = Vec::new();
+        self.solve_into(b, &mut y, &mut x);
+        x
+    }
+
+    /// [`Cholesky::solve`] into caller-provided buffers: `y` receives
+    /// the forward-substitution intermediate and `x` the solution (both
+    /// resized to the factored dimension). Bit-identical to `solve`,
+    /// which wraps it; reusing the buffers keeps repeated solves — the
+    /// ADMM inner loop does one per iteration — off the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve_into(&self, b: &[f64], y: &mut Vec<f64>, x: &mut Vec<f64>) {
         assert_eq!(b.len(), self.n);
         let n = self.n;
         // Forward: L y = b.
-        let mut y = vec![0.0f64; n];
+        y.clear();
+        y.resize(n, 0.0);
         for i in 0..n {
             let mut sum = b[i];
             for k in 0..i {
@@ -90,7 +96,8 @@ impl Cholesky {
             y[i] = sum / self.l[i * n + i];
         }
         // Backward: Lᵀ x = y.
-        let mut x = vec![0.0f64; n];
+        x.clear();
+        x.resize(n, 0.0);
         for i in (0..n).rev() {
             let mut sum = y[i];
             for k in (i + 1)..n {
@@ -98,13 +105,45 @@ impl Cholesky {
             }
             x[i] = sum / self.l[i * n + i];
         }
-        x
     }
 
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.n
     }
+}
+
+/// Factorizes the flat row-major `n × n` matrix `a` into the
+/// lower-triangular factor written to `l` (which must be zero-filled,
+/// length `n·n`). Shared by [`Cholesky::factor`] and the batched SoA
+/// arena, so the two paths compute identical factors.
+///
+/// # Errors
+///
+/// Returns [`CholeskyError`] if a pivot is non-positive.
+pub(crate) fn factor_into(a: &[f64], n: usize, l: &mut [f64]) -> Result<(), CholeskyError> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(l.len(), n * n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(CholeskyError {
+                        pivot: i,
+                        value: sum,
+                    });
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -45,12 +45,14 @@ pub fn eigen_decompose(m: &SymMatrix) -> Eigen {
     let mut z = m.clone();
     let mut d = vec![0.0f64; n];
     let mut e = vec![0.0f64; n];
-    tred2(&mut z, &mut d, &mut e);
-    tqli(&mut d, &mut e, &mut z);
+    tred2(z.as_mut_slice(), n, &mut d, &mut e);
+    tqli(&mut d, &mut e, z.as_mut_slice());
 
-    // Sort descending, permuting eigenvector columns.
+    // Sort descending, permuting eigenvector columns. The explicit index
+    // tiebreak makes the unstable sort reproduce the stable sort it
+    // replaced, bit for bit.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| d[b].total_cmp(&d[a]));
+    order.sort_unstable_by(|&a, &b| d[b].total_cmp(&d[a]).then(a.cmp(&b)));
     let mut values = Vec::with_capacity(n);
     let mut vectors = SymMatrix::zeros(n);
     for (out_col, &src_col) in order.iter().enumerate() {
@@ -64,12 +66,12 @@ pub fn eigen_decompose(m: &SymMatrix) -> Eigen {
 }
 
 /// Householder reduction of a real symmetric matrix to tridiagonal form
-/// (Numerical Recipes `tred2`). On exit `z` holds the orthogonal matrix
-/// `Q` effecting the reduction, `d` the diagonal and `e` the
-/// subdiagonal (with `e[0] = 0`).
-fn tred2(z: &mut SymMatrix, d: &mut [f64], e: &mut [f64]) {
-    let n = z.dim();
-    let a = z.as_mut_slice();
+/// (Numerical Recipes `tred2`), operating on flat row-major `n × n`
+/// storage so both [`SymMatrix`] callers and the batched SoA arena can
+/// use it. On exit `a` holds the orthogonal matrix `Q` effecting the
+/// reduction, `d` the diagonal and `e` the subdiagonal (with
+/// `e[0] = 0`).
+pub(crate) fn tred2(a: &mut [f64], n: usize, d: &mut [f64], e: &mut [f64]) {
     for i in (1..n).rev() {
         let l = i - 1;
         let mut h = 0.0f64;
@@ -143,10 +145,10 @@ fn tred2(z: &mut SymMatrix, d: &mut [f64], e: &mut [f64]) {
 }
 
 /// QL algorithm with implicit shifts on a tridiagonal matrix, updating
-/// the transform accumulated in `z` (Numerical Recipes `tqli`).
-fn tqli(d: &mut [f64], e: &mut [f64], z: &mut SymMatrix) {
+/// the transform accumulated in the flat row-major matrix `a`
+/// (Numerical Recipes `tqli`).
+pub(crate) fn tqli(d: &mut [f64], e: &mut [f64], a: &mut [f64]) {
     let n = d.len();
-    let a = z.as_mut_slice();
     for i in 1..n {
         e[i - 1] = e[i];
     }
@@ -220,28 +222,43 @@ pub fn eigen_decompose_jacobi(m: &SymMatrix) -> Eigen {
     let n = m.dim();
     assert!(n > 0, "cannot decompose an empty matrix");
     let mut a = m.clone();
-    let mut v = SymMatrix::identity(n);
+    let mut v = SymMatrix::zeros(n);
+    jacobi_sweeps(a.as_mut_slice(), v.as_mut_slice(), n);
+    collect_descending(a.as_slice(), v.as_slice(), n)
+}
 
+/// Full cyclic-Jacobi diagonalization on flat row-major `n × n` storage:
+/// on exit the diagonal of `a` holds the (unsorted) eigenvalues and `v`
+/// the accumulated rotations (eigenvectors as columns; `v` is
+/// initialized to the identity here). Shared by
+/// [`eigen_decompose_jacobi`] and the batched kernel in
+/// `crate::batch`, so the two paths cannot drift apart.
+pub(crate) fn jacobi_sweeps(a: &mut [f64], v: &mut [f64], n: usize) {
+    v.fill(0.0);
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
     let max_sweeps = 64;
     for _sweep in 0..max_sweeps {
         // Off-diagonal Frobenius norm.
         let mut off = 0.0f64;
         for i in 0..n {
             for j in (i + 1)..n {
-                off += a.get(i, j).powi(2);
+                off += a[i * n + j].powi(2);
             }
         }
-        if off.sqrt() < 1e-11 * (1.0 + a.norm()) {
+        let full = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if off.sqrt() < 1e-11 * (1.0 + full) {
             break;
         }
         for p in 0..n {
             for q in (p + 1)..n {
-                let apq = a.get(p, q);
+                let apq = a[p * n + q];
                 if apq.abs() < 1e-300 {
                     continue;
                 }
-                let app = a.get(p, p);
-                let aqq = a.get(q, q);
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
                 // Rotation angle zeroing a[p][q].
                 let theta = (aqq - app) / (2.0 * apq);
                 let t = if theta >= 0.0 {
@@ -253,40 +270,42 @@ pub fn eigen_decompose_jacobi(m: &SymMatrix) -> Eigen {
                 let s = t * c;
 
                 // A <- Jᵀ A J applied to rows/columns p and q.
-                let data = a.as_mut_slice();
                 for k in 0..n {
-                    let akp = data[k * n + p];
-                    let akq = data[k * n + q];
-                    data[k * n + p] = c * akp - s * akq;
-                    data[k * n + q] = s * akp + c * akq;
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
                 }
                 for k in 0..n {
-                    let apk = data[p * n + k];
-                    let aqk = data[q * n + k];
-                    data[p * n + k] = c * apk - s * aqk;
-                    data[q * n + k] = s * apk + c * aqk;
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
                 }
                 // Accumulate the rotation into V (columns p and q).
-                let vd = v.as_mut_slice();
                 for k in 0..n {
-                    let vkp = vd[k * n + p];
-                    let vkq = vd[k * n + q];
-                    vd[k * n + p] = c * vkp - s * vkq;
-                    vd[k * n + q] = s * vkp + c * vkq;
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
                 }
             }
         }
     }
+}
 
-    // Collect and sort by descending eigenvalue.
-    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a.get(i, i), i)).collect();
+/// Collects a diagonalized system (`a` diagonal ≈ eigenvalues, `v`
+/// eigenvector columns) into an [`Eigen`] sorted by descending
+/// eigenvalue.
+pub(crate) fn collect_descending(a: &[f64], v: &[f64], n: usize) -> Eigen {
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[i * n + i], i)).collect();
     pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
     let mut values = Vec::with_capacity(n);
     let mut vectors = SymMatrix::zeros(n);
     for (out_col, (lambda, src_col)) in pairs.into_iter().enumerate() {
         values.push(lambda);
         for i in 0..n {
-            let val = v.get(i, src_col);
+            let val = v[i * n + src_col];
             vectors.as_mut_slice()[i * n + out_col] = val;
         }
     }

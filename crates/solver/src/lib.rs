@@ -35,6 +35,7 @@
 // rewrites would obscure them.
 #![allow(clippy::needless_range_loop)]
 
+mod batch;
 mod cholesky;
 mod eigen;
 mod error;
@@ -42,9 +43,13 @@ mod ilp;
 mod matrix;
 mod sdp;
 
+pub use batch::{
+    cholesky_factor_batch, jacobi_eigen_batch, solve_batch, BatchArena, BatchItem, BatchOutcome,
+    ShardStats,
+};
 pub use cholesky::{Cholesky, CholeskyError};
 pub use eigen::{eigen_decompose, eigen_decompose_jacobi, Eigen};
 pub use error::SolveError;
 pub use ilp::{CapacityGroup, ChoiceProblem, IlpSolution, PairCost, SoftGroup};
-pub use matrix::{psd_project, SymMatrix};
-pub use sdp::{SdpProblem, SdpSolution, SdpSolver};
+pub use matrix::{psd_project, psd_project_in_place, PsdScratch, SymMatrix};
+pub use sdp::{SdpProblem, SdpSolution, SdpSolver, SolveScratch};

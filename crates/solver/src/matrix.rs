@@ -147,6 +147,13 @@ impl SymMatrix {
     pub(crate) fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
     }
+
+    /// Adopts flat row-major storage without copying; the batched
+    /// solver materializes its arena lanes into matrices this way.
+    pub(crate) fn from_raw(n: usize, data: Vec<f64>) -> SymMatrix {
+        assert_eq!(data.len(), n * n);
+        SymMatrix { n, data }
+    }
 }
 
 impl Add for &SymMatrix {
@@ -194,34 +201,89 @@ impl fmt::Display for SymMatrix {
 /// This is the Euclidean (Frobenius-norm) projection used by the ADMM
 /// SDP solver's `Z`-update.
 pub fn psd_project(m: &SymMatrix) -> SymMatrix {
-    let eig = crate::eigen_decompose(m);
-    let n = m.dim();
+    let mut out = m.clone();
+    let mut scratch = PsdScratch::default();
+    psd_project_in_place(out.as_mut_slice(), m.dim(), &mut scratch);
+    out
+}
+
+/// Reusable workspace for [`psd_project_in_place`]: the tridiagonal
+/// eigendecomposition buffers plus the positive-spectrum factor. One
+/// scratch serves matrices of any dimension — buffers grow on demand
+/// and keep their capacity across calls, which is what keeps the ADMM
+/// `Z`-update (one projection per iteration) off the allocator.
+#[derive(Clone, Debug, Default)]
+pub struct PsdScratch {
+    /// Copy of the input, overwritten with the eigenvector matrix.
+    work: Vec<f64>,
+    /// Eigenvalues (diagonal after QL).
+    d: Vec<f64>,
+    /// Subdiagonal workspace.
+    e: Vec<f64>,
+    /// Descending-eigenvalue permutation.
+    order: Vec<usize>,
+    /// The `B = V·diag(√λ⁺)` factor of the kept spectrum.
+    bmat: Vec<f64>,
+}
+
+impl PsdScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> PsdScratch {
+        PsdScratch::default()
+    }
+}
+
+/// In-place [`psd_project`]: overwrites the flat row-major symmetric
+/// matrix in `a` with its Euclidean projection onto the PSD cone,
+/// reusing the workspaces in `scratch`. Bit-identical to
+/// [`psd_project`], which wraps it.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `a.len() != n * n`.
+pub fn psd_project_in_place(a: &mut [f64], n: usize, scratch: &mut PsdScratch) {
+    assert_eq!(a.len(), n * n);
+    assert!(n > 0, "cannot project an empty matrix");
+    let s = scratch;
+    s.work.clear();
+    s.work.extend_from_slice(a);
+    s.d.clear();
+    s.d.resize(n, 0.0);
+    s.e.clear();
+    s.e.resize(n, 0.0);
+    crate::eigen::tred2(&mut s.work, n, &mut s.d, &mut s.e);
+    crate::eigen::tqli(&mut s.d, &mut s.e, &mut s.work);
+    // Descending eigenvalue order (index tiebreak = the stable sort the
+    // eager decomposition uses).
+    s.order.clear();
+    s.order.extend(0..n);
+    let d = &s.d;
+    s.order
+        .sort_unstable_by(|&x, &y| d[y].total_cmp(&d[x]).then(x.cmp(&y)));
     // Keep only the positive part of the spectrum: with
     // B = V·diag(√λ⁺), the projection is B·Bᵀ. Eigenvalues are sorted
     // descending, so the positive block is a prefix.
-    let kept = eig.values.iter().take_while(|&&l| l > 0.0).count();
+    let kept = s.order.iter().take_while(|&&c| d[c] > 0.0).count();
     if kept == 0 {
-        return SymMatrix::zeros(n);
+        a.fill(0.0);
+        return;
     }
-    let v = eig.vectors.as_slice();
-    let mut b = vec![0.0f64; n * kept];
-    for (k, row) in b.chunks_exact_mut(kept).enumerate() {
-        for (c, val) in row.iter_mut().enumerate() {
-            *val = v[k * n + c] * eig.values[c].sqrt();
+    s.bmat.clear();
+    s.bmat.resize(n * kept, 0.0);
+    for k in 0..n {
+        for c in 0..kept {
+            s.bmat[k * kept + c] = s.work[k * n + s.order[c]] * d[s.order[c]].sqrt();
         }
     }
-    let mut out = SymMatrix::zeros(n);
-    let data = out.as_mut_slice();
     for i in 0..n {
-        let bi = &b[i * kept..(i + 1) * kept];
+        let bi = &s.bmat[i * kept..(i + 1) * kept];
         for j in i..n {
-            let bj = &b[j * kept..(j + 1) * kept];
+            let bj = &s.bmat[j * kept..(j + 1) * kept];
             let dot: f64 = bi.iter().zip(bj).map(|(x, y)| x * y).sum();
-            data[i * n + j] = dot;
-            data[j * n + i] = dot;
+            a[i * n + j] = dot;
+            a[j * n + i] = dot;
         }
     }
-    out
 }
 
 #[cfg(test)]

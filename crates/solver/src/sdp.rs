@@ -17,7 +17,8 @@
 //! sufficient — this is the substitution for the CSDP C library used by
 //! the paper (see `DESIGN.md` §2).
 
-use crate::{psd_project, Cholesky, SolveError, SymMatrix};
+use crate::matrix::{psd_project_in_place, PsdScratch};
+use crate::{Cholesky, SolveError, SymMatrix};
 
 /// One linear equality constraint `Σ coeff · X_ij = rhs`.
 ///
@@ -25,10 +26,10 @@ use crate::{psd_project, Cholesky, SolveError, SymMatrix};
 /// variable: a coefficient `c` on an off-diagonal entry contributes
 /// `c · X_ij` to the constraint value (not `2c · X_ij`).
 #[derive(Clone, PartialEq, Debug)]
-struct Constraint {
+pub(crate) struct Constraint {
     /// `(i, j, coeff)` with `i <= j`, unique per constraint.
-    entries: Vec<(usize, usize, f64)>,
-    rhs: f64,
+    pub(crate) entries: Vec<(usize, usize, f64)>,
+    pub(crate) rhs: f64,
 }
 
 /// A standard-form SDP: cost matrix plus equality constraints.
@@ -90,17 +91,16 @@ impl SdpProblem {
         self.constraints.push(Constraint { entries: norm, rhs });
     }
 
-    /// Evaluates `⟨A_k, X⟩` for every constraint.
-    fn apply(&self, x: &SymMatrix) -> Vec<f64> {
-        self.constraints
-            .iter()
-            .map(|c| {
-                c.entries
-                    .iter()
-                    .map(|&(i, j, coeff)| coeff * x.get(i, j))
-                    .sum()
-            })
-            .collect()
+    /// Evaluates `⟨A_k, X⟩` for every constraint into `out` (cleared
+    /// first, so repeated calls reuse its capacity).
+    fn apply_into(&self, x: &SymMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.constraints.iter().map(|c| {
+            c.entries
+                .iter()
+                .map(|&(i, j, coeff)| coeff * x.get(i, j))
+                .sum::<f64>()
+        }));
     }
 
     /// Accumulates `Σ_k nu_k · A_k` into a symmetric matrix.
@@ -120,8 +120,20 @@ impl SdpProblem {
         out
     }
 
+    /// The normalized constraint rows (batch backend input).
+    pub(crate) fn constraints_raw(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
     /// Builds the constraint Gram matrix `G_kl = ⟨A_k, A_l⟩`.
-    fn gram(&self) -> SymMatrix {
+    ///
+    /// The entry grouping iterates a `HashMap` in arbitrary order, so
+    /// the *summation order* of each Gram entry is not deterministic;
+    /// CPLA's constraints carry only `±1.0` coefficients, whose partial
+    /// products are exactly representable, so the accumulated bits are
+    /// order-independent in practice. Both solve backends call this same
+    /// function either way.
+    pub(crate) fn gram(&self) -> SymMatrix {
         let m = self.constraints.len();
         let mut g = SymMatrix::zeros(m);
         // Group coefficients by matrix entry, then accumulate pairwise.
@@ -216,6 +228,34 @@ pub struct SdpSolution {
     pub converged: bool,
 }
 
+/// Reusable workspaces for [`SdpSolver::try_solve_from_with`]: the PSD
+/// projection's eigendecomposition buffers plus the affine projection's
+/// constraint-value and substitution vectors. One scratch serves
+/// problems of any size (buffers grow on demand and keep their
+/// capacity), so a caller solving many problems — CPLA solves one per
+/// partition leaf per round — threads a single scratch through all of
+/// them instead of re-allocating every ADMM iteration.
+#[derive(Clone, Debug, Default)]
+pub struct SolveScratch {
+    /// PSD-projection eigendecomposition workspace.
+    psd: PsdScratch,
+    /// Constraint values `A(target)`.
+    ax: Vec<f64>,
+    /// Right-hand side `ρ (b − A(target))`.
+    rhs: Vec<f64>,
+    /// Cholesky forward-substitution intermediate.
+    y: Vec<f64>,
+    /// Dual multipliers `ν` of the affine projection.
+    nu: Vec<f64>,
+}
+
+impl SolveScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> SolveScratch {
+        SolveScratch::default()
+    }
+}
+
 impl SdpSolver {
     /// Solves `problem` from the cold start `X = Z = U = 0`.
     ///
@@ -264,6 +304,29 @@ impl SdpSolver {
         problem: &SdpProblem,
         warm: Option<(&SymMatrix, &SymMatrix)>,
     ) -> Result<SdpSolution, SolveError> {
+        let mut scratch = SolveScratch::new();
+        self.try_solve_from_with(problem, warm, &mut scratch)
+    }
+
+    /// [`SdpSolver::try_solve_from`] with caller-provided scratch.
+    ///
+    /// The eigendecomposition workspaces of the PSD projection and the
+    /// constraint/Cholesky vectors of the affine projection are the
+    /// per-iteration allocations that dominate the solver's allocator
+    /// traffic; threading one [`SolveScratch`] through every solve of a
+    /// round (and every iteration within a solve) reuses them instead.
+    /// Bit-identical to [`SdpSolver::try_solve_from`], which wraps it
+    /// with a fresh scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SdpSolver::try_solve_from`].
+    pub fn try_solve_from_with(
+        &self,
+        problem: &SdpProblem,
+        warm: Option<(&SymMatrix, &SymMatrix)>,
+        scratch: &mut SolveScratch,
+    ) -> Result<SdpSolution, SolveError> {
         let n = problem.dim();
         if n == 0 {
             return Err(SolveError::Dimension {
@@ -305,20 +368,6 @@ impl SdpSolver {
         }
         let mut rho = self.rho;
 
-        let project_affine = |target: &SymMatrix, rho: f64| -> SymMatrix {
-            // X = argmin ||X - target|| s.t. A(X) = b
-            //   = target + (1/ρ)·adjoint(ν),  G ν = ρ (b − A(target)).
-            let Some(factor) = &gram_factor else {
-                return target.clone();
-            };
-            let ax = problem.apply(target);
-            let rhs: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| rho * (bi - ai)).collect();
-            let nu = factor.solve(&rhs);
-            let mut out = target.clone();
-            out.axpy(1.0 / rho, &problem.adjoint(&nu));
-            out
-        };
-
         let mut iterations = 0;
         let mut primal_residual = f64::INFINITY;
         let mut converged = false;
@@ -331,13 +380,30 @@ impl SdpSolver {
         for it in 0..self.max_iterations {
             iterations = it + 1;
             // X-update: affine projection of Z − U − C/ρ.
+            // X = argmin ||X - target|| s.t. A(X) = b
+            //   = target + (1/ρ)·adjoint(ν),  G ν = ρ (b − A(target)).
             let mut target = &z - &u;
             target.axpy(-1.0 / rho, &c);
-            x = project_affine(&target, rho);
+            x = match &gram_factor {
+                None => target.clone(),
+                Some(factor) => {
+                    problem.apply_into(&target, &mut scratch.ax);
+                    scratch.rhs.clear();
+                    scratch
+                        .rhs
+                        .extend(b.iter().zip(&scratch.ax).map(|(bi, ai)| rho * (bi - ai)));
+                    factor.solve_into(&scratch.rhs, &mut scratch.y, &mut scratch.nu);
+                    let mut out = target.clone();
+                    out.axpy(1.0 / rho, &problem.adjoint(&scratch.nu));
+                    out
+                }
+            };
 
             // Z-update: PSD projection of X + U.
             std::mem::swap(&mut z, &mut z_prev);
-            z = psd_project(&(&x + &u));
+            let mut w = &x + &u;
+            psd_project_in_place(w.as_mut_slice(), n, &mut scratch.psd);
+            z = w;
 
             // U-update; the same X − Z difference feeds the dual ascent
             // and the primal residual, so compute it once.
@@ -394,8 +460,9 @@ impl SdpSolver {
             }
         }
 
-        let ax = problem.apply(&x);
-        let constraint_residual = ax
+        problem.apply_into(&x, &mut scratch.ax);
+        let constraint_residual = scratch
+            .ax
             .iter()
             .zip(&b)
             .map(|(a, bi)| (a - bi).powi(2))

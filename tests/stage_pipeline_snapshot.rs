@@ -8,7 +8,7 @@
 //! float summed in another order — shows up here as a changed bit
 //! pattern, not as an invisible fraction of a picosecond.
 
-use cpla::{Cpla, CplaConfig, PipelineMode};
+use cpla::{Cpla, CplaConfig, PipelineMode, SolveBackend};
 use ispd::SyntheticConfig;
 use route::{initial_assignment, route_netlist, RouterConfig};
 
@@ -102,6 +102,10 @@ const SNAPSHOT: &[Expected] = &[
 ];
 
 fn run(mode: PipelineMode, seed: u64) -> cpla::CplaReport {
+    run_backend(mode, seed, SolveBackend::PerLeaf)
+}
+
+fn run_backend(mode: PipelineMode, seed: u64, solve_backend: SolveBackend) -> cpla::CplaReport {
     let cfg = SyntheticConfig::small(seed);
     let (mut grid, specs) = cfg.generate().expect("valid config");
     let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
@@ -111,6 +115,7 @@ fn run(mode: PipelineMode, seed: u64) -> cpla::CplaReport {
         max_rounds: 8,
         threads: 1,
         mode,
+        solve_backend,
         ..CplaConfig::default()
     })
     .run(&mut grid, &netlist, &mut assignment)
@@ -155,6 +160,52 @@ fn stage_driver_matches_the_pre_refactor_engine_bit_for_bit() {
             "{label}: gate_rejected"
         );
         assert_eq!(r.released, e.released, "{label}: released set");
+    }
+}
+
+#[test]
+fn batched_backend_reproduces_every_pinned_snapshot() {
+    // The batched SoA backend claims bit-identity with the per-leaf
+    // path; the strongest check is against the *pre-refactor* recorded
+    // rows themselves — same four workloads, same expected bits, only
+    // the Solve-stage execution shape changed.
+    for e in SNAPSHOT {
+        let r = run_backend(e.mode, e.seed, SolveBackend::Batched);
+        let label = format!("batched mode={:?} seed={}", e.mode, e.seed);
+        assert_eq!(
+            r.final_metrics.avg_tcp.to_bits(),
+            e.avg_bits,
+            "{label}: avg_tcp drifted to {}",
+            r.final_metrics.avg_tcp
+        );
+        assert_eq!(
+            r.final_metrics.max_tcp.to_bits(),
+            e.max_bits,
+            "{label}: max_tcp drifted to {}",
+            r.final_metrics.max_tcp
+        );
+        assert_eq!(r.final_metrics.via_overflow, e.via_overflow, "{label}: OV#");
+        assert_eq!(r.final_metrics.via_count, e.via_count, "{label}: via#");
+        assert_eq!(r.rounds.len(), e.rounds, "{label}: rounds");
+        assert_eq!(
+            r.stats.partitions_solved, e.partitions_solved,
+            "{label}: partitions_solved"
+        );
+        assert_eq!(
+            r.stats.partitions_reused, e.partitions_reused,
+            "{label}: partitions_reused"
+        );
+        assert_eq!(r.stats.evaluations, e.evaluations, "{label}: evaluations");
+        assert_eq!(
+            r.stats.gate_accepted, e.gate_accepted,
+            "{label}: gate_accepted"
+        );
+        assert_eq!(
+            r.stats.gate_rejected, e.gate_rejected,
+            "{label}: gate_rejected"
+        );
+        assert_eq!(r.released, e.released, "{label}: released set");
+        assert!(r.stats.batch_sweeps > 0, "{label}: batched backend unused");
     }
 }
 
