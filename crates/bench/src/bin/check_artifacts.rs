@@ -14,8 +14,10 @@
 //!    and mentions every pipeline stage at least once;
 //! 2. every metrics sample line parses as `name{labels} value` with a
 //!    finite value, and the per-stage wall metric is present;
-//! 3. `BENCH_cpla.json` parses, carries `schema` 2, and every mode's
-//!    `stages` object has exactly the eight pipeline stage keys;
+//! 3. `BENCH_cpla.json` parses, carries `schema` 2, every mode's
+//!    `stages` object has exactly the eight pipeline stage keys, and
+//!    every mode's `peak_alloc_bytes` is a number when `alloc_stats`
+//!    is `true` and `null`/absent when it is `false`;
 //! 4. with `--baseline`, the bench report's mode labels and stage keys
 //!    match the committed baseline (values are allowed to drift —
 //!    wall-clock and allocator numbers are machine-dependent).
@@ -213,6 +215,35 @@ fn check_bench(path: &str, baseline: Option<&str>) -> Result<String, String> {
             return Err(format!(
                 "{path}: mode `{label}` stage keys {keys:?} != pipeline stages {expected:?}"
             ));
+        }
+    }
+    // `peak_alloc_bytes` must agree with the top-level `alloc_stats`
+    // flag: a measured number only when the counting allocator was on,
+    // `null` (or absent) when it was off. A literal 0 with the flag off
+    // is the regression this check exists for — it reads as "measured,
+    // allocated nothing".
+    let alloc_stats = match root.get("alloc_stats") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err(format!("{path}: missing boolean `alloc_stats`")),
+    };
+    if let Some(Value::Obj(pairs)) = root.get("modes") {
+        for (label, mode) in pairs {
+            match (alloc_stats, mode.get("peak_alloc_bytes")) {
+                (true, Some(v)) if v.as_u64().is_some() => {}
+                (true, other) => {
+                    return Err(format!(
+                        "{path}: mode `{label}`: alloc_stats is on but \
+                         `peak_alloc_bytes` is {other:?}, not a number"
+                    ));
+                }
+                (false, None) | (false, Some(Value::Null)) => {}
+                (false, Some(v)) => {
+                    return Err(format!(
+                        "{path}: mode `{label}`: alloc_stats is off but \
+                         `peak_alloc_bytes` is {v:?} instead of null"
+                    ));
+                }
+            }
         }
     }
     let mut summary = format!(

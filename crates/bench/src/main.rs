@@ -17,7 +17,10 @@
 //! `--trace-chrome <file.json>` (Chrome `trace_event` span dump for
 //! `chrome://tracing`/Perfetto), `--metrics <file.txt>` (Prometheus
 //! text dump), `--bench-json <file|none>` (per-stage p50/p95 baseline,
-//! default `BENCH_cpla.json`).
+//! default `BENCH_cpla.json`), `--preset scale-100k|scale-1m` (fix the
+//! design to a scale-generator config, overriding the design flags),
+//! `--compare-threads N` (additionally run the first enabled cell at
+//! 1 and N threads and record the wall ratio under `thread_scaling`).
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -117,6 +120,7 @@ impl StageObserver for JsonlTrace {
     }
 }
 
+#[derive(Clone)]
 struct Args {
     seed: u64,
     nets: usize,
@@ -135,6 +139,11 @@ struct Args {
     trace_chrome: Option<String>,
     metrics: Option<String>,
     bench_json: Option<String>,
+    /// Scale-generator config name; fixes the design fields.
+    preset: Option<String>,
+    /// Also run the first enabled cell at 1 and N threads and record
+    /// the wall ratio.
+    compare_threads: Option<usize>,
 }
 
 impl Default for Args {
@@ -157,6 +166,8 @@ impl Default for Args {
             trace_chrome: None,
             metrics: None,
             bench_json: Some("BENCH_cpla.json".to_string()),
+            preset: None,
+            compare_threads: None,
         }
     }
 }
@@ -206,6 +217,17 @@ fn parse_args() -> Args {
                 let v = value("--bench-json");
                 args.bench_json = (v != "none").then_some(v);
             }
+            "--preset" => {
+                let v = value("--preset");
+                if SyntheticConfig::scale(&v).is_none() {
+                    eprintln!("--preset expects scale-100k|scale-1m, got {v}");
+                    std::process::exit(2);
+                }
+                args.preset = Some(v);
+            }
+            "--compare-threads" => {
+                args.compare_threads = Some(value("--compare-threads").parse().unwrap())
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: cpla-bench [--seed N] [--nets N] [--size WxH] \
@@ -215,7 +237,8 @@ fn parse_args() -> Args {
                      [--solve-backend both|per-leaf|batched] \
                      [--trace file.jsonl] \
                      [--alloc-stats] [--trace-chrome file.json] \
-                     [--metrics file.txt] [--bench-json file|none]"
+                     [--metrics file.txt] [--bench-json file|none] \
+                     [--preset scale-100k|scale-1m] [--compare-threads N]"
                 );
                 std::process::exit(0);
             }
@@ -342,7 +365,10 @@ fn json_run(o: &RunOutcome) -> String {
 
 /// Per-mode entry of `BENCH_cpla.json`: run-level quality/cost numbers
 /// plus the per-stage p50/p95 wall and allocation rollup.
-fn json_bench_mode(o: &RunOutcome) -> String {
+/// `peak_alloc_bytes` is `null` unless `--alloc-stats` actually
+/// measured it — a literal 0 would read as "measured, allocated
+/// nothing", which is never true.
+fn json_bench_mode(o: &RunOutcome, alloc_stats: bool) -> String {
     let stages = obs::summarize(&o.recorder)
         .iter()
         .map(|s| {
@@ -378,7 +404,11 @@ fn json_bench_mode(o: &RunOutcome) -> String {
         o.wire_overflow,
         o.report.rounds.len(),
         o.report.released.len(),
-        o.peak_alloc_bytes,
+        if alloc_stats {
+            o.peak_alloc_bytes.to_string()
+        } else {
+            "null".to_string()
+        },
         o.report.stats.solve_secs,
         o.report.stats.batch_sweeps,
         o.report.stats.batch_retired_early,
@@ -389,29 +419,34 @@ fn json_bench_mode(o: &RunOutcome) -> String {
 /// The whole `BENCH_cpla.json` document. Stage *keys* are the stable
 /// contract (CI diffs them against the committed baseline); the numeric
 /// values are a trajectory, expected to drift run to run.
-fn json_bench(args: &Args, modes: &[(&str, &RunOutcome)]) -> String {
+fn json_bench(args: &Args, modes: &[(&str, &RunOutcome)], thread_scaling: Option<&str>) -> String {
     let mode_objs = modes
         .iter()
-        .map(|(label, o)| format!("\"{label}\":{}", json_bench_mode(o)))
+        .map(|(label, o)| format!("\"{label}\":{}", json_bench_mode(o, args.alloc_stats)))
         .collect::<Vec<_>>()
         .join(",");
     format!(
         "{{\n\"schema\":2,\n\"design\":{{\"seed\":{},\"nets\":{},\"width\":{},\
-         \"height\":{},\"layers\":{},\"capacity\":{}}},\n\
+         \"height\":{},\"layers\":{},\"capacity\":{},\"preset\":{}}},\n\
          \"threads\":{},\"reps\":{},\"ratio\":{},\"rounds\":{},\
-         \"alloc_stats\":{},\"solve_backend\":\"{}\",\n\"modes\":{{{}}}\n}}\n",
+         \"alloc_stats\":{},\"solve_backend\":\"{}\",\
+         \"thread_scaling\":{},\n\"modes\":{{{}}}\n}}\n",
         args.seed,
         args.nets,
         args.width,
         args.height,
         args.layers,
         args.capacity,
+        args.preset
+            .as_deref()
+            .map_or("null".to_string(), |p| format!("\"{p}\"")),
         args.threads,
         args.reps,
         args.ratio,
         args.rounds,
         args.alloc_stats,
         args.solve_backend,
+        thread_scaling.unwrap_or("null"),
         mode_objs,
     )
 }
@@ -424,18 +459,44 @@ fn write_artifact(path: &str, what: &str, contents: &str) {
 }
 
 fn main() {
-    let args = parse_args();
+    let mut args = parse_args();
 
-    let mut cfg = SyntheticConfig::small(args.seed);
-    cfg.name = format!("bench-{}", args.seed);
-    cfg.width = args.width;
-    cfg.height = args.height;
-    cfg.layers = args.layers;
-    cfg.num_nets = args.nets;
-    cfg.capacity = args.capacity;
+    // A preset pins the whole design shape (including pin-count and
+    // locality distributions the individual flags can't express); the
+    // design flags are folded back into `args` so every emitted JSON
+    // reflects the actual workload.
+    let cfg = match &args.preset {
+        Some(name) => {
+            // invariant: parse_args rejected unknown preset names.
+            let p = SyntheticConfig::scale(name).expect("preset validated at parse time");
+            args.seed = p.seed;
+            args.nets = p.num_nets;
+            args.width = p.width;
+            args.height = p.height;
+            args.layers = p.layers;
+            args.capacity = p.capacity;
+            p
+        }
+        None => {
+            let mut cfg = SyntheticConfig::small(args.seed);
+            cfg.name = format!("bench-{}", args.seed);
+            cfg.width = args.width;
+            cfg.height = args.height;
+            cfg.layers = args.layers;
+            cfg.num_nets = args.nets;
+            cfg.capacity = args.capacity;
+            cfg
+        }
+    };
     let (mut grid, specs) = cfg.generate().expect("synthetic design");
     let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
     let assignment = initial_assignment(&mut grid, &netlist);
+    eprintln!(
+        "design {}: {} nets routed to {} segments",
+        cfg.name,
+        netlist.len(),
+        netlist.num_segments(),
+    );
 
     let mut trace = args.trace.as_deref().map(JsonlTrace::create);
 
@@ -444,6 +505,13 @@ fn main() {
     // baseline diff in CI treats them as distinct entries.
     let mode_on = |m: &str| args.mode == "both" || args.mode == m;
     let backend_on = |b: &str| args.solve_backend == "both" || args.solve_backend == b;
+    let cell_on = |mode: PipelineMode, backend: SolveBackend| {
+        let m = match mode {
+            PipelineMode::Legacy => "legacy",
+            PipelineMode::Incremental => "incremental",
+        };
+        mode_on(m) && backend_on(backend.name())
+    };
     let cells: [(&'static str, PipelineMode, SolveBackend); 4] = [
         ("legacy", PipelineMode::Legacy, SolveBackend::PerLeaf),
         (
@@ -464,13 +532,7 @@ fn main() {
     ];
     let outcomes: Vec<(&'static str, RunOutcome)> = cells
         .into_iter()
-        .filter(|&(_, mode, backend)| {
-            let m = match mode {
-                PipelineMode::Legacy => "legacy",
-                PipelineMode::Incremental => "incremental",
-            };
-            mode_on(m) && backend_on(backend.name())
-        })
+        .filter(|&(_, mode, backend)| cell_on(mode, backend))
         .map(|(label, mode, backend)| {
             (
                 label,
@@ -498,6 +560,33 @@ fn main() {
         });
     }
 
+    // --compare-threads: rerun the first enabled cell at 1 and N
+    // threads (fresh runs so the matrix cells above stay comparable)
+    // and record the wall ratio. This is the shard-scaling evidence the
+    // scale presets exist to collect.
+    let thread_scaling = args.compare_threads.map(|n| {
+        let (label, mode, backend) = cells
+            .into_iter()
+            .find(|&(_, mode, backend)| cell_on(mode, backend))
+            .unwrap_or(cells[1]);
+        let run_at = |threads: usize| {
+            let mut a = args.clone();
+            a.threads = threads;
+            run_mode(&a, mode, backend, label, &grid, &netlist, &assignment, None)
+        };
+        let base = run_at(1);
+        let scaled = run_at(n.max(1));
+        format!(
+            "{{\"cell\":\"{label}\",\"threads\":{},\
+             \"wall_threads1_secs\":{:.6},\"wall_secs\":{:.6},\
+             \"ratio\":{:.4}}}",
+            n.max(1),
+            base.wall_secs,
+            scaled.wall_secs,
+            scaled.wall_secs / base.wall_secs.max(1e-12),
+        )
+    });
+
     let modes: Vec<(&str, &RunOutcome)> = outcomes.iter().map(|(l, o)| (*l, o)).collect();
     let recorders: Vec<&Recorder> = modes.iter().map(|(_, o)| &o.recorder).collect();
     if let Some(path) = &args.trace_chrome {
@@ -507,7 +596,11 @@ fn main() {
         write_artifact(path, "metrics dump", &obs::prom::export(&recorders));
     }
     if let Some(path) = &args.bench_json {
-        write_artifact(path, "bench baseline", &json_bench(&args, &modes));
+        write_artifact(
+            path,
+            "bench baseline",
+            &json_bench(&args, &modes, thread_scaling.as_deref()),
+        );
     }
 
     let mut fields = vec![format!(
@@ -523,6 +616,9 @@ fn main() {
             "\"speedup\":{:.3}",
             l.wall_secs / i.wall_secs.max(1e-12)
         ));
+    }
+    if let Some(ts) = &thread_scaling {
+        fields.push(format!("\"thread_scaling\":{ts}"));
     }
     // The backend comparison the batched path exists for: Solve+PostMap
     // wall of the batched cell over its per-leaf twin, per mode.

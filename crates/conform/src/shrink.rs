@@ -86,9 +86,9 @@ fn trim_leaf(net: &Net) -> Option<Net> {
         return None;
     }
     // Scan leaves from the back so trunk segments survive longest.
-    let victim = (0..tree.num_nodes()).rev().find(|&n| {
-        tree.node(n).child_segments.is_empty() && tree.node(n).parent_segment.is_some()
-    })?;
+    let victim = (0..tree.num_nodes())
+        .rev()
+        .find(|&n| tree.child_segments(n).is_empty() && tree.node(n).parent_segment.is_some())?;
     let dropped_segment = tree.node(victim).parent_segment? as usize;
     let dropped_pin = tree.node(victim).pin.map(|p| p as usize);
     if dropped_pin == Some(0) {

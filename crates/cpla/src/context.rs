@@ -23,11 +23,11 @@
 use std::collections::HashMap;
 
 use grid::Grid;
-use net::{Netlist, SegmentRef};
+use net::{DesignArena, Netlist, SegmentRef};
 use timing::NetTiming;
 
 /// Frozen per-segment timing context for one optimization round.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct SegCtx {
     /// Downstream capacitance (excluding the segment's own wire).
     pub cd: f64,
@@ -62,6 +62,27 @@ pub fn timing_context(
 ) -> HashMap<SegmentRef, SegCtx> {
     let mut out = HashMap::new();
     for &ni in released {
+        net_context(grid, netlist, assignment, ni, focus, &mut |r, c| {
+            out.insert(r, c);
+        });
+    }
+    out
+}
+
+/// Builds the frozen context of one net, delivering each segment's
+/// [`SegCtx`] to `sink`. This is the single per-net computation behind
+/// both the [`HashMap`] wrapper ([`timing_context`]) and the dense
+/// [`SegCtxTable`] fill ([`timing_context_into`]); the arithmetic is
+/// shared, so the two containers always hold bit-identical contexts.
+fn net_context(
+    grid: &Grid,
+    netlist: &Netlist,
+    assignment: &net::Assignment,
+    ni: usize,
+    focus: f64,
+    sink: &mut dyn FnMut(SegmentRef, SegCtx),
+) {
+    {
         let net = netlist.net(ni);
         let tree = net.tree();
         let layers = assignment.net_layers(ni);
@@ -119,7 +140,7 @@ pub fn timing_context(
 
         for s in 0..tree.num_segments() {
             let child = tree.segment(s).to as usize;
-            out.insert(
+            sink(
                 SegmentRef::new(ni as u32, s as u32),
                 SegCtx {
                     cd: t.downstream_cap(s),
@@ -130,7 +151,117 @@ pub fn timing_context(
             );
         }
     }
-    out
+}
+
+/// Sentinel slot for "segment is not in the released pool".
+const NONE: u32 = u32::MAX;
+
+/// Dense per-segment context store, indexed by design-global segment id.
+///
+/// The flow's hot path looks one context up per extracted segment per
+/// round; hashing a [`SegmentRef`] for every lookup dominates Extract on
+/// large released pools. The table maps a `SegmentRef` to its
+/// design-global segment id through a [`DesignArena`]'s CSR layout and
+/// keeps one slot per *pooled* segment, so lookups are two array reads
+/// and the storage stays `O(pool)`, not `O(design)`, in `SegCtx`s.
+///
+/// Inserts for segments outside the pool are dropped: neighbor-net
+/// context is computed whole-net, but only the pooled (edge-sharing)
+/// segments are ever looked up.
+#[derive(Clone, Debug, Default)]
+pub struct SegCtxTable {
+    /// Net `n`'s segments occupy global ids
+    /// `seg_base[n]..seg_base[n + 1]` (copied from the arena layout).
+    seg_base: Vec<u32>,
+    /// Global segment id → pool slot ([`NONE`] when not pooled).
+    slot: Vec<u32>,
+    /// Frozen contexts, one per pool slot.
+    ctx: Vec<SegCtx>,
+}
+
+impl SegCtxTable {
+    /// Builds the slot map for `pool` over `arena`'s segment layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool reference is outside the arena.
+    pub fn new(arena: &DesignArena, pool: &[SegmentRef]) -> SegCtxTable {
+        let nets = arena.num_nets();
+        let mut seg_base = Vec::with_capacity(nets + 1);
+        for n in 0..nets {
+            seg_base.push(arena.seg_base(n) as u32);
+        }
+        seg_base.push(arena.num_segments() as u32);
+        let mut slot = vec![NONE; arena.num_segments()];
+        for (i, &r) in pool.iter().enumerate() {
+            slot[seg_base[r.net as usize] as usize + r.seg as usize] = i as u32;
+        }
+        SegCtxTable {
+            seg_base,
+            slot,
+            ctx: vec![SegCtx::default(); pool.len()],
+        }
+    }
+
+    fn global(&self, r: SegmentRef) -> usize {
+        self.seg_base[r.net as usize] as usize + r.seg as usize
+    }
+
+    /// The frozen context of `r`, or `None` if `r` is not pooled.
+    pub fn get(&self, r: SegmentRef) -> Option<&SegCtx> {
+        let s = self.slot[self.global(r)];
+        (s != NONE).then(|| &self.ctx[s as usize])
+    }
+
+    /// Stores `c` as the context of `r`; dropped if `r` is not pooled.
+    pub fn insert(&mut self, r: SegmentRef, c: SegCtx) {
+        let s = self.slot[self.global(r)];
+        if s != NONE {
+            self.ctx[s as usize] = c;
+        }
+    }
+
+    /// Number of pooled segments.
+    pub fn len(&self) -> usize {
+        self.ctx.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ctx.is_empty()
+    }
+}
+
+/// [`timing_context`] writing into a dense [`SegCtxTable`] instead of a
+/// fresh [`HashMap`], with an optional weight scale applied to each
+/// context before it lands (the neighbor-net damping).
+///
+/// Scaling multiplies `weight`, `upstream` and `pin_weight` *after* the
+/// full per-net computation — the same order of operations as the old
+/// map-merge path, so scaled contexts stay bit-identical to it.
+///
+/// # Panics
+///
+/// Panics if a net index is out of range.
+pub fn timing_context_into(
+    grid: &Grid,
+    netlist: &Netlist,
+    assignment: &net::Assignment,
+    nets: &[usize],
+    focus: f64,
+    weight_scale: Option<f64>,
+    table: &mut SegCtxTable,
+) {
+    for &ni in nets {
+        net_context(grid, netlist, assignment, ni, focus, &mut |r, mut c| {
+            if let Some(w) = weight_scale {
+                c.weight *= w;
+                c.upstream *= w;
+                c.pin_weight *= w;
+            }
+            table.insert(r, c);
+        });
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +335,57 @@ mod tests {
         // trunk's weighted resistance.
         let trunk_r = g.layer(0).unit_resistance * 4.0;
         assert!(far.upstream >= trunk.upstream + trunk.weight * trunk_r - 1e-9);
+    }
+
+    #[test]
+    fn dense_table_matches_hashmap_bitwise() {
+        let (g, nl, a) = fixture();
+        let arena = net::DesignArena::from_netlist(&nl);
+        let pool: Vec<SegmentRef> = (0..3).map(|s| SegmentRef::new(0, s)).collect();
+        let mut table = SegCtxTable::new(&arena, &pool);
+        timing_context_into(&g, &nl, &a, &[0], 4.0, None, &mut table);
+        let map = timing_context(&g, &nl, &a, &[0], 4.0);
+        for &r in &pool {
+            let (t, m) = (table.get(r).copied().unwrap(), map[&r]);
+            assert_eq!(t.cd.to_bits(), m.cd.to_bits());
+            assert_eq!(t.weight.to_bits(), m.weight.to_bits());
+            assert_eq!(t.upstream.to_bits(), m.upstream.to_bits());
+            assert_eq!(t.pin_weight.to_bits(), m.pin_weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn scaled_fill_matches_scaled_map_merge() {
+        let (g, nl, a) = fixture();
+        let arena = net::DesignArena::from_netlist(&nl);
+        let pool: Vec<SegmentRef> = (0..3).map(|s| SegmentRef::new(0, s)).collect();
+        let mut table = SegCtxTable::new(&arena, &pool);
+        let w = 0.3;
+        timing_context_into(&g, &nl, &a, &[0], 4.0, Some(w), &mut table);
+        for (r, mut c) in timing_context(&g, &nl, &a, &[0], 4.0) {
+            c.weight *= w;
+            c.upstream *= w;
+            c.pin_weight *= w;
+            let t = *table.get(r).unwrap();
+            assert_eq!(t.weight.to_bits(), c.weight.to_bits());
+            assert_eq!(t.upstream.to_bits(), c.upstream.to_bits());
+            assert_eq!(t.pin_weight.to_bits(), c.pin_weight.to_bits());
+            assert_eq!(t.cd.to_bits(), c.cd.to_bits());
+        }
+    }
+
+    #[test]
+    fn unpooled_segments_are_invisible() {
+        let (g, nl, a) = fixture();
+        let arena = net::DesignArena::from_netlist(&nl);
+        // Pool only segment 1: fills for 0 and 2 must be dropped.
+        let pool = [SegmentRef::new(0, 1)];
+        let mut table = SegCtxTable::new(&arena, &pool);
+        timing_context_into(&g, &nl, &a, &[0], 4.0, None, &mut table);
+        assert_eq!(table.len(), 1);
+        assert!(table.get(SegmentRef::new(0, 0)).is_none());
+        assert!(table.get(SegmentRef::new(0, 2)).is_none());
+        assert!(table.get(SegmentRef::new(0, 1)).is_some());
     }
 
     #[test]

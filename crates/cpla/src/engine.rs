@@ -20,7 +20,7 @@ use net::{Assignment, Netlist};
 use solver::SdpSolver;
 
 use crate::partition::PartitionStats;
-use crate::{select_critical_nets, Metrics};
+use crate::Metrics;
 use ::flow::{ConfigError, FlowError, SolveBackend, StageObserver};
 
 /// Which mathematical program solves each partition.
@@ -111,6 +111,12 @@ pub struct CplaConfig {
     pub neighbor_weight: f64,
     /// Worker threads for partition solving.
     pub threads: usize,
+    /// Shards for the Partition stage's top-level K×K block grid: each
+    /// shard buckets and quadtree-refines its share of the blocks on its
+    /// own thread, with per-shard ledgers merged through the serial leaf
+    /// sort. `0` (the default) follows [`CplaConfig::threads`]. Results
+    /// are identical for every shard count.
+    pub partition_shards: usize,
     /// Evaluation pipeline (see [`PipelineMode`]).
     pub mode: PipelineMode,
     /// How the Solve stage executes its SDP relaxations: one solver
@@ -159,6 +165,7 @@ impl Default for CplaConfig {
             release_neighbors: false,
             neighbor_weight: 0.2,
             threads: 1,
+            partition_shards: 0,
             mode: PipelineMode::Incremental,
             solve_backend: SolveBackend::PerLeaf,
             audit_invariants: false,
@@ -357,8 +364,12 @@ impl Cpla {
         observers: &mut [&mut dyn StageObserver],
     ) -> Result<CplaReport, FlowError> {
         self.config.validate()?;
-        let full = timing::analyze(grid, netlist, assignment);
-        let released = select_critical_nets(&full, self.config.critical_ratio);
+        // Whole-design analysis goes through the flat SoA cache: same
+        // per-net arithmetic as `timing::analyze`, but three design-wide
+        // arrays instead of three vectors per net.
+        let arena = net::DesignArena::from_netlist(netlist);
+        let full = timing::DesignTiming::compute(grid, netlist, &arena, assignment);
+        let released = ::flow::select_critical_nets_flat(&full, self.config.critical_ratio);
         self.run_released_observed(grid, netlist, assignment, &released, observers)
     }
 

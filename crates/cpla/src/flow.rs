@@ -27,10 +27,10 @@ use net::{Assignment, Netlist, SegmentRef};
 use solver::{solve_batch, BatchArena, BatchItem, SdpProblem, SdpSolver, SolveScratch, SymMatrix};
 use timing::TimingModel;
 
-use crate::context::{timing_context, SegCtx};
+use crate::context::{timing_context_into, SegCtx, SegCtxTable};
 use crate::engine::{CplaConfig, CplaReport, PipelineMode, PipelineStats, RoundStats, SolverKind};
 use crate::mapping::{post_map, timing_gate};
-use crate::partition::{partition_segments_shifted, Partition, PartitionStats};
+use crate::partition::{partition_segments_sharded, Partition, PartitionStats};
 use crate::problem::PartitionProblem;
 
 /// Cross-round cache entry for one partition, keyed by its segment set.
@@ -76,13 +76,16 @@ pub(crate) struct FlowContext<'a> {
     is_released: HashSet<usize>,
     segments: Vec<SegmentRef>,
     neighbor_nets: Vec<usize>,
+    /// Flat id layout of the whole design: the dense context table and
+    /// the sharded partitioner index through its CSR ranges.
+    arena: net::DesignArena,
     model: TimingModel,
     cache: HashMap<Vec<SegmentRef>, CacheEntry>,
     counters: FlowCounters,
 
     // Per-round scratch, produced by one stage and consumed by the next.
     round: usize,
-    cd: HashMap<SegmentRef, SegCtx>,
+    cd: SegCtxTable,
     partitions: Vec<Partition>,
     first_round_pstats: PartitionStats,
     results: Vec<Vec<(SegmentRef, usize)>>,
@@ -175,6 +178,11 @@ impl<'a> FlowContext<'a> {
             Vec::new()
         };
 
+        // One arena + slot map for the whole run: the pool is fixed
+        // across rounds, so Select only rewrites pooled slots.
+        let arena = net::DesignArena::from_netlist(netlist);
+        let cd = SegCtxTable::new(&arena, &segments);
+
         let best_avg = initial_metrics.avg_tcp;
         let best_assignment = assignment.clone();
         let best_usage = grid.snapshot_usage();
@@ -189,11 +197,12 @@ impl<'a> FlowContext<'a> {
             is_released,
             segments,
             neighbor_nets,
+            arena,
             model,
             cache: HashMap::new(),
             counters: FlowCounters::default(),
             round: 0,
-            cd: HashMap::new(),
+            cd,
             partitions: Vec::new(),
             first_round_pstats: PartitionStats::default(),
             results: Vec::new(),
@@ -268,30 +277,29 @@ impl FlowStage for SelectStage {
     }
 
     fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<(), FlowError> {
-        let mut cd = timing_context(
+        // Every pooled slot is rewritten below (released nets cover
+        // their whole pooled range, neighbor fills cover every touched
+        // segment), so the table needs no per-round clear.
+        timing_context_into(
             ctx.grid,
             ctx.netlist,
             ctx.assignment,
             ctx.released,
             ctx.config.focus,
+            None,
+            &mut ctx.cd,
         );
         if !ctx.neighbor_nets.is_empty() {
-            let neighbor_ctx = timing_context(
+            timing_context_into(
                 ctx.grid,
                 ctx.netlist,
                 ctx.assignment,
                 &ctx.neighbor_nets,
                 ctx.config.focus,
+                Some(ctx.config.neighbor_weight),
+                &mut ctx.cd,
             );
-            let w = ctx.config.neighbor_weight;
-            for (r, mut c) in neighbor_ctx {
-                c.weight *= w;
-                c.upstream *= w;
-                c.pin_weight *= w;
-                cd.insert(r, c);
-            }
         }
-        ctx.cd = cd;
         Ok(())
     }
 }
@@ -314,15 +322,36 @@ impl FlowStage for PartitionStage {
         } else {
             (0, 0)
         };
-        let (partitions, pstats) = partition_segments_shifted(
-            ctx.netlist,
+        let shards = if ctx.config.partition_shards == 0 {
+            ctx.config.threads.max(1)
+        } else {
+            ctx.config.partition_shards
+        };
+        let (partitions, pstats, ledgers) = partition_segments_sharded(
+            &ctx.arena,
             &ctx.segments,
             ctx.grid.width(),
             ctx.grid.height(),
             ctx.config.uniform_divisions,
             ctx.config.max_segments_per_partition,
             offset,
+            shards,
         );
+        // Each shard ledger becomes one leaf span, so partition-shard
+        // activity flows through the same observer seam as solve leaves.
+        for l in &ledgers {
+            ctx.leaves.push(LeafSpan {
+                round: ctx.round,
+                stage: Stage::Partition,
+                index: l.shard,
+                items: l.segments,
+                thread: l.shard,
+                start_secs: l.start_secs,
+                dur_secs: l.dur_secs,
+                alloc_bytes: 0,
+                alloc_events: 0,
+            });
+        }
         if ctx.round == 1 {
             ctx.first_round_pstats = pstats;
         }
@@ -360,7 +389,7 @@ impl FlowStage for ExtractStage {
         // invariant: partitioning only groups segments from the released
         // pool, and Select froze a context for every pooled segment.
         let lookup = |r: SegmentRef| -> SegCtx {
-            *cd.get(&r).expect("released segment has a frozen context")
+            *cd.get(r).expect("released segment has a frozen context")
         };
         *results = vec![Vec::new(); partitions.len()];
         misses.clear();
@@ -715,21 +744,27 @@ impl FlowStage for GateStage {
     }
 
     fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<(), FlowError> {
-        let mut by_net: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
-        for (sref, layer) in ctx.proposals.drain(..) {
-            by_net
-                .entry(sref.net as usize)
-                .or_default()
-                .push((sref.seg as usize, layer));
-        }
-        let mut nets: Vec<(usize, Vec<(usize, usize)>)> = by_net.into_iter().collect();
-        nets.sort_unstable_by_key(|(ni, _)| *ni);
+        // Group per net by a *stable* sort: nets come out in index
+        // order, and each net's proposals keep their partition-order
+        // sequence — the same grouping the old per-net buckets built,
+        // without a hash map on the hot path.
+        let mut proposals = std::mem::take(&mut ctx.proposals);
+        proposals.sort_by_key(|&(sref, _)| sref.net);
         ctx.pending.clear();
-        for (ni, changes) in nets {
+        let mut at = 0;
+        while at < proposals.len() {
+            let ni = proposals[at].0.net as usize;
+            let mut hi = at;
+            while hi < proposals.len() && proposals[hi].0.net as usize == ni {
+                hi += 1;
+            }
+            let changes = &proposals[at..hi];
+            at = hi;
             let net = ctx.netlist.net(ni);
             let current = ctx.assignment.net_layers(ni).to_vec();
             let real: Vec<(usize, usize)> = changes
-                .into_iter()
+                .iter()
+                .map(|&(sref, l)| (sref.seg as usize, l))
                 .filter(|&(s, l)| current[s] != l)
                 .collect();
             if real.is_empty() {

@@ -50,7 +50,7 @@ pub mod mapping;
 pub mod partition;
 pub mod problem;
 
-pub use context::{timing_context, SegCtx};
+pub use context::{timing_context, timing_context_into, SegCtx, SegCtxTable};
 pub use engine::{
     Cpla, CplaConfig, CplaReport, PipelineMode, PipelineStats, RoundStats, SolverKind,
 };

@@ -8,8 +8,10 @@
 //! leaves carry similar segment counts — the property that balances the
 //! per-thread workload.
 
+use std::time::Instant;
+
 use grid::Cell;
-use net::{Netlist, SegmentRef};
+use net::{DesignArena, Netlist, SegmentRef};
 
 /// A rectangular tile region `[x0, x1) × [y0, y1)`.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -120,14 +122,94 @@ pub fn partition_segments_shifted(
     max_segments: usize,
     offset: (u16, u16),
 ) -> (Vec<Partition>, PartitionStats) {
-    assert!(k > 0, "k must be positive");
-    assert!(max_segments > 0, "max_segments must be positive");
-    assert!(width > 0 && height > 0, "grid must be non-empty");
-
     let anchored: Vec<(SegmentRef, Cell)> = segments
         .iter()
         .map(|&s| (s, segment_anchor(netlist, s)))
         .collect();
+    let (leaves, stats, _) =
+        partition_anchored(&anchored, width, height, k, max_segments, offset, 1);
+    (leaves, stats)
+}
+
+/// What one shard of a [`partition_segments_sharded`] run produced, for
+/// observability and the merge invariants. Ledgers are per-shard
+/// capacity tallies: their `leaves`/`segments` sum and
+/// `max_depth`/`max_segments` max reconstruct the merged
+/// [`PartitionStats`] exactly.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct ShardLedger {
+    /// Shard index (`block index % shards` ownership).
+    pub shard: usize,
+    /// Non-empty top-level blocks this shard refined.
+    pub blocks: usize,
+    /// Leaves this shard emitted.
+    pub leaves: usize,
+    /// Deepest quadtree refinement in this shard.
+    pub max_depth: u32,
+    /// Largest leaf segment count in this shard.
+    pub max_segments: usize,
+    /// Segments this shard bucketed (each segment anchors in exactly
+    /// one block, so these sum to the pool size).
+    pub segments: usize,
+    /// Start of the shard's work, seconds after the partition call.
+    pub start_secs: f64,
+    /// Wall time the shard spent bucketing and refining.
+    pub dur_secs: f64,
+}
+
+/// [`partition_segments_shifted`] with the top-level K×K block grid
+/// sharded across `shards` worker threads, anchoring segments through a
+/// [`DesignArena`]'s precomputed midpoints instead of per-call tree
+/// walks.
+///
+/// Each top-level block is owned by shard `block_index % shards`; a
+/// shard buckets the pool into its blocks and runs the quadtree
+/// refinement locally. Blocks are independent (a segment anchors in
+/// exactly one block) and the merged leaf list is sorted by region — the
+/// same deterministic order the serial path produces — so the result is
+/// identical for every shard count.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `max_segments == 0`, the grid dimensions are
+/// zero, or a segment reference is outside the arena.
+#[allow(clippy::too_many_arguments)] // mirrors partition_segments_shifted + shards
+pub fn partition_segments_sharded(
+    arena: &DesignArena,
+    segments: &[SegmentRef],
+    width: u16,
+    height: u16,
+    k: usize,
+    max_segments: usize,
+    offset: (u16, u16),
+    shards: usize,
+) -> (Vec<Partition>, PartitionStats, Vec<ShardLedger>) {
+    let anchored: Vec<(SegmentRef, Cell)> = segments
+        .iter()
+        .map(|&r| {
+            (
+                r,
+                arena.anchor(arena.seg_id(r.net as usize, r.seg as usize)),
+            )
+        })
+        .collect();
+    partition_anchored(&anchored, width, height, k, max_segments, offset, shards)
+}
+
+/// The shared partition core over pre-anchored segments.
+fn partition_anchored(
+    anchored: &[(SegmentRef, Cell)],
+    width: u16,
+    height: u16,
+    k: usize,
+    max_segments: usize,
+    offset: (u16, u16),
+    shards: usize,
+) -> (Vec<Partition>, PartitionStats, Vec<ShardLedger>) {
+    assert!(k > 0, "k must be positive");
+    assert!(max_segments > 0, "max_segments must be positive");
+    assert!(width > 0 && height > 0, "grid must be non-empty");
+    let shards = shards.max(1);
 
     // Uniform K×K division (ceil-sized blocks cover the whole grid),
     // with the block origin shifted left/down by the (wrapped) offset so
@@ -138,7 +220,7 @@ pub fn partition_segments_shifted(
     let oy = offset.1 % bh.max(1);
     let extra_x = u16::from(ox > 0);
     let extra_y = u16::from(oy > 0);
-    let mut work: Vec<(Region, Vec<usize>, u32)> = Vec::new();
+    let mut blocks: Vec<Region> = Vec::new();
     for by in 0..k as u16 + extra_y {
         for bx in 0..k as u16 + extra_x {
             let x0 = (bx * bw).saturating_sub(ox);
@@ -149,7 +231,23 @@ pub fn partition_segments_shifted(
                 x1: ((bx + 1) * bw - ox).min(width),
                 y1: ((by + 1) * bh - oy).min(height),
             };
-            if region.x0 >= region.x1 || region.y0 >= region.y1 {
+            if region.x0 < region.x1 && region.y0 < region.y1 {
+                blocks.push(region);
+            }
+        }
+    }
+
+    let anchor = Instant::now();
+    let run_shard = |shard: usize| -> (Vec<Partition>, ShardLedger) {
+        let start_secs = anchor.elapsed().as_secs_f64();
+        let mut leaves = Vec::new();
+        let mut ledger = ShardLedger {
+            shard,
+            start_secs,
+            ..ShardLedger::default()
+        };
+        for (bi, &region) in blocks.iter().enumerate() {
+            if bi % shards != shard {
                 continue;
             }
             let members: Vec<usize> = anchored
@@ -158,23 +256,80 @@ pub fn partition_segments_shifted(
                 .filter(|(_, (_, c))| region.contains(*c))
                 .map(|(i, _)| i)
                 .collect();
-            if !members.is_empty() {
-                work.push((region, members, 0));
+            if members.is_empty() {
+                continue;
             }
+            ledger.blocks += 1;
+            ledger.segments += members.len();
+            refine_block(
+                anchored,
+                region,
+                members,
+                max_segments,
+                &mut leaves,
+                &mut ledger,
+            );
         }
-    }
+        ledger.dur_secs = anchor.elapsed().as_secs_f64() - start_secs;
+        (leaves, ledger)
+    };
 
+    let per_shard: Vec<(Vec<Partition>, ShardLedger)> = if shards == 1 {
+        vec![run_shard(0)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| scope.spawn(move || run_shard(s)))
+                .collect();
+            handles
+                .into_iter()
+                // invariant: shard workers run no user code and cannot
+                // unwind past the refinement loop.
+                .map(|h| h.join().expect("partition shard panicked"))
+                .collect()
+        })
+    };
+
+    // The serial-merge seam: concatenate shard outputs in shard order,
+    // fold the ledgers into the run stats (sum leaves, max depth/size),
+    // then impose the deterministic region order. Leaf regions are
+    // pairwise distinct, so the sort yields the same list for every
+    // shard count — including the serial path's.
     let mut leaves = Vec::new();
+    let mut ledgers = Vec::with_capacity(per_shard.len());
     let mut stats = PartitionStats {
-        total_segments: segments.len(),
+        total_segments: anchored.len(),
         ..PartitionStats::default()
     };
+    for (shard_leaves, ledger) in per_shard {
+        stats.leaves += ledger.leaves;
+        stats.max_depth = stats.max_depth.max(ledger.max_depth);
+        stats.max_segments = stats.max_segments.max(ledger.max_segments);
+        leaves.extend(shard_leaves);
+        ledgers.push(ledger);
+    }
+    // Deterministic order for reproducible parallel scheduling.
+    leaves.sort_by_key(|p| (p.region.y0, p.region.x0, p.region.y1, p.region.x1));
+    (leaves, stats, ledgers)
+}
+
+/// Quadtree-refines one top-level block: the serial pop loop, scoped to
+/// the block's members. Leaves land in `leaves`, tallies in `ledger`.
+fn refine_block(
+    anchored: &[(SegmentRef, Cell)],
+    block: Region,
+    members: Vec<usize>,
+    max_segments: usize,
+    leaves: &mut Vec<Partition>,
+    ledger: &mut ShardLedger,
+) {
+    let mut work: Vec<(Region, Vec<usize>, u32)> = vec![(block, members, 0)];
     while let Some((region, members, depth)) = work.pop() {
         let splittable = region.width() > 1 || region.height() > 1;
         if members.len() <= max_segments || !splittable {
-            stats.leaves += 1;
-            stats.max_depth = stats.max_depth.max(depth);
-            stats.max_segments = stats.max_segments.max(members.len());
+            ledger.leaves += 1;
+            ledger.max_depth = ledger.max_depth.max(depth);
+            ledger.max_segments = ledger.max_segments.max(members.len());
             leaves.push(Partition {
                 region,
                 segments: members.iter().map(|&i| anchored[i].0).collect(),
@@ -234,9 +389,6 @@ pub fn partition_segments_shifted(
             }
         }
     }
-    // Deterministic order for reproducible parallel scheduling.
-    leaves.sort_by_key(|p| (p.region.y0, p.region.x0, p.region.y1, p.region.x1));
-    (leaves, stats)
 }
 
 #[cfg(test)]
@@ -362,6 +514,58 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn sharded_partitions_match_serial_for_every_shard_count() {
+        let cells: Vec<(u16, u16)> = (0..40)
+            .map(|i| (3 + (i * 7) % 58, 2 + (i * 13) % 60))
+            .collect();
+        let nl = netlist_at(&cells);
+        let segs = refs(&nl);
+        let arena = DesignArena::from_netlist(&nl);
+        for offset in [(0u16, 0u16), (8, 8), (3, 11)] {
+            let (serial, sstats) = partition_segments_shifted(&nl, &segs, 64, 64, 4, 3, offset);
+            for shards in 1..=8 {
+                let (leaves, stats, ledgers) =
+                    partition_segments_sharded(&arena, &segs, 64, 64, 4, 3, offset, shards);
+                assert_eq!(leaves, serial, "offset {offset:?} shards {shards}");
+                assert_eq!(stats, sstats, "offset {offset:?} shards {shards}");
+                assert_eq!(ledgers.len(), shards);
+            }
+        }
+    }
+
+    #[test]
+    fn ledgers_reconstruct_the_merged_stats() {
+        let cells: Vec<(u16, u16)> = (0..25).map(|i| (2 + i * 2, 2 + (i * 5) % 60)).collect();
+        let nl = netlist_at(&cells);
+        let segs = refs(&nl);
+        let arena = DesignArena::from_netlist(&nl);
+        let (_, stats, ledgers) =
+            partition_segments_sharded(&arena, &segs, 64, 64, 4, 2, (0, 0), 4);
+        let leaves: usize = ledgers.iter().map(|l| l.leaves).sum();
+        let bucketed: usize = ledgers.iter().map(|l| l.segments).sum();
+        let depth = ledgers.iter().map(|l| l.max_depth).max().unwrap();
+        let widest = ledgers.iter().map(|l| l.max_segments).max().unwrap();
+        assert_eq!(leaves, stats.leaves);
+        assert_eq!(bucketed, stats.total_segments);
+        assert_eq!(depth, stats.max_depth);
+        assert_eq!(widest, stats.max_segments);
+        for (i, l) in ledgers.iter().enumerate() {
+            assert_eq!(l.shard, i);
+        }
+    }
+
+    #[test]
+    fn arena_anchors_match_tree_walk_anchors() {
+        let nl = netlist_at(&[(10, 20), (31, 7), (55, 44)]);
+        let arena = DesignArena::from_netlist(&nl);
+        for r in refs(&nl) {
+            let walked = segment_anchor(&nl, r);
+            let flat = arena.anchor(arena.seg_id(r.net as usize, r.seg as usize));
+            assert_eq!(walked, flat, "{r:?}");
         }
     }
 

@@ -33,7 +33,7 @@ pub use solver::SolveError;
 
 pub use metrics::Metrics;
 pub use observer::{FlowCounters, LeafSpan, RoundSnapshot, SolveBackend, Stage, StageObserver};
-pub use select::{select_critical_nets, validate_ratio};
+pub use select::{select_critical_nets, select_critical_nets_flat, validate_ratio};
 
 use grid::Grid;
 use net::{Assignment, Netlist};

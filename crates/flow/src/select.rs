@@ -1,6 +1,6 @@
 //! Critical-net selection, shared by every backend.
 
-use timing::TimingReport;
+use timing::{DesignTiming, TimingReport};
 
 use crate::ConfigError;
 
@@ -23,6 +23,26 @@ pub fn select_critical_nets(report: &TimingReport, ratio: f64) -> Vec<usize> {
     }
     let count = ((report.len() as f64 * ratio).round() as usize).clamp(1, report.len());
     let mut order = report.nets_by_criticality();
+    order.truncate(count);
+    order
+}
+
+/// [`select_critical_nets`] over a flat [`DesignTiming`] cache instead
+/// of a per-net [`TimingReport`]. Selection is identical for identical
+/// delays (`DesignTiming` sorts with the same comparator over the same
+/// ascending-net pre-order), so engines may switch whole-design analysis
+/// to the SoA cache without perturbing the released set.
+///
+/// # Panics
+///
+/// Panics if `ratio` is negative or not finite.
+pub fn select_critical_nets_flat(timing: &DesignTiming, ratio: f64) -> Vec<usize> {
+    assert!(ratio.is_finite() && ratio >= 0.0, "invalid ratio {ratio}");
+    if timing.num_nets() == 0 || ratio == 0.0 {
+        return Vec::new();
+    }
+    let count = ((timing.num_nets() as f64 * ratio).round() as usize).clamp(1, timing.num_nets());
+    let mut order = timing.nets_by_criticality();
     order.truncate(count);
     order
 }

@@ -209,48 +209,117 @@ impl Error for ParseError {}
 /// Former name of [`ParseError`], kept for source compatibility.
 pub type ParseIspdError = ParseError;
 
-struct Tokens {
-    /// Token text plus the 1-based line it came from.
-    toks: Vec<(String, usize)>,
-    pos: usize,
-    /// Last line of the input, for end-of-file positions.
+/// Incremental whitespace tokenizer over a [`BufRead`].
+///
+/// Holds at most one input line at a time, so parsing a multi-megabyte
+/// benchmark never materializes the file as a token vector. Error
+/// positions match the old resident tokenizer exactly: the offending
+/// token with its 1-based line, or the file's last line (empty token)
+/// when the input ends early.
+struct Tokens<R> {
+    reader: R,
+    /// Tokens of the current line; `at` indexes the next unconsumed one.
+    line: Vec<String>,
+    at: usize,
+    /// 1-based number of the line `line` came from (0 before any read);
+    /// once the reader is drained, the total line count of the input.
+    line_no: usize,
+    /// Most recently consumed token and its line, for error positions.
+    last_tok: String,
     last_line: usize,
+    /// Set once the reader returns end of input.
+    eof: bool,
 }
 
-impl Tokens {
+impl<R: BufRead> Tokens<R> {
+    fn new(reader: R) -> Tokens<R> {
+        Tokens {
+            reader,
+            line: Vec::new(),
+            at: 0,
+            line_no: 0,
+            last_tok: String::new(),
+            last_line: 0,
+            eof: false,
+        }
+    }
+
+    /// Reads lines until one holds an unconsumed token; `false` at EOF.
+    ///
+    /// # Errors
+    ///
+    /// Wraps reader failures as [`ParseErrorKind::Io`] at the line being
+    /// read.
+    fn fill(&mut self) -> Result<bool, ParseError> {
+        let mut raw = String::new();
+        while self.at >= self.line.len() {
+            if self.eof {
+                return Ok(false);
+            }
+            raw.clear();
+            let n = self.reader.read_line(&mut raw).map_err(|e| ParseError {
+                line: self.line_no + 1,
+                token: e.to_string(),
+                kind: ParseErrorKind::Io,
+            })?;
+            if n == 0 {
+                self.eof = true;
+                return Ok(false);
+            }
+            self.line_no += 1;
+            self.line.clear();
+            self.line.extend(raw.split_whitespace().map(str::to_string));
+            self.at = 0;
+        }
+        Ok(true)
+    }
+
     fn err_here(&self, kind: ParseErrorKind) -> ParseError {
-        // The failing token is the one just consumed (pos was advanced).
-        let at = self.pos.checked_sub(1).and_then(|p| self.toks.get(p));
+        // The failing token is the one just consumed.
         ParseError {
-            line: at.map_or(self.last_line, |(_, l)| *l),
-            token: at.map_or(String::new(), |(t, _)| t.clone()),
+            line: if self.last_line == 0 {
+                self.line_no.max(1)
+            } else {
+                self.last_line
+            },
+            token: self.last_tok.clone(),
             kind,
         }
     }
 
     /// Line of the most recently consumed token.
     fn current_line(&self) -> usize {
-        self.pos
-            .checked_sub(1)
-            .and_then(|p| self.toks.get(p))
-            .map_or(self.last_line, |(_, l)| *l)
+        if self.last_line == 0 {
+            self.line_no.max(1)
+        } else {
+            self.last_line
+        }
     }
 
     fn next(&mut self) -> Result<&str, ParseError> {
-        match self.toks.get(self.pos) {
-            Some((t, _)) => {
-                self.pos += 1;
-                Ok(t)
-            }
-            None => {
-                self.pos += 1;
-                Err(ParseError {
-                    line: self.last_line,
-                    token: String::new(),
-                    kind: ParseErrorKind::UnexpectedEof,
-                })
-            }
+        if self.fill()? {
+            let t = self.line[self.at].as_str();
+            self.at += 1;
+            self.last_line = self.line_no;
+            self.last_tok.clear();
+            self.last_tok.push_str(t);
+            Ok(t)
+        } else {
+            Err(ParseError {
+                line: self.line_no.max(1),
+                token: String::new(),
+                kind: ParseErrorKind::UnexpectedEof,
+            })
         }
+    }
+
+    /// Whether any token remains (reading ahead as needed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader failures like [`Tokens::fill`].
+    fn has_more(&mut self) -> Result<bool, ParseError> {
+        self.fill()
     }
 
     fn next_f64(&mut self) -> Result<f64, ParseError> {
@@ -287,24 +356,29 @@ impl Tokens {
 /// carrying the 1-based line number and the offending token — and wraps
 /// I/O errors in the same type.
 pub fn parse(reader: impl BufRead) -> Result<IspdDesign, ParseError> {
-    let mut toks = Vec::new();
-    let mut line_no = 0usize;
-    for line in reader.lines() {
-        line_no += 1;
-        let line = line.map_err(|e| ParseError {
-            line: line_no,
-            token: e.to_string(),
-            kind: ParseErrorKind::Io,
-        })?;
-        for t in line.split_whitespace() {
-            toks.push((t.to_string(), line_no));
-        }
-    }
-    let mut t = Tokens {
-        toks,
-        pos: 0,
-        last_line: line_no.max(1),
-    };
+    let mut nets = Vec::new();
+    let mut design = parse_with(reader, |spec| nets.push(spec))?;
+    design.nets = nets;
+    Ok(design)
+}
+
+/// Streaming variant of [`parse`]: each net is handed to `on_net` the
+/// moment its pins are read, and the returned [`IspdDesign`] carries an
+/// *empty* `nets` list — only the header geometry and the adjustment
+/// list are resident. The tokenizer holds one input line at a time, so
+/// peak memory is the caller's, not the parser's: a million-segment
+/// design streams straight into whatever arena or router the sink
+/// feeds, with no intermediate `Vec<NetSpec>`.
+///
+/// # Errors
+///
+/// Identical to [`parse`]: a [`ParseError`] pinned to the offending
+/// line and token.
+pub fn parse_with(
+    reader: impl BufRead,
+    mut on_net: impl FnMut(NetSpec),
+) -> Result<IspdDesign, ParseError> {
+    let mut t = Tokens::new(reader);
 
     t.expect("grid")?;
     let grid_x = t.next_u32()? as u16;
@@ -353,7 +427,6 @@ pub fn parse(reader: impl BufRead) -> Result<IspdDesign, ParseError> {
         idx.clamp(0.0, max.saturating_sub(1) as f64) as u16
     };
 
-    let mut nets = Vec::with_capacity(num_nets);
     for _ in 0..num_nets {
         let name = t.next()?.to_string();
         let name_line = t.current_line();
@@ -383,12 +456,12 @@ pub fn parse(reader: impl BufRead) -> Result<IspdDesign, ParseError> {
                 kind: ParseErrorKind::EmptyNet,
             });
         }
-        nets.push(NetSpec::new(name, pins));
+        on_net(NetSpec::new(name, pins));
     }
 
     // Optional adjustment section.
     let mut adjustments = Vec::new();
-    if t.pos < t.toks.len() {
+    if t.has_more()? {
         let count = t.next_u32()? as usize;
         for _ in 0..count {
             let x1 = t.next_u32()? as u16;
@@ -417,7 +490,7 @@ pub fn parse(reader: impl BufRead) -> Result<IspdDesign, ParseError> {
         via_spacing,
         lower_left: (llx, lly),
         tile_size: (tile_w, tile_h),
-        nets,
+        nets: Vec::new(),
         adjustments,
     })
 }
@@ -552,6 +625,34 @@ netB 1 3 1
             assert_eq!(ac, bc);
         }
         assert_eq!(d.adjustments, d2.adjustments);
+    }
+
+    #[test]
+    fn streaming_sink_matches_resident_parse() {
+        let resident = parse(BufReader::new(SAMPLE.as_bytes())).unwrap();
+        let mut streamed = Vec::new();
+        let shell = parse_with(BufReader::new(SAMPLE.as_bytes()), |n| streamed.push(n)).unwrap();
+        assert!(shell.nets.is_empty(), "shell must not retain nets");
+        assert_eq!(streamed.len(), resident.nets.len());
+        for (a, b) in streamed.iter().zip(&resident.nets) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.pins, b.pins);
+        }
+        assert_eq!(shell.grid_x, resident.grid_x);
+        assert_eq!(shell.adjustments, resident.adjustments);
+    }
+
+    #[test]
+    fn streaming_error_positions_match_resident_parse() {
+        for broken in [
+            "grid 4 4 2\nvertical capacity 0".to_string(),
+            SAMPLE.replace("num net 2", "num net banana"),
+            SAMPLE.replace("35 25 1", "35 x 1"),
+        ] {
+            let a = parse(BufReader::new(broken.as_bytes())).unwrap_err();
+            let b = parse_with(BufReader::new(broken.as_bytes()), |_| {}).unwrap_err();
+            assert_eq!(a, b, "diverging errors for {broken:?}");
+        }
     }
 
     #[test]

@@ -26,5 +26,7 @@
 mod format;
 mod synthetic;
 
-pub use format::{parse, write, IspdDesign, ParseError, ParseErrorKind, ParseIspdError};
+pub use format::{
+    parse, parse_with, write, IspdDesign, ParseError, ParseErrorKind, ParseIspdError,
+};
 pub use synthetic::SyntheticConfig;

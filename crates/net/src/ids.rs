@@ -1,0 +1,80 @@
+//! Typed arena indices: `u32` newtypes for nets, segments and nodes.
+//!
+//! A [`DesignArena`](crate::DesignArena) mints these ids; they are plain
+//! `u32` indices in release builds. In debug builds every id additionally
+//! carries the *generation tag* of the arena that minted it, and arena
+//! accessors `debug_assert` the tag — so an id held across an arena
+//! rebuild, or handed to a different design's arena, panics instead of
+//! silently indexing the wrong design.
+
+/// Allocates generation tags for arenas (debug builds only).
+#[cfg(debug_assertions)]
+pub(crate) fn next_generation() -> u32 {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    // sync: Relaxed — a process-global counter handing out unique arena
+    // tags; atomicity alone gives uniqueness, and tags never order with
+    // respect to other memory operations.
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+macro_rules! arena_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+        pub struct $name {
+            idx: u32,
+            #[cfg(debug_assertions)]
+            tag: u32,
+        }
+
+        impl $name {
+            /// Mints an id for slot `idx` of the arena tagged `tag`.
+            /// (The tag is compiled out in release builds.)
+            #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+            pub(crate) fn new(idx: u32, tag: u32) -> $name {
+                $name {
+                    idx,
+                    #[cfg(debug_assertions)]
+                    tag,
+                }
+            }
+
+            /// The raw index. Prefer the arena accessors, which verify in
+            /// debug builds that the id belongs to the arena.
+            pub fn index(self) -> usize {
+                self.idx as usize
+            }
+
+            /// Debug-build check that this id was minted by the arena
+            /// with generation `tag`; a no-op in release builds.
+            #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+            pub(crate) fn check(self, tag: u32) {
+                #[cfg(debug_assertions)]
+                debug_assert_eq!(
+                    self.tag,
+                    tag,
+                    concat!(
+                        stringify!($name),
+                        " belongs to a different arena (stale id?)"
+                    )
+                );
+            }
+        }
+    };
+}
+
+arena_id! {
+    /// Index of a net within a [`DesignArena`](crate::DesignArena).
+    NetId
+}
+arena_id! {
+    /// Design-global segment index within a
+    /// [`DesignArena`](crate::DesignArena) (nets laid out back to back).
+    SegId
+}
+arena_id! {
+    /// Design-global tree-node index within a
+    /// [`DesignArena`](crate::DesignArena).
+    NodeId
+}

@@ -36,15 +36,19 @@
 //! # }
 //! ```
 
+mod arena;
 mod assignment;
+mod ids;
 mod netlist;
 mod pin;
 mod tree;
 
+pub use arena::DesignArena;
 pub use assignment::{apply_to_grid, remove_net_from_grid, restore_net_to_grid, Assignment};
+pub use ids::{NetId, NodeId, SegId};
 pub use netlist::{Netlist, SegmentRef};
 pub use pin::Pin;
-pub use tree::{BuildTreeError, RouteTree, RouteTreeBuilder, Segment, TreeNode};
+pub use tree::{BuildTreeError, NodeIter, RouteTree, RouteTreeBuilder, Segment, TreeNode};
 
 use grid::Cell;
 
@@ -202,7 +206,7 @@ impl Net {
     pub fn via_stacks(&self, layers: &[usize]) -> Vec<(Cell, usize, usize)> {
         assert_eq!(layers.len(), self.tree.num_segments());
         let mut out = Vec::new();
-        for (ni, node) in self.tree.nodes().iter().enumerate() {
+        for (ni, node) in self.tree.nodes().enumerate() {
             let mut lo = usize::MAX;
             let mut hi = 0usize;
             let mut any = false;
@@ -310,7 +314,7 @@ mod tests {
             let stacks = net.via_stacks(&layers);
             let span_sum: u64 = stacks.iter().map(|&(_, lo, hi)| (hi - lo) as u64).sum();
             assert_eq!(net.via_count(&layers), span_sum);
-            let node_cells: Vec<_> = net.tree().nodes().iter().map(|n| n.cell).collect();
+            let node_cells: Vec<_> = net.tree().nodes().map(|n| n.cell).collect();
             for &(cell, lo, hi) in &stacks {
                 assert!(lo < hi);
                 assert!(node_cells.contains(&cell));

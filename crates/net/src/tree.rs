@@ -1,9 +1,29 @@
 //! Routed net topologies: trees of straight wire segments.
+//!
+//! Storage is structure-of-arrays: per-node fields live in parallel flat
+//! vectors and the child lists are a CSR range (`child_start` offsets
+//! into one shared `children` buffer), so a million-segment design is a
+//! handful of contiguous allocations instead of one heap node per tree
+//! vertex. [`TreeNode`] is a cheap by-value view assembled on demand;
+//! traversal orders are unchanged from the per-node layout because the
+//! builder flattens each node's children in insertion order.
 
 use std::error::Error;
 use std::fmt;
 
 use grid::{Cell, Direction, Edge2d};
+
+/// Sentinel for "no index" in the flat `u32` arrays (`Option<u32>` at
+/// the API surface).
+const NONE: u32 = u32::MAX;
+
+fn opt(v: u32) -> Option<u32> {
+    if v == NONE {
+        None
+    } else {
+        Some(v)
+    }
+}
 
 /// Error returned by [`RouteTreeBuilder`] methods.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -48,8 +68,10 @@ impl fmt::Display for BuildTreeError {
 impl Error for BuildTreeError {}
 
 /// A vertex of a [`RouteTree`]: a grid cell, its tree links, and an
-/// optional pin.
-#[derive(Clone, PartialEq, Debug)]
+/// optional pin. This is a by-value view assembled from the tree's flat
+/// arrays; child segments are served separately by
+/// [`RouteTree::child_segments`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct TreeNode {
     /// Location of the node.
     pub cell: Cell,
@@ -57,8 +79,6 @@ pub struct TreeNode {
     pub parent: Option<u32>,
     /// Segment connecting this node to its parent.
     pub parent_segment: Option<u32>,
-    /// Segments from this node to its children.
-    pub child_segments: Vec<u32>,
     /// Pin index within the owning net, if a pin sits here.
     pub pin: Option<u32>,
 }
@@ -75,10 +95,21 @@ pub struct Segment {
 }
 
 /// A routed 2-D topology: a tree of straight [`Segment`]s rooted at the
-/// source pin's node (index 0).
+/// source pin's node (index 0), stored as flat parallel arrays.
 #[derive(Clone, PartialEq, Debug)]
 pub struct RouteTree {
-    nodes: Vec<TreeNode>,
+    cells: Vec<Cell>,
+    /// Parent node per node (`NONE` for the root).
+    parent: Vec<u32>,
+    /// Parent segment per node (`NONE` for the root).
+    parent_seg: Vec<u32>,
+    /// Pin index per node (`NONE` when no pin sits there).
+    pin: Vec<u32>,
+    /// CSR offsets into `children`; node `n` owns
+    /// `children[child_start[n]..child_start[n + 1]]`.
+    child_start: Vec<u32>,
+    /// Child segment indices, grouped per node in insertion order.
+    children: Vec<u32>,
     segments: Vec<Segment>,
 }
 
@@ -88,18 +119,26 @@ impl RouteTree {
         0
     }
 
-    /// All nodes.
-    pub fn nodes(&self) -> &[TreeNode] {
-        &self.nodes
+    /// All nodes, as by-value views in index order.
+    pub fn nodes(&self) -> NodeIter<'_> {
+        NodeIter {
+            tree: self,
+            next: 0,
+        }
     }
 
-    /// The node with index `n`.
+    /// The node with index `n`, as a by-value view.
     ///
     /// # Panics
     ///
     /// Panics if `n` is out of range.
-    pub fn node(&self, n: usize) -> &TreeNode {
-        &self.nodes[n]
+    pub fn node(&self, n: usize) -> TreeNode {
+        TreeNode {
+            cell: self.cells[n],
+            parent: opt(self.parent[n]),
+            parent_segment: opt(self.parent_seg[n]),
+            pin: opt(self.pin[n]),
+        }
     }
 
     /// All segments.
@@ -123,7 +162,7 @@ impl RouteTree {
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.cells.len()
     }
 
     /// Length of segment `s` in grid edges.
@@ -133,19 +172,19 @@ impl RouteTree {
     /// Panics if `s` is out of range.
     pub fn segment_length(&self, s: usize) -> u32 {
         let seg = self.segments[s];
-        self.nodes[seg.from as usize]
-            .cell
-            .manhattan(self.nodes[seg.to as usize].cell)
+        self.cells[seg.from as usize].manhattan(self.cells[seg.to as usize])
     }
 
     /// Index of the segment connecting node `n` to its parent.
     pub fn parent_segment(&self, n: usize) -> Option<usize> {
-        self.nodes[n].parent_segment.map(|s| s as usize)
+        opt(self.parent_seg[n]).map(|s| s as usize)
     }
 
-    /// Segments from node `n` down to its children.
+    /// Segments from node `n` down to its children, in insertion order.
     pub fn child_segments(&self, n: usize) -> &[u32] {
-        &self.nodes[n].child_segments
+        let lo = self.child_start[n] as usize;
+        let hi = self.child_start[n + 1] as usize;
+        &self.children[lo..hi]
     }
 
     /// The 2-D grid edges covered by segment `s`, in order from the
@@ -156,8 +195,8 @@ impl RouteTree {
     /// Panics if `s` is out of range.
     pub fn segment_edges(&self, s: usize) -> Vec<Edge2d> {
         let seg = self.segments[s];
-        let a = self.nodes[seg.from as usize].cell;
-        let b = self.nodes[seg.to as usize].cell;
+        let a = self.cells[seg.from as usize];
+        let b = self.cells[seg.to as usize];
         let mut out = Vec::with_capacity(a.manhattan(b) as usize);
         match seg.dir {
             Direction::Horizontal => {
@@ -204,7 +243,7 @@ impl RouteTree {
                 continue;
             }
             stack.push((node, true));
-            for &cs in &self.nodes[node].child_segments {
+            for &cs in self.child_segments(node) {
                 let child = self.segments[cs as usize].to as usize;
                 stack.push((child, false));
             }
@@ -219,7 +258,7 @@ impl RouteTree {
         let mut order = Vec::with_capacity(self.segments.len());
         let mut stack = vec![self.root()];
         while let Some(node) = stack.pop() {
-            for &cs in &self.nodes[node].child_segments {
+            for &cs in self.child_segments(node) {
                 order.push(cs as usize);
                 stack.push(self.segments[cs as usize].to as usize);
             }
@@ -246,7 +285,7 @@ impl RouteTree {
 
     /// Finds the node at `cell`, if any.
     pub fn find_node_at(&self, cell: Cell) -> Option<usize> {
-        self.nodes.iter().position(|n| n.cell == cell)
+        self.cells.iter().position(|&c| c == cell)
     }
 
     /// Total wirelength in grid edges.
@@ -267,7 +306,7 @@ impl RouteTree {
         if self.segments.is_empty() {
             return Err("tree has no segments".into());
         }
-        for (i, n) in self.nodes.iter().enumerate() {
+        for (i, n) in self.nodes().enumerate() {
             if n.cell.x >= width || n.cell.y >= height {
                 return Err(format!("node {i} at {} out of bounds", n.cell));
             }
@@ -281,8 +320,8 @@ impl RouteTree {
         }
         let mut covered = std::collections::HashSet::new();
         for (s, seg) in self.segments.iter().enumerate() {
-            let a = self.nodes[seg.from as usize].cell;
-            let b = self.nodes[seg.to as usize].cell;
+            let a = self.cells[seg.from as usize];
+            let b = self.cells[seg.to as usize];
             if a.x != b.x && a.y != b.y {
                 return Err(format!("segment {s} {a}->{b} is not straight"));
             }
@@ -297,7 +336,7 @@ impl RouteTree {
             if seg.dir != expect_dir {
                 return Err(format!("segment {s} direction mismatch"));
             }
-            if self.nodes[seg.to as usize].parent_segment != Some(s as u32) {
+            if self.parent_seg[seg.to as usize] != s as u32 {
                 return Err(format!("segment {s} child link broken"));
             }
             for e in self.segment_edges(s) {
@@ -310,10 +349,48 @@ impl RouteTree {
     }
 }
 
+/// Iterator over a tree's nodes as by-value [`TreeNode`] views.
+#[derive(Clone, Debug)]
+pub struct NodeIter<'a> {
+    tree: &'a RouteTree,
+    next: usize,
+}
+
+impl Iterator for NodeIter<'_> {
+    type Item = TreeNode;
+
+    fn next(&mut self) -> Option<TreeNode> {
+        if self.next >= self.tree.num_nodes() {
+            return None;
+        }
+        let n = self.tree.node(self.next);
+        self.next += 1;
+        Some(n)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.tree.num_nodes() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NodeIter<'_> {}
+
+/// Builder-side node: children kept as a per-node vector until
+/// [`RouteTreeBuilder::build`] flattens them into the CSR layout.
+#[derive(Clone, Debug)]
+struct BuilderNode {
+    cell: Cell,
+    parent: Option<u32>,
+    parent_segment: Option<u32>,
+    child_segments: Vec<u32>,
+    pin: Option<u32>,
+}
+
 /// Incremental builder for [`RouteTree`], used by routers.
 #[derive(Clone, Debug)]
 pub struct RouteTreeBuilder {
-    nodes: Vec<TreeNode>,
+    nodes: Vec<BuilderNode>,
     segments: Vec<Segment>,
 }
 
@@ -321,7 +398,7 @@ impl RouteTreeBuilder {
     /// Starts a tree rooted at `root` (the source pin's cell).
     pub fn new(root: Cell) -> RouteTreeBuilder {
         RouteTreeBuilder {
-            nodes: vec![TreeNode {
+            nodes: vec![BuilderNode {
                 cell: root,
                 parent: None,
                 parent_segment: None,
@@ -384,7 +461,7 @@ impl RouteTreeBuilder {
             to: node_idx as u32,
             dir,
         });
-        self.nodes.push(TreeNode {
+        self.nodes.push(BuilderNode {
             cell: to_cell,
             parent: Some(from as u32),
             parent_segment: Some(seg_idx as u32),
@@ -438,7 +515,7 @@ impl RouteTreeBuilder {
         let mid_idx = self.nodes.len();
         let new_seg_idx = self.segments.len();
         // New node takes over the child-side half.
-        self.nodes.push(TreeNode {
+        self.nodes.push(BuilderNode {
             cell,
             parent: Some(s.from),
             parent_segment: Some(seg as u32),
@@ -497,7 +574,11 @@ impl RouteTreeBuilder {
         })
     }
 
-    /// Finishes the tree.
+    /// Finishes the tree, flattening per-node child lists into the CSR
+    /// layout. Children are laid out in node order with each node's
+    /// insertion order preserved, so traversal orders — and therefore all
+    /// delay arithmetic downstream — are bit-identical to the per-node
+    /// layout.
     ///
     /// # Errors
     ///
@@ -506,8 +587,29 @@ impl RouteTreeBuilder {
         if self.segments.is_empty() {
             return Err(BuildTreeError::Empty);
         }
+        let n = self.nodes.len();
+        let mut cells = Vec::with_capacity(n);
+        let mut parent = Vec::with_capacity(n);
+        let mut parent_seg = Vec::with_capacity(n);
+        let mut pin = Vec::with_capacity(n);
+        let mut child_start = Vec::with_capacity(n + 1);
+        let mut children = Vec::with_capacity(self.segments.len());
+        for node in &self.nodes {
+            cells.push(node.cell);
+            parent.push(node.parent.unwrap_or(NONE));
+            parent_seg.push(node.parent_segment.unwrap_or(NONE));
+            pin.push(node.pin.unwrap_or(NONE));
+            child_start.push(children.len() as u32);
+            children.extend_from_slice(&node.child_segments);
+        }
+        child_start.push(children.len() as u32);
         Ok(RouteTree {
-            nodes: self.nodes,
+            cells,
+            parent,
+            parent_seg,
+            pin,
+            child_start,
+            children,
             segments: self.segments,
         })
     }
@@ -621,5 +723,19 @@ mod tests {
         assert_eq!(b.find_segment_through(Cell::new(2, 0)), Some(0));
         assert_eq!(b.find_segment_through(Cell::new(0, 0)), None);
         assert_eq!(b.find_segment_through(Cell::new(3, 0)), None);
+    }
+
+    #[test]
+    fn csr_children_match_insertion_order() {
+        let t = y_tree();
+        // Root (node 0) has one child segment: 0. The split node (index
+        // 2 after split) carries segments 1 (child-side half) then 2
+        // (branch), in that insertion order.
+        assert_eq!(t.child_segments(0), &[0]);
+        let mid = t.find_node_at(Cell::new(1, 0)).unwrap();
+        assert_eq!(t.child_segments(mid), &[1, 2]);
+        assert_eq!(t.nodes().len(), t.num_nodes());
+        let cells: Vec<Cell> = t.nodes().map(|n| n.cell).collect();
+        assert_eq!(cells.len(), 4);
     }
 }

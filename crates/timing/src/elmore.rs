@@ -119,7 +119,7 @@ impl NetTiming {
 
         // -------- sink delays (including the pin drop-via) --------
         let mut sink_delays = Vec::with_capacity(net.pins().len() - 1);
-        for (ni, node) in tree.nodes().iter().enumerate() {
+        for (ni, node) in tree.nodes().enumerate() {
             let Some(p) = node.pin else { continue };
             if p == 0 {
                 continue;

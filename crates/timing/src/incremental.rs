@@ -357,7 +357,7 @@ impl<'a> IncrementalTiming<'a> {
             node_delay[v] = node_delay[u] + via + wire;
         }
         let mut out = Vec::with_capacity(self.net.pins().len() - 1);
-        for (ni, node) in tree.nodes().iter().enumerate() {
+        for (ni, node) in tree.nodes().enumerate() {
             let Some(p) = node.pin else { continue };
             if p == 0 {
                 continue;

@@ -46,9 +46,11 @@ mod histogram;
 mod incremental;
 mod report;
 mod slack;
+mod soa;
 
 pub use elmore::{segment_delay_on_layer, NetTiming};
 pub use histogram::DelayHistogram;
 pub use incremental::{IncrementalTiming, TimingModel};
 pub use report::{analyze, analyze_nets, TimingReport};
 pub use slack::{RequiredTimes, SlackReport};
+pub use soa::DesignTiming;

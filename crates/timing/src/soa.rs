@@ -1,0 +1,316 @@
+//! Design-wide Elmore cache in flat arrays.
+//!
+//! [`NetTiming`](crate::NetTiming) allocates three result vectors per
+//! net, which is fine for the released subset but wasteful when timing
+//! an entire million-segment design (the whole-design analysis that
+//! feeds critical-net selection). [`DesignTiming`] runs the identical
+//! per-net recursions — same traversal order, same arithmetic, so every
+//! delay is bit-identical to `NetTiming` — but writes results into
+//! design-global arrays laid out by a [`DesignArena`]'s CSR ranges:
+//! one `downstream_cap` slot per global segment, one delay per global
+//! node, one critical delay per net.
+
+use grid::Grid;
+use net::{Assignment, DesignArena, Netlist};
+
+/// Elmore timing of a whole design under one assignment, stored as
+/// flat per-segment / per-node / per-net arrays.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DesignTiming {
+    /// CSR copy: net `n` owns segments `seg_start[n]..seg_start[n+1]`.
+    seg_start: Vec<u32>,
+    /// CSR copy: net `n` owns nodes `node_start[n]..node_start[n+1]`.
+    node_start: Vec<u32>,
+    /// Downstream capacitance per design-global segment.
+    downstream_cap: Vec<f64>,
+    /// Elmore delay per design-global tree node.
+    node_delay: Vec<f64>,
+    /// Critical-path delay per net (0.0 for sink-free nets).
+    critical: Vec<f64>,
+    /// Driver load per net.
+    total_cap: Vec<f64>,
+}
+
+impl DesignTiming {
+    /// Times every net of the design, writing into flat arrays sized by
+    /// `arena`'s layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arena` does not describe `netlist` (mismatched segment
+    /// counts) or the assignment mismatches the netlist.
+    pub fn compute(
+        grid: &Grid,
+        netlist: &Netlist,
+        arena: &DesignArena,
+        assignment: &Assignment,
+    ) -> DesignTiming {
+        assert_eq!(
+            arena.num_segments(),
+            netlist.num_segments(),
+            "arena does not describe this netlist"
+        );
+        let mut downstream_cap = vec![0.0f64; arena.num_segments()];
+        let mut node_delay = vec![0.0f64; arena.num_nodes()];
+        let mut critical = Vec::with_capacity(netlist.len());
+        let mut total_caps = Vec::with_capacity(netlist.len());
+        let mut seg_start = Vec::with_capacity(netlist.len() + 1);
+        let mut node_start = Vec::with_capacity(netlist.len() + 1);
+        seg_start.push(0u32);
+        node_start.push(0u32);
+        // Reused per-net sink scratch (pin index, delay).
+        let mut sinks: Vec<(usize, f64)> = Vec::new();
+
+        for (ni, net) in netlist.nets().iter().enumerate() {
+            let tree = net.tree();
+            let layers = assignment.net_layers(ni);
+            let sb = arena.seg_base(ni);
+            let nb = arena.node_base(ni);
+            let cap = &mut downstream_cap[sb..sb + tree.num_segments()];
+            let delay = &mut node_delay[nb..nb + tree.num_nodes()];
+
+            // Bottom-up downstream capacitance — the recursion of
+            // `NetTiming::compute`, writing into the design-global slice.
+            let node_pin_cap = |node: usize| -> f64 {
+                match tree.node(node).pin {
+                    Some(0) | None => 0.0,
+                    Some(p) => net.pins()[p as usize].capacitance,
+                }
+            };
+            for s in tree.postorder_segments() {
+                let child_node = tree.segment(s).to as usize;
+                let mut cd = node_pin_cap(child_node);
+                for &cs in tree.child_segments(child_node) {
+                    let cs = cs as usize;
+                    let len = tree.segment_length(cs) as f64;
+                    let wire_cap = grid.layer(layers[cs]).unit_capacitance * len;
+                    cd += wire_cap + cap[cs];
+                }
+                cap[s] = cd;
+            }
+            let root = tree.root();
+            let mut total_cap = node_pin_cap(root);
+            for &cs in tree.child_segments(root) {
+                let cs = cs as usize;
+                let len = tree.segment_length(cs) as f64;
+                total_cap += grid.layer(layers[cs]).unit_capacitance * len + cap[cs];
+            }
+
+            // Top-down node delays.
+            delay[root] = net.driver_resistance * total_cap;
+            for s in tree.preorder_segments() {
+                let seg = tree.segment(s);
+                let (u, v) = (seg.from as usize, seg.to as usize);
+                let len = tree.segment_length(s) as f64;
+                let lay = grid.layer(layers[s]);
+                let r = lay.unit_resistance * len;
+                let c = lay.unit_capacitance * len;
+                let entry_layer = match tree.parent_segment(u) {
+                    Some(ps) => layers[ps],
+                    None => net.source().layer,
+                };
+                let (lo, hi) = if entry_layer <= layers[s] {
+                    (entry_layer, layers[s])
+                } else {
+                    (layers[s], entry_layer)
+                };
+                let via_r = grid.via_stack_resistance(lo, hi);
+                let entry_cd = match tree.parent_segment(u) {
+                    Some(ps) => cap[ps],
+                    None => total_cap,
+                };
+                let via_delay = via_r * entry_cd.min(cap[s]);
+                delay[v] = delay[u] + via_delay + r * (c / 2.0 + cap[s]);
+            }
+
+            // Sink delays (with the pin drop-via), reduced straight to
+            // the net's critical delay.
+            sinks.clear();
+            for (nn, node) in tree.nodes().enumerate() {
+                let Some(p) = node.pin else { continue };
+                if p == 0 {
+                    continue;
+                }
+                let pin = &net.pins()[p as usize];
+                let metal_layer = match tree.parent_segment(nn) {
+                    Some(ps) => layers[ps],
+                    None => pin.layer,
+                };
+                let (lo, hi) = if pin.layer <= metal_layer {
+                    (pin.layer, metal_layer)
+                } else {
+                    (metal_layer, pin.layer)
+                };
+                let drop_delay = grid.via_stack_resistance(lo, hi) * pin.capacitance;
+                sinks.push((p as usize, delay[nn] + drop_delay));
+            }
+            sinks.sort_by_key(|&(p, _)| p);
+            critical.push(sinks.iter().map(|&(_, d)| d).fold(0.0f64, f64::max));
+            total_caps.push(total_cap);
+            seg_start.push((sb + tree.num_segments()) as u32);
+            node_start.push((nb + tree.num_nodes()) as u32);
+        }
+
+        DesignTiming {
+            seg_start,
+            node_start,
+            downstream_cap,
+            node_delay,
+            critical,
+            total_cap: total_caps,
+        }
+    }
+
+    /// Number of timed nets.
+    pub fn num_nets(&self) -> usize {
+        self.critical.len()
+    }
+
+    /// Critical-path delay of net `n` (0.0 for sink-free nets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn critical_delay(&self, n: usize) -> f64 {
+        self.critical[n]
+    }
+
+    /// All critical delays, indexed by net.
+    pub fn critical_delays(&self) -> &[f64] {
+        &self.critical
+    }
+
+    /// Downstream capacitances of net `n`, indexed by within-net
+    /// segment.
+    pub fn downstream_caps(&self, n: usize) -> &[f64] {
+        let lo = self.seg_start[n] as usize;
+        let hi = self.seg_start[n + 1] as usize;
+        &self.downstream_cap[lo..hi]
+    }
+
+    /// Elmore node delays of net `n`, indexed by within-net node.
+    pub fn node_delays(&self, n: usize) -> &[f64] {
+        let lo = self.node_start[n] as usize;
+        let hi = self.node_start[n + 1] as usize;
+        &self.node_delay[lo..hi]
+    }
+
+    /// Driver load of net `n`.
+    pub fn total_cap(&self, n: usize) -> f64 {
+        self.total_cap[n]
+    }
+
+    /// Mean critical delay over all nets (0.0 when empty).
+    pub fn avg_critical_delay(&self) -> f64 {
+        if self.critical.is_empty() {
+            return 0.0;
+        }
+        self.critical.iter().sum::<f64>() / self.critical.len() as f64
+    }
+
+    /// Worst critical delay over all nets (0.0 when empty).
+    pub fn max_critical_delay(&self) -> f64 {
+        self.critical.iter().copied().fold(0.0f64, f64::max)
+    }
+
+    /// Net indices sorted by decreasing critical delay — the same
+    /// comparator and pre-sort order as
+    /// [`TimingReport::nets_by_criticality`](crate::TimingReport::nets_by_criticality),
+    /// so selection built on either is identical.
+    pub fn nets_by_criticality(&self) -> Vec<usize> {
+        let mut order: Vec<(usize, f64)> = self.critical.iter().copied().enumerate().collect();
+        order.sort_by(|a, b| b.1.total_cmp(&a.1));
+        order.into_iter().map(|(i, _)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetTiming;
+    use grid::{Cell, Direction, GridBuilder};
+    use net::{Net, Pin, RouteTreeBuilder};
+
+    /// A small design with a straight net and a Y-shaped net.
+    fn fixture() -> (Grid, Netlist, Assignment) {
+        let grid = GridBuilder::new(16, 16)
+            .alternating_layers(4, Direction::Horizontal)
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new();
+
+        let mut b = RouteTreeBuilder::new(Cell::new(0, 0));
+        let end = b.add_segment(b.root(), Cell::new(6, 0)).unwrap();
+        b.attach_pin(b.root(), 0).unwrap();
+        b.attach_pin(end, 1).unwrap();
+        nl.push(Net::new(
+            "straight",
+            vec![
+                Pin::source(Cell::new(0, 0), 0.0),
+                Pin::sink(Cell::new(6, 0), 2.0),
+            ],
+            b.build().unwrap(),
+        ));
+
+        let mut b = RouteTreeBuilder::new(Cell::new(0, 4));
+        let j = b.add_segment(b.root(), Cell::new(4, 4)).unwrap();
+        let far = b.add_segment(j, Cell::new(4, 9)).unwrap();
+        let near = b.add_segment(j, Cell::new(7, 4)).unwrap();
+        b.attach_pin(b.root(), 0).unwrap();
+        b.attach_pin(far, 1).unwrap();
+        b.attach_pin(near, 2).unwrap();
+        let mut y = Net::new(
+            "y",
+            vec![
+                Pin::source(Cell::new(0, 4), 0.0),
+                Pin::sink(Cell::new(4, 9), 2.0),
+                Pin::sink(Cell::new(7, 4), 1.0),
+            ],
+            b.build().unwrap(),
+        );
+        y.driver_resistance = 3.0;
+        nl.push(y);
+
+        let a = Assignment::lowest_layers(&nl, &grid);
+        (grid, nl, a)
+    }
+
+    #[test]
+    fn bitwise_matches_per_net_timing() {
+        let (g, nl, a) = fixture();
+        let arena = DesignArena::from_netlist(&nl);
+        let dt = DesignTiming::compute(&g, &nl, &arena, &a);
+        for ni in 0..nl.len() {
+            let t = NetTiming::compute(&g, nl.net(ni), a.net_layers(ni));
+            assert_eq!(
+                dt.critical_delay(ni).to_bits(),
+                t.critical_delay().to_bits()
+            );
+            assert_eq!(dt.total_cap(ni).to_bits(), t.total_cap().to_bits());
+            assert_eq!(dt.downstream_caps(ni).len(), t.downstream_caps().len());
+            for (s, &cd) in t.downstream_caps().iter().enumerate() {
+                assert_eq!(dt.downstream_caps(ni)[s].to_bits(), cd.to_bits());
+            }
+            for n in 0..nl.net(ni).tree().num_nodes() {
+                assert_eq!(dt.node_delays(ni)[n].to_bits(), t.node_delay(n).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn criticality_order_matches_report() {
+        let (g, nl, a) = fixture();
+        let arena = DesignArena::from_netlist(&nl);
+        let dt = DesignTiming::compute(&g, &nl, &arena, &a);
+        let report = crate::analyze(&g, &nl, &a);
+        assert_eq!(dt.nets_by_criticality(), report.nets_by_criticality());
+        assert_eq!(
+            dt.avg_critical_delay().to_bits(),
+            report.avg_critical_delay().to_bits()
+        );
+        assert_eq!(
+            dt.max_critical_delay().to_bits(),
+            report.max_critical_delay().to_bits()
+        );
+    }
+}
