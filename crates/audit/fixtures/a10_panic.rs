@@ -1,0 +1,27 @@
+//@ crate: timing
+//@ kind: lib
+// Rule A10: every `pub` library fn transitively reaching a panic sink
+// is reported against the committed baseline (empty for fixtures), so
+// each one below carries a planted A10 on its definition line.
+
+pub fn entry(values: &[f64]) -> f64 { //~ A10
+    inner(values)
+}
+
+fn inner(values: &[f64]) -> f64 {
+    values[0]
+}
+
+pub fn direct(x: Option<f64>) -> f64 { //~ A10
+    // invariant: callers only pass Some (A1-justified; A10 still reports)
+    x.unwrap()
+}
+
+pub fn clean(a: f64, b: f64) -> f64 {
+    a + b
+}
+
+pub(crate) fn internal(values: &[f64]) -> f64 {
+    // pub(crate) propagates reachability but is not itself reported.
+    values[0]
+}

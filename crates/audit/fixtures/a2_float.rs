@@ -2,7 +2,7 @@
 //@ kind: lib
 // Rule A2: NaN-unsafe float comparisons in the numerical crates.
 
-pub fn pick(values: &[f64], x: f64, nan: f64) -> f64 {
+pub fn pick(values: &[f64], x: f64, nan: f64) -> f64 { //~ A10
     if x == 0.0 { //~ A2
         return 1.0;
     }
@@ -14,7 +14,7 @@ pub fn pick(values: &[f64], x: f64, nan: f64) -> f64 {
     best.unwrap()
 }
 
-pub fn rank(values: &mut [f64]) {
+pub fn rank(values: &mut [f64]) { //~ A10
     values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN")); //~ A2 A2 A1
 }
 

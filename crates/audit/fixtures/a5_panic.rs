@@ -2,24 +2,24 @@
 //@ kind: lib
 // Rule A5: `pub fn` returning `()` may not hide reachable panics.
 
-pub fn apply(x: u32) {
+pub fn apply(x: u32) { //~ A10
     if x > 3 {
         panic!("out of range"); //~ A5
     }
 }
 
-pub fn unfinished() {
+pub fn unfinished() { //~ A10
     todo!() //~ A5
 }
 
-pub fn checked(x: u32) -> Result<(), String> {
+pub fn checked(x: u32) -> Result<(), String> { //~ A10
     if x > 3 {
         panic!("a Result-returning fn gives callers a failure channel");
     }
     Ok(())
 }
 
-pub fn guarded(x: u32) {
+pub fn guarded(x: u32) { //~ A10
     // invariant: x was validated by the parser; > 3 cannot reach here
     if x > 3 {
         panic!("unreachable");

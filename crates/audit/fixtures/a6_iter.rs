@@ -1,0 +1,49 @@
+//@ crate: cpla
+//@ kind: lib
+// Rule A6: hash iteration order must be restored or justified.
+
+fn merge(scores: &HashMap<u32, f64>, out: &mut Vec<f64>) {
+    for (_, v) in scores.iter() { //~ A6
+        out.push(*v);
+    }
+}
+
+fn spill(seen: &HashSet<u32>, out: &mut Vec<u32>) {
+    for id in seen { //~ A6
+        out.push(*id);
+    }
+}
+
+fn per_shard(buckets: &Vec<HashSet<u32>>, shard: usize, out: &mut Vec<u32>) {
+    for id in &buckets[shard] { //~ A6
+        out.push(*id);
+    }
+}
+
+fn ranked(scores: &HashMap<u32, f64>) -> Vec<u32> {
+    let mut ids: Vec<u32> = scores.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn total(scores: &HashMap<u32, f64>) -> f64 {
+    scores.values().sum()
+}
+
+fn rebucketed(scores: &HashMap<u32, f64>) -> BTreeMap<u32, f64> {
+    scores.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+fn justified(seen: &HashSet<u32>, out: &mut Vec<u32>) {
+    // order: dedup membership only; the single caller sorts before output
+    for id in seen.iter() {
+        out.push(*id);
+    }
+}
+
+fn ordered_outer(per_leaf: &Vec<Vec<u32>>, out: &mut Vec<u32>) {
+    // A Vec of Vecs iterates in a deterministic order: no finding.
+    for leaf in per_leaf {
+        out.extend(leaf);
+    }
+}

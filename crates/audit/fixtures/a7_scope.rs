@@ -1,0 +1,50 @@
+//@ crate: cpla
+//@ kind: lib
+// Rule A7: mutable state or interior mutability captured across a
+// `thread::scope` spawn needs a `// sync:` happens-before argument.
+
+fn racy(totals: &mut Vec<f64>, shards: &[Shard]) {
+    std::thread::scope(|s| {
+        for shard in shards {
+            s.spawn(|| accumulate(&mut totals, shard)); //~ A7
+        }
+    });
+}
+
+fn cellular(shared: &RefCell<State>) {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            touch(shared); // the RefCell name below is the flagged token
+            let guard: &RefCell<State> = shared; //~ A7
+            guard.borrow_mut().bump();
+        });
+    });
+}
+
+fn sharded(ledgers: &mut [Ledger]) {
+    // Blessed: each spawn moves in a disjoint `&mut` minted by
+    // `iter_mut()` *outside* the closure.
+    std::thread::scope(|s| {
+        for ledger in ledgers.iter_mut() {
+            s.spawn(move || fill(ledger));
+        }
+    });
+}
+
+fn scratch_local() {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut scratch = Vec::new();
+            fill(&mut scratch);
+        });
+    });
+}
+
+fn justified(acc: &mut Acc) {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            // sync: single spawn; scope joins before acc is read again
+            bump(&mut acc);
+        });
+    });
+}

@@ -1,0 +1,36 @@
+//@ crate: net
+//@ kind: lib
+// Rule A8: lossy `as` narrowing on id-carrying values.
+
+fn mint(idx: usize, gen: Generation) -> NetId {
+    NetId::new(idx as u32, gen) //~ A8
+}
+
+fn pack(seg_idx: usize) -> u32 {
+    seg_idx as u32 //~ A8
+}
+
+fn offset(lo: usize, seg: usize) -> u32 {
+    (lo + seg) as u32 //~ A8
+}
+
+fn place(slot: f64) -> usize {
+    slot.floor() as usize //~ A8
+}
+
+fn checked(idx: usize) -> u32 {
+    // cast: arena build caps ids below 2^32 (checked in DesignArena::build)
+    idx as u32
+}
+
+fn exact(idx: usize) -> Result<u32, core::num::TryFromIntError> {
+    u32::try_from(idx)
+}
+
+fn widened(id: u32) -> u64 {
+    id as u64
+}
+
+fn not_an_id(byte_count: usize) -> i64 {
+    byte_count as i64
+}

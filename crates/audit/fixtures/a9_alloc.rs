@@ -1,0 +1,46 @@
+//@ crate: solver
+//@ kind: lib
+//@ path: crates/solver/src/sdp.rs
+// Rule A9: allocation inside hot-path loops (the `path:` directive
+// places this fixture in a hot module; A9 matches on path).
+
+fn per_iteration(rows: &[Row]) -> f64 {
+    let mut acc = 0.0;
+    for row in rows {
+        let scratch = row.values.to_vec(); //~ A9
+        acc += total(&scratch);
+    }
+    acc
+}
+
+fn growing(rows: &[Row], out: &mut Vec<Row>) {
+    for row in rows {
+        let mut buf = Vec::new(); //~ A9
+        buf.extend(row.values.iter());
+        out.push(row.clone()); //~ A9
+    }
+}
+
+fn literal(n: usize) -> f64 {
+    let mut acc = 0.0;
+    while acc < 10.0 {
+        let weights = vec![0.0; n]; //~ A9
+        acc += weights.len() as f64;
+    }
+    acc
+}
+
+fn hoisted(rows: &[Row]) -> Vec<f64> {
+    let mut scratch = Vec::with_capacity(rows.len());
+    for row in rows {
+        scratch.push(row.weight);
+    }
+    scratch
+}
+
+fn retained(rows: &[Row], out: &mut Vec<Vec<f64>>) {
+    for row in rows {
+        // alloc: one result row per input row, retained past the loop
+        out.push(row.values.to_vec());
+    }
+}

@@ -1,0 +1,486 @@
+//! Workspace call graph and the panic-reachability pass (rule A10).
+//!
+//! Built on [`crate::syntax`]'s recovered `fn` items: every function
+//! body is scanned for *panic sinks* (panic-family macros, `.unwrap()`
+//! / `.expect()` not `?`-propagated, and expression-position indexing)
+//! and for *calls* (name-position idents followed by `(`). Calls
+//! resolve by bare name to every workspace function sharing it — a
+//! deliberate overapproximation (no type information), which errs
+//! toward *reporting* reachability, never toward hiding it. A fixpoint
+//! then propagates the union of reachable sink kinds up the graph.
+//!
+//! The pass reports every plain-`pub` function of a library crate that
+//! transitively reaches a sink. The report is a stable, sorted,
+//! line-oriented text (`crate::fn: kind kind …`) committed at
+//! [`BASELINE_PATH`]; [`diff_baseline`] turns any drift — a newly
+//! panic-reaching `pub` fn, a sink-kind change, or a stale entry —
+//! into rule-A10 findings so CI fails until the baseline is
+//! regenerated deliberately (`cpla-audit --panic-report`).
+//!
+//! `// invariant:` annotations do *not* exempt a function here: the
+//! report is about what *can* panic, not about what is justified. The
+//! baseline is the reviewed ledger of accepted panic surface.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{TokKind, Token};
+use crate::rules::{FileClass, FileUnit, Finding, Rule};
+use crate::syntax::{self, Vis};
+
+/// Workspace-relative path of the committed panic baseline.
+pub const BASELINE_PATH: &str = "crates/audit/panic_baseline.txt";
+
+/// Sink kinds, ordered as rendered (alphabetical).
+const KINDS: &[&str] = &["assert", "indexing", "panic", "unwrap"];
+
+/// Keywords that may precede `[` without making it an indexing site,
+/// and that are never call names.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Path qualifiers that name std types/modules: a call written
+/// `Vec::new(…)` or `f64::max(…)` cannot target a workspace fn, so
+/// resolving its bare name against the workspace would fabricate call
+/// edges (every `X::new` reaching every workspace `new`). Workspace
+/// type names are NOT listed — `Self::helper(…)` and
+/// `DesignArena::build(…)` still resolve.
+const STD_QUALIFIERS: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Option",
+    "Result",
+    "Some",
+    "Ok",
+    "Err",
+    "Arc",
+    "Rc",
+    "Mutex",
+    "RwLock",
+    "Cell",
+    "RefCell",
+    "Cow",
+    "Path",
+    "PathBuf",
+    "OsStr",
+    "OsString",
+    "Instant",
+    "Duration",
+    "Ordering",
+    "Reverse",
+    "Range",
+    "Wrapping",
+    "NonZeroU32",
+    "NonZeroUsize",
+    "AtomicBool",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "f32",
+    "f64",
+    "bool",
+    "char",
+    "str",
+    "std",
+    "core",
+    "alloc",
+    "iter",
+    "slice",
+    "cmp",
+    "mem",
+    "ptr",
+    "fmt",
+    "fs",
+    "io",
+    "env",
+    "thread",
+    "process",
+    "array",
+    "char",
+];
+
+/// Panic-family macros (`debug_assert*` is excluded: compiled out of
+/// release builds, where the determinism guarantee is measured).
+const PANIC_MACROS: &[(&str, &str)] = &[
+    ("panic", "panic"),
+    ("todo", "panic"),
+    ("unimplemented", "panic"),
+    ("unreachable", "panic"),
+    ("assert", "assert"),
+    ("assert_eq", "assert"),
+    ("assert_ne", "assert"),
+];
+
+/// One pub library function that transitively reaches a panic sink.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PanicEntry {
+    /// Owning crate name.
+    pub krate: String,
+    /// Function name.
+    pub name: String,
+    /// Workspace-relative path of (one of) its definition site(s).
+    pub path: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// Union of sink kinds reachable from the function.
+    pub kinds: BTreeSet<&'static str>,
+}
+
+impl PanicEntry {
+    /// The stable baseline line for this entry (no file/line — those
+    /// churn on every unrelated edit).
+    pub fn baseline_line(&self) -> String {
+        let kinds: Vec<&str> = self.kinds.iter().copied().collect();
+        format!("{}::{}: {}", self.krate, self.name, kinds.join(" "))
+    }
+}
+
+/// Per-function facts gathered before the fixpoint.
+#[derive(Default)]
+struct FnFacts {
+    vis: Vis,
+    path: String,
+    line: u32,
+    in_lib: bool,
+    direct: BTreeSet<&'static str>,
+    calls: BTreeSet<String>,
+}
+
+fn is_punct(t: &Token, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+fn is_keyword(t: &Token) -> bool {
+    KEYWORDS.contains(&t.text.as_str())
+}
+
+/// Scans a function body for direct panic sinks and callee names.
+fn scan_body(unit: &FileUnit, lo: usize, hi: usize, facts: &mut FnFacts) {
+    let toks = &unit.lexed.tokens;
+    let hi = hi.min(toks.len());
+    for i in lo..hi {
+        if unit.lexed.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && !is_keyword(t) {
+            let next = toks.get(i + 1);
+            // Macro sinks: `panic!(…)` etc.
+            if next.map(|n| is_punct(n, "!")) == Some(true) {
+                if let Some(&(_, kind)) = PANIC_MACROS.iter().find(|&&(m, _)| m == t.text) {
+                    facts.direct.insert(kind);
+                }
+                continue;
+            }
+            // `.unwrap()` / `.expect(…)` — `?`-propagated expect-style
+            // methods are Result-returning, not panic sites (same
+            // exemption rule A1 applies).
+            if (t.text == "unwrap" || t.text == "expect")
+                && i > 0
+                && is_punct(&toks[i - 1], ".")
+                && next.map(|n| is_punct(n, "(")) == Some(true)
+            {
+                let close = syntax::matching_close(toks, i + 1);
+                if toks.get(close + 1).map(|n| is_punct(n, "?")) != Some(true) {
+                    facts.direct.insert("unwrap");
+                }
+                continue;
+            }
+            // A call: name position directly before `(`. Skip calls
+            // qualified by a std type/module path — their bare name
+            // cannot target a workspace fn.
+            if next.map(|n| is_punct(n, "(")) == Some(true) {
+                let std_qualified = i >= 2
+                    && is_punct(&toks[i - 1], "::")
+                    && STD_QUALIFIERS.contains(&toks[i - 2].text.as_str());
+                if !std_qualified {
+                    facts.calls.insert(t.text.clone());
+                }
+            }
+        }
+        // Expression-position indexing: `[` after an ident, `)` or `]`
+        // (macro brackets follow `!` and are excluded by the ident arm
+        // above consuming the macro name).
+        if is_punct(t, "[") && i > 0 {
+            let prev = &toks[i - 1];
+            let expr_pos = (prev.kind == TokKind::Ident && !is_keyword(prev))
+                || is_punct(prev, ")")
+                || is_punct(prev, "]");
+            if expr_pos {
+                facts.direct.insert("indexing");
+            }
+        }
+    }
+}
+
+/// Builds the panic-reachability report over `units`: every plain-`pub`
+/// function of a library-classed file that transitively reaches a
+/// sink, sorted by `crate::name`.
+pub fn panic_report(units: &[FileUnit]) -> Vec<PanicEntry> {
+    // Gather per-(crate, fn-name) facts; same-named fns in one crate
+    // (trait impls) merge — union of sinks and calls.
+    let mut fns: BTreeMap<(String, String), FnFacts> = BTreeMap::new();
+    for unit in units {
+        if unit.class != FileClass::Lib {
+            continue;
+        }
+        let structure = syntax::analyze(&unit.lexed);
+        for f in &structure.fns {
+            if unit.lexed.in_test.get(f.fn_tok).copied() == Some(true) {
+                continue;
+            }
+            let Some((blo, bhi)) = f.body else { continue };
+            let key = (unit.crate_name.clone(), f.name.clone());
+            let facts = fns.entry(key).or_default();
+            if facts.path.is_empty() {
+                facts.path = unit.path.clone();
+                facts.line = f.line;
+            }
+            facts.in_lib = true;
+            // The widest visibility of any same-named definition wins.
+            if matches!(f.vis, Vis::Pub) {
+                facts.vis = Vis::Pub;
+            } else if matches!(f.vis, Vis::Crate) && !matches!(facts.vis, Vis::Pub) {
+                facts.vis = Vis::Crate;
+            }
+            scan_body(unit, blo, bhi, facts);
+        }
+    }
+
+    // Name → keys index for the overapproximate call resolution.
+    let mut by_name: BTreeMap<&str, Vec<&(String, String)>> = BTreeMap::new();
+    for key in fns.keys() {
+        by_name.entry(key.1.as_str()).or_default().push(key);
+    }
+
+    // Fixpoint: propagate reachable sink-kind sets along call edges.
+    let keys: Vec<(String, String)> = fns.keys().cloned().collect();
+    let mut reach: BTreeMap<&(String, String), BTreeSet<&'static str>> =
+        keys.iter().map(|k| (k, fns[k].direct.clone())).collect();
+    loop {
+        let mut changed = false;
+        for key in &keys {
+            let mut add: BTreeSet<&'static str> = BTreeSet::new();
+            for callee in &fns[key].calls {
+                if let Some(targets) = by_name.get(callee.as_str()) {
+                    for t in targets {
+                        for k in &reach[*t] {
+                            add.insert(k);
+                        }
+                    }
+                }
+            }
+            let mine = reach.get_mut(&key).map(|s| {
+                let before = s.len();
+                s.extend(add);
+                s.len() != before
+            });
+            if mine == Some(true) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out: Vec<PanicEntry> = keys
+        .iter()
+        .filter(|k| matches!(fns[*k].vis, Vis::Pub) && !reach[k].is_empty())
+        .map(|k| PanicEntry {
+            krate: k.0.clone(),
+            name: k.1.clone(),
+            path: fns[k].path.clone(),
+            line: fns[k].line,
+            kinds: reach[k].clone(),
+        })
+        .collect();
+    out.sort_by(|a, b| (&a.krate, &a.name).cmp(&(&b.krate, &b.name)));
+    debug_assert!(out
+        .iter()
+        .all(|e| e.kinds.iter().all(|k| KINDS.contains(k))));
+    out
+}
+
+/// Renders the report in the committed-baseline format.
+pub fn render_report(entries: &[PanicEntry]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# cpla-audit --panic-report — every `pub` library fn that transitively\n\
+         # reaches panic!/assert!/unwrap/indexing. Regenerate deliberately with:\n\
+         #   cargo run -p audit -- --panic-report > crates/audit/panic_baseline.txt\n",
+    );
+    for e in entries {
+        out.push_str(&e.baseline_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a baseline file: non-comment, non-empty lines.
+fn baseline_lines(text: &str) -> BTreeSet<&str> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect()
+}
+
+/// Diffs the current report against the committed baseline, emitting
+/// one A10 finding per drift line (regression *or* stale entry).
+pub fn diff_baseline(entries: &[PanicEntry], baseline: &str) -> Vec<Finding> {
+    let committed = baseline_lines(baseline);
+    let current: BTreeSet<String> = entries.iter().map(PanicEntry::baseline_line).collect();
+    let mut findings = Vec::new();
+    for e in entries {
+        let line = e.baseline_line();
+        if !committed.contains(line.as_str()) {
+            findings.push(Finding {
+                path: e.path.clone(),
+                line: e.line,
+                rule: Rule::A10,
+                token: format!("{}::{}", e.krate, e.name),
+                message: format!(
+                    "pub fn newly reaches a panic sink ({}); regenerate {} deliberately \
+                     if this is accepted",
+                    e.kinds.iter().copied().collect::<Vec<_>>().join(" "),
+                    BASELINE_PATH
+                ),
+            });
+        }
+    }
+    for line in committed {
+        if !current.contains(line) {
+            findings.push(Finding {
+                path: BASELINE_PATH.to_string(),
+                line: 0,
+                rule: Rule::A10,
+                token: line.to_string(),
+                message: "stale baseline entry: fn no longer reaches a panic sink (or was \
+                          removed/renamed); regenerate the baseline"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn unit(src: &str, krate: &str) -> FileUnit {
+        FileUnit {
+            path: format!("crates/{krate}/src/lib.rs"),
+            crate_name: krate.to_string(),
+            class: FileClass::Lib,
+            lexed: lex(src),
+        }
+    }
+
+    #[test]
+    fn direct_and_transitive_sinks_are_reported() {
+        let src = "pub fn entry(v: &[u32]) -> u32 { helper(v) }\n\
+                   fn helper(v: &[u32]) -> u32 { v[0] }\n\
+                   pub fn boom() -> u32 { panic!(\"x\") }\n\
+                   pub fn clean(a: u32) -> u32 { a + 1 }";
+        let report = panic_report(&[unit(src, "demo")]);
+        let lines: Vec<String> = report.iter().map(PanicEntry::baseline_line).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "demo::boom: panic".to_string(),
+                "demo::entry: indexing".to_string()
+            ],
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn question_propagated_expect_and_debug_assert_are_not_sinks() {
+        let src = "pub fn parse(t: &mut T) -> Result<(), E> { t.expect(\"kw\")?; \
+                   debug_assert!(t.ok()); Ok(()) }";
+        assert!(panic_report(&[unit(src, "demo")]).is_empty());
+    }
+
+    #[test]
+    fn private_and_crate_fns_are_not_reported_but_propagate() {
+        let src = "pub(crate) fn internal() { panic!(\"x\") }\n\
+                   pub fn outer() { internal() }";
+        let lines: Vec<String> = panic_report(&[unit(src, "demo")])
+            .iter()
+            .map(PanicEntry::baseline_line)
+            .collect();
+        assert_eq!(lines, vec!["demo::outer: panic".to_string()]);
+    }
+
+    #[test]
+    fn cross_crate_resolution_by_name() {
+        let a = unit("pub fn kernel(v: &[f64]) -> f64 { v[0] }", "solver");
+        let b = unit("pub fn drive() -> f64 { kernel(&[1.0]) }", "cpla");
+        let lines: Vec<String> = panic_report(&[a, b])
+            .iter()
+            .map(PanicEntry::baseline_line)
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                "cpla::drive: indexing".to_string(),
+                "solver::kernel: indexing".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn unwrap_is_a_sink_even_when_invariant_annotated() {
+        let src = "pub fn pick(x: Option<u32>) -> u32 {\n\
+                   // invariant: always Some\n    x.unwrap()\n}";
+        let report = panic_report(&[unit(src, "demo")]);
+        assert_eq!(report.len(), 1);
+        assert!(report[0].kinds.contains("unwrap"));
+    }
+
+    #[test]
+    fn baseline_diff_flags_regressions_and_stale_entries() {
+        let entries = panic_report(&[unit("pub fn boom() { panic!(\"x\") }", "demo")]);
+        // Fresh entry vs empty baseline: one regression finding.
+        let regressions = diff_baseline(&entries, "# empty\n");
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].rule, Rule::A10);
+        // Matching baseline: clean.
+        assert!(diff_baseline(&entries, "demo::boom: panic\n").is_empty());
+        // Stale entry: one finding pointing at the baseline file.
+        let stale = diff_baseline(&entries, "demo::boom: panic\ndemo::gone: unwrap\n");
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].path.ends_with("panic_baseline.txt"));
+    }
+
+    #[test]
+    fn test_region_fns_are_ignored() {
+        let src = "#[cfg(test)]\nmod tests { pub fn t() { panic!(\"x\") } }\n\
+                   pub fn live(a: u32) -> u32 { a }";
+        assert!(panic_report(&[unit(src, "demo")]).is_empty());
+    }
+}

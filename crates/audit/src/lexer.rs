@@ -383,7 +383,12 @@ fn lex_ident_or_prefixed(cur: &mut Cursor, out: &mut Lexed) {
         cur.bump();
     }
     match (text.as_str(), cur.peek(0)) {
-        ("r" | "b" | "br" | "rb", Some('"')) => {
+        // Raw strings have no escapes: `r"C:\"` ends at the quote.
+        ("r" | "br", Some('"')) => {
+            lex_raw_string(cur, 0);
+            push(out, TokKind::Str, "", line);
+        }
+        ("b", Some('"')) => {
             lex_string(cur);
             push(out, TokKind::Str, "", line);
         }
@@ -612,5 +617,88 @@ mod tests {
         let l = lex("// invariant: fine\n\nlet x = 1;");
         assert!(l.marker_near(3, 3, "invariant:"));
         assert!(!l.marker_near(3, 1, "invariant:"));
+    }
+
+    #[test]
+    fn raw_string_backslash_is_not_an_escape() {
+        // `r"C:\"` ends at the quote; an escape-aware scan would eat the
+        // closing quote and swallow the rest of the file.
+        let v = texts("let p = r\"C:\\\"; let q = 1;");
+        assert_eq!(v, vec!["let", "p", "=", "", ";", "let", "q", "=", "", ";"]);
+    }
+
+    #[test]
+    fn raw_string_hashes_guard_inner_quotes() {
+        // A `"#` inside an `r##"…"##` body does not terminate it.
+        let l = lex("r##\"has \"# inside\"## x");
+        let kinds: Vec<TokKind> = l.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(kinds, vec![TokKind::Str, TokKind::Ident]);
+        assert_eq!(l.tokens[1].text, "x");
+    }
+
+    #[test]
+    fn multiline_raw_string_advances_lines() {
+        let l = lex("r#\"one\ntwo\nthree\"# x");
+        assert_eq!(l.tokens[0].line, 1);
+        assert_eq!(l.tokens[1].line, 3);
+    }
+
+    #[test]
+    fn char_versus_lifetime() {
+        // `'a'` is a char, `'a` a lifetime; escapes stay inside the
+        // literal; `'_` is the anonymous lifetime.
+        let l = lex("'a' &'a T '\\'' '\\n' b'\\0' &'_ U 'outer: loop");
+        let pairs: Vec<(TokKind, String)> =
+            l.tokens.iter().map(|t| (t.kind, t.text.clone())).collect();
+        let k = |kind, text: &str| (kind, text.to_string());
+        assert_eq!(
+            pairs,
+            vec![
+                k(TokKind::Char, ""),
+                k(TokKind::Punct, "&"),
+                k(TokKind::Lifetime, "'a"),
+                k(TokKind::Ident, "T"),
+                k(TokKind::Char, ""),
+                k(TokKind::Char, ""),
+                k(TokKind::Char, ""),
+                k(TokKind::Punct, "&"),
+                k(TokKind::Lifetime, "'_"),
+                k(TokKind::Ident, "U"),
+                k(TokKind::Lifetime, "'outer"),
+                k(TokKind::Punct, ":"),
+                k(TokKind::Ident, "loop"),
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_suffixes_classify() {
+        let l = lex("1_f64 1.0_f32 1e9 1e-9_f64 0xff_u32 2_u32 3f32 1_000_000");
+        let kinds: Vec<TokKind> = l.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Float, // 1_f64
+                TokKind::Float, // 1.0_f32
+                TokKind::Float, // 1e9
+                TokKind::Float, // 1e-9_f64
+                TokKind::Int,   // 0xff_u32
+                TokKind::Int,   // 2_u32
+                TokKind::Float, // 3f32
+                TokKind::Int,   // 1_000_000
+            ]
+        );
+    }
+
+    #[test]
+    fn deeply_nested_block_comment_records_every_line() {
+        let l = lex("/* a\n/* b\n/* c */\n*/\nend */ x\ny");
+        assert_eq!(l.tokens.len(), 2);
+        assert_eq!(l.tokens[0].text, "x");
+        assert_eq!(l.tokens[0].line, 5);
+        assert_eq!(l.tokens[1].line, 6);
+        assert!(l.comment_on(1).contains("a"));
+        assert!(l.comment_on(3).contains("c"));
+        assert!(l.comment_on(5).contains("end"));
     }
 }

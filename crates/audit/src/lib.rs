@@ -3,15 +3,21 @@
 //! Two halves, one contract: the repo's correctness conventions are
 //! *checked*, not remembered.
 //!
-//! 1. **Static** — the `cpla-audit` binary runs a hand-rolled lexical
-//!    analyzer ([`lexer`] + [`rules`]) over every workspace source file
-//!    and enforces rules A1–A5: annotated panics (`// invariant:`),
+//! 1. **Static** — the `cpla-audit` binary runs a hand-rolled syntax +
+//!    dataflow analyzer ([`lexer`] → [`syntax`] → [`rules`] /
+//!    [`dataflow`] / [`callgraph`]) over every workspace source file
+//!    and enforces rules A1–A10: annotated panics (`// invariant:`),
 //!    NaN-safe float comparisons, justified atomic orderings
-//!    (`// sync:`), I/O-free library crates and panic-free unit-return
-//!    APIs, with `// audit: allow(<rule>) -- reason` as the escape
-//!    hatch. The analyzer tests itself: `cpla-audit --fixture` replays
-//!    the deliberately-violating files in `crates/audit/fixtures/` and
-//!    asserts every rule fires exactly where planted.
+//!    (`// sync:`), I/O-free library crates, panic-free unit-return
+//!    APIs, order-restored hash iteration (`// order:`), justified
+//!    mutable captures across `thread::scope` spawns (`// sync:`),
+//!    checked id narrowing (`// cast:`), allocation-free hot loops
+//!    (`// alloc:`), and a panic-reachability baseline
+//!    (`--panic-report`), with `// audit: allow(<rule>) -- reason` as
+//!    the escape hatch. The analyzer tests itself: `cpla-audit
+//!    --fixture` replays the deliberately-violating files in
+//!    `crates/audit/fixtures/` and asserts every rule fires exactly
+//!    where planted.
 //! 2. **Dynamic** — [`check_solution`] re-verifies the paper's
 //!    feasibility constraints (Eqn. 4b/4c/4d, including the `Vo` via
 //!    overflow) and the incremental-vs-full Elmore agreement from
@@ -21,13 +27,17 @@
 //! Everything is dependency-free by design; the workspace builds
 //! offline.
 
+pub mod callgraph;
+pub mod dataflow;
 pub mod invariant;
 pub mod lexer;
 pub mod rules;
+pub mod syntax;
 pub mod walk;
 
+pub use callgraph::{diff_baseline, panic_report, render_report, PanicEntry, BASELINE_PATH};
 pub use invariant::{check_solution, ELMORE_TOLERANCE};
-pub use rules::{FileClass, FileUnit, Finding, Rule};
+pub use rules::{findings_json, FileClass, FileUnit, Finding, Rule};
 pub use walk::{
     audit_workspace, find_workspace_root, gather_workspace, is_workspace_root, run_fixtures,
     FixtureOutcome,

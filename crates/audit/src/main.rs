@@ -1,39 +1,55 @@
 //! `cpla-audit` — the workspace lint driver.
 //!
 //! ```text
-//! cpla-audit [--root DIR] [--fixture]
+//! cpla-audit [--root DIR] [--fixture | --panic-report] [--json]
 //! ```
 //!
 //! Default mode walks the workspace and prints one `file:line` + rule
 //! ID diagnostic per finding; exit code 0 means clean, 1 means
-//! findings, 2 means usage or I/O failure. `--fixture` runs the
-//! analyzer's self-test over `crates/audit/fixtures/` instead.
+//! findings, 2 means usage or I/O failure. `--json` switches the
+//! default mode's stdout to a machine-readable findings object (same
+//! exit codes). `--fixture` runs the analyzer's self-test over
+//! `crates/audit/fixtures/` instead. `--panic-report` prints the
+//! panic-reachability baseline text (redirect it over
+//! `crates/audit/panic_baseline.txt` to accept the current surface).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use audit::{audit_workspace, find_workspace_root, run_fixtures};
+use audit::{
+    audit_workspace, find_workspace_root, findings_json, gather_workspace, panic_report,
+    render_report, run_fixtures,
+};
 
-const USAGE: &str = "usage: cpla-audit [--root DIR] [--fixture]
+const USAGE: &str = "usage: cpla-audit [--root DIR] [--fixture | --panic-report] [--json]
 
 Lints every workspace source file against the repo's correctness
-conventions (rules A1..A5); see DESIGN.md section 7. With --fixture,
-runs the analyzer's self-test over crates/audit/fixtures/ instead.";
+conventions (rules A1..A10); see DESIGN.md sections 8 and 13.
+  --json          emit findings as a machine-readable JSON object
+  --fixture       run the analyzer's self-test over crates/audit/fixtures/
+  --panic-report  print the panic-reachability baseline (redirect over
+                  crates/audit/panic_baseline.txt to accept it)";
 
 struct Options {
     root: Option<PathBuf>,
     fixture: bool,
+    json: bool,
+    panic_report: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         root: None,
         fixture: false,
+        json: false,
+        panic_report: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--fixture" => opts.fixture = true,
+            "--json" => opts.json = true,
+            "--panic-report" => opts.panic_report = true,
             "--root" => {
                 let dir = it.next().ok_or("--root needs a directory argument")?;
                 opts.root = Some(PathBuf::from(dir));
@@ -41,6 +57,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if opts.fixture && opts.panic_report {
+        return Err("--fixture and --panic-report are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -112,14 +131,35 @@ fn main() -> ExitCode {
         };
     }
 
+    if opts.panic_report {
+        return match gather_workspace(&root) {
+            Ok(units) => {
+                print!("{}", render_report(&panic_report(&units)));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cpla-audit: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     match audit_workspace(&root) {
         Ok(findings) if findings.is_empty() => {
-            println!("cpla-audit: workspace clean");
+            if opts.json {
+                print!("{}", findings_json(&findings));
+            } else {
+                println!("cpla-audit: workspace clean");
+            }
             ExitCode::SUCCESS
         }
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            if opts.json {
+                print!("{}", findings_json(&findings));
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
             }
             eprintln!("cpla-audit: {} finding(s)", findings.len());
             ExitCode::FAILURE

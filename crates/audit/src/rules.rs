@@ -7,14 +7,23 @@
 //! | A3   | atomic-sync     | all crates, non-test          | every atomic memory-`Ordering` use carries an adjacent `// sync:` comment stating the happens-before argument |
 //! | A4   | lib-io          | library crates, non-test      | no `SystemTime`, `println!`/`eprintln!` or `process::exit` — observers and the CLI own I/O and exit codes |
 //! | A5   | unit-panic      | library crates, non-test      | `pub fn … ()` (unit return) may not contain `panic!`/`todo!`/`unimplemented!` without an adjacent `// invariant:` comment |
+//! | A6   | nondet-iteration| library crates, non-test      | iterating a `HashMap`/`HashSet` must restore an order (sort, BTree collect, order-insensitive reduction) or carry `// order:` |
+//! | A7   | scope-capture   | all crates, non-test          | mutable borrows and interior mutability captured across `thread::scope` spawns carry an adjacent `// sync:` comment |
+//! | A8   | lossy-id-cast   | all crates, non-test          | lossy `as` narrowing on id-carrying values uses `try_from` or carries `// cast:` (the `net` id-minting layer is exempt) |
+//! | A9   | hot-loop-alloc  | hot-path modules, non-test    | no `Vec::new`/`vec!`/`collect`/`clone`/`to_vec` inside loops of the Solve/Measure kernels without `// alloc:` |
+//! | A10  | panic-reachability | library crates            | every `pub` lib fn transitively reaching `panic!`/`unwrap`/indexing is listed in `crates/audit/panic_baseline.txt`; drift in either direction is a finding |
 //!
 //! Any finding is suppressible with `// audit: allow(<rule>) -- reason`
 //! on the offending line or one of the three lines above it; A1 and A5
-//! also accept `// invariant:` and A3 accepts `// sync:` as the
-//! native annotation. The rules are lexical by design — they match the
-//! token stream from [`crate::lexer`], not types — so they are cheap,
-//! dependency-free and predictable; anything genuinely justified is a
-//! one-line annotation away.
+//! also accept `// invariant:`, A3 and A7 accept `// sync:`, A6
+//! accepts `// order:`, A8 accepts `// cast:` and A9 accepts
+//! `// alloc:` as the native annotation. A1–A5 are lexical — they
+//! match the token stream from [`crate::lexer`] — while A6–A9 lean on
+//! the [`crate::syntax`] structural layer (bindings, loop nesting,
+//! closure scopes) and A10 on the [`crate::callgraph`] reachability
+//! pass. All stay type-blind by design: cheap, dependency-free and
+//! predictable; anything genuinely justified is a one-line annotation
+//! away.
 
 use crate::lexer::{Lexed, TokKind, Token};
 
@@ -36,10 +45,20 @@ pub enum Rule {
     A4,
     /// `pub fn` returning `()` that can `panic!` internally.
     A5,
+    /// Hash-order iteration without a restoring sort/reduction.
+    A6,
+    /// Mutable capture across a `thread::scope` spawn.
+    A7,
+    /// Lossy `as` narrowing on an id-carrying value.
+    A8,
+    /// Allocation inside a hot-path loop.
+    A9,
+    /// Panic-reachability drift against the committed baseline.
+    A10,
 }
 
 impl Rule {
-    /// The stable rule ID (`A1`…`A5`).
+    /// The stable rule ID (`A1`…`A10`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::A1 => "A1",
@@ -47,6 +66,11 @@ impl Rule {
             Rule::A3 => "A3",
             Rule::A4 => "A4",
             Rule::A5 => "A5",
+            Rule::A6 => "A6",
+            Rule::A7 => "A7",
+            Rule::A8 => "A8",
+            Rule::A9 => "A9",
+            Rule::A10 => "A10",
         }
     }
 
@@ -58,11 +82,27 @@ impl Rule {
             Rule::A3 => "atomic-sync",
             Rule::A4 => "lib-io",
             Rule::A5 => "unit-panic",
+            Rule::A6 => "nondet-iteration",
+            Rule::A7 => "scope-capture",
+            Rule::A8 => "lossy-id-cast",
+            Rule::A9 => "hot-loop-alloc",
+            Rule::A10 => "panic-reachability",
         }
     }
 
     /// All rules, for fixture coverage checks.
-    pub const ALL: [Rule; 5] = [Rule::A1, Rule::A2, Rule::A3, Rule::A4, Rule::A5];
+    pub const ALL: [Rule; 10] = [
+        Rule::A1,
+        Rule::A2,
+        Rule::A3,
+        Rule::A4,
+        Rule::A5,
+        Rule::A6,
+        Rule::A7,
+        Rule::A8,
+        Rule::A9,
+        Rule::A10,
+    ];
 
     /// Parses an ID like `A1`/`a1` (as written in suppressions).
     pub fn parse(s: &str) -> Option<Rule> {
@@ -100,6 +140,56 @@ impl std::fmt::Display for Finding {
             self.message
         )
     }
+}
+
+/// Escapes `s` as a JSON string body (quotes not included).
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders findings as machine-readable JSON (`--json` mode) — an
+/// object with a `count` and a `findings` array of
+/// `{path, line, rule, name, token, message}` records. Hand-rolled
+/// (the workspace is dependency-free); `conform::json` round-trips it
+/// in that crate's tests.
+pub fn findings_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"count\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"path\": \"");
+        json_escape(&f.path, &mut out);
+        out.push_str("\", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"rule\": \"");
+        out.push_str(f.rule.id());
+        out.push_str("\", \"name\": \"");
+        out.push_str(f.rule.name());
+        out.push_str("\", \"token\": \"");
+        json_escape(&f.token, &mut out);
+        out.push_str("\", \"message\": \"");
+        json_escape(&f.message, &mut out);
+        out.push_str("\"}");
+    }
+    out.push_str(if findings.is_empty() {
+        "]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
+    out
 }
 
 /// What kind of code a file holds, deciding which rules apply.
@@ -150,11 +240,12 @@ pub fn check_file(file: &FileUnit, findings: &mut Vec<Finding>) {
     if !test {
         rule_a3(file, findings);
     }
+    crate::dataflow::check(file, findings);
 }
 
 /// Whether the finding at `line` is suppressed by an adjacent
 /// `// audit: allow(<rule>)` comment.
-fn suppressed(lexed: &Lexed, line: u32, rule: Rule) -> bool {
+pub(crate) fn suppressed(lexed: &Lexed, line: u32, rule: Rule) -> bool {
     let lo = line.saturating_sub(ADJACENT);
     for l in lo..=line {
         let text = lexed.comment_on(l);
@@ -179,11 +270,11 @@ fn suppressed(lexed: &Lexed, line: u32, rule: Rule) -> bool {
 
 /// Whether `line` carries an adjacent native annotation (`marker`) or a
 /// suppression for `rule`.
-fn annotated(lexed: &Lexed, line: u32, marker: &str, rule: Rule) -> bool {
+pub(crate) fn annotated(lexed: &Lexed, line: u32, marker: &str, rule: Rule) -> bool {
     lexed.marker_near(line, ADJACENT, marker) || suppressed(lexed, line, rule)
 }
 
-fn emit(
+pub(crate) fn emit(
     file: &FileUnit,
     findings: &mut Vec<Finding>,
     line: u32,

@@ -1,0 +1,515 @@
+//! Structural recovery over the token stream: item/fn structure, loop
+//! nesting, and lightweight local-binding dataflow.
+//!
+//! The lexer ([`crate::lexer`]) deliberately stops at tokens; the rules
+//! added in this layer (A6–A10) need a little more shape than a flat
+//! stream offers — *which function am I in*, *am I inside a loop*,
+//! *was this name bound to a hash container*, *what does this closure
+//! declare locally*. This module recovers exactly that much structure
+//! by brace/paren matching, and no more: it is not a parser, has no
+//! type information, and keeps every judgement deterministic and
+//! explainable from the token stream alone. The known imprecisions
+//! (closure bodies inside a `for`'s iterator expression, name-level
+//! call resolution) are documented on the functions that carry them
+//! and resolved in the conservative direction.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// Visibility of a recovered item, as coarse as the rules need.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Vis {
+    /// No `pub` at all.
+    #[default]
+    Private,
+    /// `pub(crate)` / `pub(super)` / `pub(in …)` — workspace-internal.
+    Crate,
+    /// Plain `pub` — part of the crate's public API.
+    Pub,
+}
+
+/// One recovered `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Recovered visibility.
+    pub vis: Vis,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Body token range `[open_brace, close_brace]` (inclusive), or
+    /// `None` for bodyless declarations (trait methods, externs).
+    pub body: Option<(usize, usize)>,
+}
+
+/// Structural facts about one lexed file.
+#[derive(Clone, Debug, Default)]
+pub struct Structure {
+    /// Per-token `{}` nesting depth (the depth *at* the token; an
+    /// opening brace carries the depth it opens).
+    pub brace_depth: Vec<u32>,
+    /// Per-token loop-body nesting depth: how many enclosing
+    /// `for`/`while`/`loop` bodies contain the token.
+    pub loop_depth: Vec<u32>,
+    /// Every recovered `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+/// Index of the token matching the opener at `open` (`(`/`[`/`{`), or
+/// `tokens.len()` when unbalanced. Openers and closers of all three
+/// bracket kinds are tracked together, so a `)` inside a nested `[…]`
+/// cannot close an outer paren.
+pub fn matching_close(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+fn is_punct(t: &Token, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+fn is_ident(t: &Token, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+/// Builds the structural view of a lexed file.
+pub fn analyze(lexed: &Lexed) -> Structure {
+    let toks = &lexed.tokens;
+    let mut s = Structure {
+        brace_depth: vec![0; toks.len()],
+        loop_depth: vec![0; toks.len()],
+        fns: Vec::new(),
+    };
+    let mut depth = 0u32;
+    for (i, t) in toks.iter().enumerate() {
+        if is_punct(t, "}") {
+            depth = depth.saturating_sub(1);
+        }
+        s.brace_depth[i] = depth;
+        if is_punct(t, "{") {
+            s.brace_depth[i] = depth + 1;
+            depth += 1;
+        }
+    }
+    mark_loops(toks, &mut s.loop_depth);
+    collect_fns(toks, &mut s.fns);
+    s
+}
+
+/// Finds every loop body and accumulates nesting depth per token.
+///
+/// A `for` is a loop head iff it is not immediately followed by `<`
+/// (`for<'a>` higher-ranked bounds) and an `in` appears before the
+/// body's `{` — which excludes `impl Trait for Type`. The body is the
+/// first `{` after the head; an iterator expression that itself
+/// contains a braced closure body would end the scan early, which only
+/// *under*-counts loop extent (conservative for rule A9).
+fn mark_loops(toks: &[Token], loop_depth: &mut [u32]) {
+    let mut bodies: Vec<(usize, usize)> = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let body_open = match t.text.as_str() {
+            "loop" => match toks.get(i + 1) {
+                Some(n) if is_punct(n, "{") => Some(i + 1),
+                _ => None,
+            },
+            "while" => first_brace(toks, i + 1),
+            "for" => {
+                if toks.get(i + 1).map(|n| is_punct(n, "<")) == Some(true) {
+                    None // `for<'a>` bound, not a loop.
+                } else {
+                    match first_brace(toks, i + 1) {
+                        Some(open) if toks[i + 1..open].iter().any(|t| is_ident(t, "in")) => {
+                            Some(open)
+                        }
+                        _ => None, // `impl Trait for Type { … }`.
+                    }
+                }
+            }
+            _ => None,
+        };
+        if let Some(open) = body_open {
+            let close = matching_close(toks, open);
+            bodies.push((open, close));
+        }
+    }
+    for (open, close) in bodies {
+        let hi = close.min(loop_depth.len().saturating_sub(1)) + 1;
+        for d in loop_depth.iter_mut().take(hi).skip(open) {
+            *d += 1;
+        }
+    }
+}
+
+/// First `{` at or after `from` (bounded scan; `None` when the stream
+/// ends first).
+fn first_brace(toks: &[Token], from: usize) -> Option<usize> {
+    (from..toks.len()).find(|&i| is_punct(&toks[i], "{"))
+}
+
+/// Recovers every `fn` item: name, visibility, and body extent.
+fn collect_fns(toks: &[Token], fns: &mut Vec<FnItem>) {
+    for i in 0..toks.len() {
+        if !is_ident(&toks[i], "fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue; // `fn` in a closure type (`Fn(…)`) or similar.
+        }
+        let vis = visibility_before(toks, i);
+        // Skip generics to the argument list, then find the body (or a
+        // `;` for bodyless declarations).
+        let mut k = i + 2;
+        let mut angle = 0i64;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "(" if angle == 0 => break,
+                "{" | ";" if angle == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let mut body = None;
+        if toks.get(k).map(|t| is_punct(t, "(")) == Some(true) {
+            let args_close = matching_close(toks, k);
+            let mut b = args_close + 1;
+            while b < toks.len() && !is_punct(&toks[b], "{") && !is_punct(&toks[b], ";") {
+                b += 1;
+            }
+            if toks.get(b).map(|t| is_punct(t, "{")) == Some(true) {
+                body = Some((b, matching_close(toks, b)));
+            }
+        }
+        fns.push(FnItem {
+            name: name_tok.text.clone(),
+            line: toks[i].line,
+            vis,
+            fn_tok: i,
+            body,
+        });
+    }
+}
+
+/// Visibility of the item whose `fn` keyword sits at `fn_tok`: walk
+/// back over qualifiers (`unsafe`, `const`, `async`, `extern "C"`) to
+/// an optional `pub` / `pub(…)`.
+fn visibility_before(toks: &[Token], fn_tok: usize) -> Vis {
+    let mut k = fn_tok;
+    while k > 0 {
+        let prev = &toks[k - 1];
+        if matches!(prev.text.as_str(), "unsafe" | "const" | "async" | "extern")
+            || prev.kind == TokKind::Str
+        {
+            k -= 1;
+            continue;
+        }
+        break;
+    }
+    if k == 0 {
+        return Vis::Private;
+    }
+    if is_punct(&toks[k - 1], ")") {
+        // `pub(crate)` / `pub(super)` / `pub(in …)`.
+        let mut open = k - 1;
+        let mut depth = 0i64;
+        loop {
+            match toks[open].text.as_str() {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if open == 0 {
+                return Vis::Private;
+            }
+            open -= 1;
+        }
+        if open > 0 && is_ident(&toks[open - 1], "pub") {
+            return Vis::Crate;
+        }
+        return Vis::Private;
+    }
+    if is_ident(&toks[k - 1], "pub") {
+        return Vis::Pub;
+    }
+    Vis::Private
+}
+
+/// Names bound by `let` and `for` patterns (and `if let`/`while let`)
+/// within the token range `[lo, hi]` — the "declared locally" set used
+/// to tell captured state from closure-local state.
+pub fn locals_in(toks: &[Token], lo: usize, hi: usize) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let hi = hi.min(toks.len());
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if is_ident(t, "let") {
+            // Collect pattern idents up to a top-level `:` (type
+            // annotation), `=` (initializer) or `;`.
+            let mut j = i + 1;
+            let mut depth = 0i64;
+            while j < hi {
+                match toks[j].text.as_str() {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" => depth -= 1,
+                    ":" | "=" | ";" if depth <= 0 => break,
+                    _ => {}
+                }
+                if toks[j].kind == TokKind::Ident
+                    && !matches!(toks[j].text.as_str(), "mut" | "ref" | "_")
+                {
+                    names.insert(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        if is_ident(t, "for") && toks.get(i + 1).map(|n| is_punct(n, "<")) != Some(true) {
+            // `for <pattern> in …` — pattern idents up to `in`.
+            let mut j = i + 1;
+            while j < hi && !is_ident(&toks[j], "in") {
+                if toks[j].kind == TokKind::Ident
+                    && !matches!(toks[j].text.as_str(), "mut" | "ref" | "_")
+                {
+                    names.insert(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Idents in a closure parameter list `|…|` starting at the `|` token
+/// `bar`: every identifier up to the closing `|` (types are collected
+/// too — an over-wide local set only makes capture rules *less* eager,
+/// the conservative direction). Returns `(names, index after closing |)`.
+pub fn closure_params(toks: &[Token], bar: usize) -> (BTreeSet<String>, usize) {
+    let mut names = BTreeSet::new();
+    if is_punct(&toks[bar], "||") {
+        return (names, bar + 1);
+    }
+    let mut j = bar + 1;
+    let mut depth = 0i64;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            "|" if depth <= 0 => return (names, j + 1),
+            _ => {}
+        }
+        if toks[j].kind == TokKind::Ident && !matches!(toks[j].text.as_str(), "mut" | "ref" | "_") {
+            names.insert(toks[j].text.clone());
+        }
+        j += 1;
+    }
+    (names, j)
+}
+
+/// Hash-container bindings recovered from one file.
+#[derive(Clone, Debug, Default)]
+pub struct HashBindings {
+    /// Names whose declared type (or constructor) is directly
+    /// `HashMap`/`HashSet` — iterating `name` itself is hash-ordered.
+    pub direct: BTreeSet<String>,
+    /// Names whose declared type *contains* a hash container deeper in
+    /// (`Vec<HashSet<…>>`) — only indexed access `name[i]` is
+    /// hash-ordered, iterating `name` itself is not.
+    pub element: BTreeSet<String>,
+}
+
+/// Collects hash-container bindings: `name: HashMap<…>` /
+/// `name: &HashSet<…>` annotations (lets, fields, params, struct
+/// literal fields) and `let name = HashMap::new()/with_capacity/from`
+/// constructor forms.
+pub fn hash_bindings(lexed: &Lexed) -> HashBindings {
+    let toks = &lexed.tokens;
+    let mut out = HashBindings::default();
+    let is_hash = |t: &Token| is_ident(t, "HashMap") || is_ident(t, "HashSet");
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name : <type…>` — direct when the first type ident (after
+        // `&`/`mut`/`std::collections::` path prefixes) is a hash
+        // container, element when one appears within the next few
+        // tokens of the type expression.
+        if toks.get(i + 1).map(|n| is_punct(n, ":")) == Some(true) {
+            let mut j = i + 2;
+            while j < toks.len()
+                && (is_punct(&toks[j], "&")
+                    || is_ident(&toks[j], "mut")
+                    || toks[j].kind == TokKind::Lifetime
+                    || is_ident(&toks[j], "std")
+                    || is_ident(&toks[j], "collections")
+                    || is_punct(&toks[j], "::"))
+            {
+                j += 1;
+            }
+            if toks.get(j).map(&is_hash) == Some(true) {
+                out.direct.insert(toks[i].text.clone());
+            } else {
+                const TYPE_SCAN: usize = 10;
+                let span_hi = (j + TYPE_SCAN).min(toks.len());
+                let mut k = j;
+                let mut saw = false;
+                while k < span_hi {
+                    match toks[k].text.as_str() {
+                        "=" | ";" | "{" | "}" => break,
+                        _ => {}
+                    }
+                    if is_hash(&toks[k]) {
+                        saw = true;
+                        break;
+                    }
+                    k += 1;
+                }
+                if saw {
+                    out.element.insert(toks[i].text.clone());
+                }
+            }
+        }
+        // `let [mut] name = HashMap::…` constructor form.
+        if is_ident(&toks[i], "let") {
+            let mut j = i + 1;
+            if toks.get(j).map(|t| is_ident(t, "mut")) == Some(true) {
+                j += 1;
+            }
+            let (Some(name), Some(eq)) = (toks.get(j), toks.get(j + 1)) else {
+                continue;
+            };
+            if name.kind == TokKind::Ident && is_punct(eq, "=") {
+                let mut k = j + 2;
+                while k < toks.len()
+                    && (is_ident(&toks[k], "std")
+                        || is_ident(&toks[k], "collections")
+                        || is_punct(&toks[k], "::"))
+                {
+                    k += 1;
+                }
+                if toks.get(k).map(&is_hash) == Some(true) {
+                    out.direct.insert(name.text.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn loop_depth_counts_nesting_and_ignores_impl_for() {
+        let src = "impl Debug for Foo { fn f(&self) { for x in v { while y { z; } } } }";
+        let l = lex(src);
+        let s = analyze(&l);
+        let at = |text: &str| {
+            l.tokens
+                .iter()
+                .position(|t| t.text == text)
+                .map(|i| s.loop_depth[i])
+                .unwrap()
+        };
+        assert_eq!(at("z"), 2);
+        assert_eq!(at("f"), 0);
+        assert_eq!(at("Foo"), 0);
+    }
+
+    #[test]
+    fn for_bound_is_not_a_loop() {
+        let src = "fn f<T: for<'a> Fn(&'a u32)>(t: T) { t(&1); }";
+        let l = lex(src);
+        let s = analyze(&l);
+        assert!(s.loop_depth.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn fn_items_carry_name_vis_and_body() {
+        let src = "pub fn a() { x; }\nfn b();\npub(crate) unsafe fn c<T: Ord>(t: T) -> T { t }";
+        let s = analyze(&lex(src));
+        let names: Vec<(&str, Vis, bool)> = s
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.vis, f.body.is_some()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("a", Vis::Pub, true),
+                ("b", Vis::Private, false),
+                ("c", Vis::Crate, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn locals_collect_let_and_for_patterns() {
+        let l = lex("{ let (a, mut b): (u32, u32) = p; for (k, v) in m { let c = k; } }");
+        let names = locals_in(&l.tokens, 0, l.tokens.len());
+        for n in ["a", "b", "k", "v", "c"] {
+            assert!(names.contains(n), "{n} missing from {names:?}");
+        }
+        assert!(!names.contains("mut"));
+        assert!(!names.contains("u32"), "type idents stop at top-level `:`");
+    }
+
+    #[test]
+    fn closure_params_collects_names() {
+        let l = lex("|a, (b, c): (u32, u32)| a + b + c");
+        let (names, after) = closure_params(&l.tokens, 0);
+        for n in ["a", "b", "c"] {
+            assert!(names.contains(n), "{names:?}");
+        }
+        assert_eq!(l.tokens[after].text, "a");
+    }
+
+    #[test]
+    fn hash_bindings_classify_direct_and_element() {
+        let src = "struct S { cache: HashMap<K, V>, per: Vec<HashSet<E>> }\n\
+                   fn f(seen: &mut HashSet<u32>) { let mut m = std::collections::HashMap::new(); let v: Vec<u32> = vec![]; }";
+        let b = hash_bindings(&lex(src));
+        assert!(b.direct.contains("cache"));
+        assert!(b.direct.contains("seen"));
+        assert!(b.direct.contains("m"));
+        assert!(b.element.contains("per"));
+        assert!(!b.direct.contains("v") && !b.element.contains("v"));
+    }
+}

@@ -138,10 +138,18 @@ pub fn gather_workspace(root: &Path) -> io::Result<Vec<FileUnit>> {
 ///
 /// Propagates I/O failures (unreadable files) with the path attached.
 pub fn audit_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let units = gather_workspace(root)?;
     let mut findings = Vec::new();
-    for unit in gather_workspace(root)? {
-        check_file(&unit, &mut findings);
+    for unit in &units {
+        check_file(unit, &mut findings);
     }
+    // A10: diff the panic-reachability report against the committed
+    // baseline (a missing baseline file reads as empty, so every
+    // panic-reaching pub fn is reported until one is committed).
+    let baseline =
+        fs::read_to_string(root.join(crate::callgraph::BASELINE_PATH)).unwrap_or_default();
+    let report = crate::callgraph::panic_report(&units);
+    findings.extend(crate::callgraph::diff_baseline(&report, &baseline));
     findings.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.rule.id()).cmp(&(b.path.as_str(), b.line, b.rule.id()))
     });
@@ -167,16 +175,20 @@ impl FixtureOutcome {
     }
 }
 
-/// Fixture header directives: forced crate name and file class.
+/// Fixture header directives: forced crate name, file class, and
+/// (optionally) the workspace path the file should pretend to live at —
+/// rules A8/A9 match on path (exempt minting layer, hot modules).
 struct FixtureHeader {
     crate_name: String,
     class: FileClass,
+    path: Option<String>,
 }
 
 fn parse_header(source: &str, path: &str, problems: &mut Vec<String>) -> FixtureHeader {
     let mut header = FixtureHeader {
         crate_name: "fixture".to_string(),
         class: FileClass::Lib,
+        path: None,
     };
     for line in source.lines() {
         let Some(directive) = line.trim().strip_prefix("//@") else {
@@ -185,6 +197,8 @@ fn parse_header(source: &str, path: &str, problems: &mut Vec<String>) -> Fixture
         let directive = directive.trim();
         if let Some(name) = directive.strip_prefix("crate:") {
             header.crate_name = name.trim().to_string();
+        } else if let Some(p) = directive.strip_prefix("path:") {
+            header.path = Some(p.trim().to_string());
         } else if let Some(kind) = directive.strip_prefix("kind:") {
             header.class = match kind.trim() {
                 "lib" => FileClass::Lib,
@@ -209,6 +223,7 @@ fn parse_header(source: &str, path: &str, problems: &mut Vec<String>) -> Fixture
 fn parse_expectations(source: &str, path: &str, problems: &mut Vec<String>) -> Vec<(u32, Rule)> {
     let mut expected = Vec::new();
     for (idx, line) in source.lines().enumerate() {
+        // cast: fixture files are far below u32::MAX lines.
         let lineno = idx as u32 + 1;
         let Some(marker) = line.split("//~").nth(1) else {
             continue;
@@ -217,7 +232,7 @@ fn parse_expectations(source: &str, path: &str, problems: &mut Vec<String>) -> V
             match Rule::parse(id) {
                 Some(rule) => expected.push((lineno, rule)),
                 None => problems.push(format!(
-                    "{path}:{lineno}: `//~ {id}` names no rule (expected A1..A5)"
+                    "{path}:{lineno}: `//~ {id}` names no rule (expected A1..A10)"
                 )),
             }
         }
@@ -250,13 +265,17 @@ pub fn run_fixtures(root: &Path) -> io::Result<FixtureOutcome> {
         let header = parse_header(&source, &rel, &mut outcome.problems);
         let mut expected = parse_expectations(&source, &rel, &mut outcome.problems);
         let unit = FileUnit {
-            path: rel.clone(),
+            path: header.path.unwrap_or_else(|| rel.clone()),
             crate_name: header.crate_name,
             class: header.class,
             lexed: lex(&source),
         };
         let mut findings = Vec::new();
         check_file(&unit, &mut findings);
+        // A10 runs per fixture file against an empty baseline: every
+        // panic-reaching pub fn in a lib fixture must carry `//~ A10`.
+        let report = crate::callgraph::panic_report(std::slice::from_ref(&unit));
+        findings.extend(crate::callgraph::diff_baseline(&report, ""));
         outcome.fixtures += 1;
         outcome.expectations += expected.len();
         for &(_, rule) in &expected {
@@ -340,8 +359,8 @@ mod tests {
             "fixture self-test failed:\n{}",
             outcome.problems.join("\n")
         );
-        assert!(outcome.fixtures >= 5, "one fixture per rule at minimum");
-        assert!(outcome.expectations >= 5);
+        assert!(outcome.fixtures >= 10, "one fixture per rule at minimum");
+        assert!(outcome.expectations >= 10);
     }
 
     #[test]

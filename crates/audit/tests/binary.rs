@@ -57,10 +57,10 @@ fn unknown_flag_exits_two() {
     assert!(stderr.contains("usage"), "{stderr}");
 }
 
-#[test]
-fn planted_violation_exits_one_with_rule_id() {
-    // Build a minimal throwaway workspace with one dirty library crate.
-    let dir = std::env::temp_dir().join(format!("cpla-audit-e2e-{}", std::process::id()));
+/// Builds a minimal throwaway workspace with one dirty library crate
+/// and returns its root; the caller removes it.
+fn planted_workspace(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpla-audit-e2e-{tag}-{}", std::process::id()));
     let src = dir.join("crates").join("dirty").join("src");
     std::fs::create_dir_all(&src).unwrap();
     std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
@@ -74,7 +74,12 @@ fn planted_violation_exits_one_with_rule_id() {
         "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
     )
     .unwrap();
+    dir
+}
 
+#[test]
+fn planted_violation_exits_one_with_rule_id() {
+    let dir = planted_workspace("plain");
     let out = bin().arg("--root").arg(&dir).output().expect("binary runs");
     std::fs::remove_dir_all(&dir).ok();
 
@@ -83,4 +88,62 @@ fn planted_violation_exits_one_with_rule_id() {
     assert!(stdout.contains("lib.rs:2"), "{stdout}");
     assert!(stdout.contains("A1"), "{stdout}");
     assert!(stdout.contains(".unwrap()"), "{stdout}");
+    // The planted pub fn also reaches a panic sink with no baseline.
+    assert!(stdout.contains("A10"), "{stdout}");
+}
+
+#[test]
+fn json_mode_emits_machine_readable_findings() {
+    let dir = planted_workspace("json");
+    let out = bin()
+        .arg("--json")
+        .arg("--root")
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("{\n  \"count\": "), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"A1\""), "{stdout}");
+    assert!(
+        stdout.contains("\"name\": \"unwrap-invariant\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"line\": 2"), "{stdout}");
+}
+
+#[test]
+fn panic_report_mode_lists_pub_fns_and_exits_zero() {
+    let dir = planted_workspace("report");
+    let out = bin()
+        .arg("--panic-report")
+        .arg("--root")
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(out.status.success(), "report mode must not gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dirty::f: unwrap"), "{stdout}");
+}
+
+#[test]
+fn panic_report_matches_committed_baseline() {
+    let root = workspace_root();
+    let out = bin()
+        .arg("--panic-report")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let baseline = std::fs::read_to_string(root.join(audit::BASELINE_PATH)).expect("baseline");
+    assert_eq!(
+        stdout, baseline,
+        "panic baseline is stale; regenerate with --panic-report"
+    );
 }

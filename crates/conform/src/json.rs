@@ -397,4 +397,44 @@ mod tests {
         assert_eq!(arr[1].as_str(), Some("x"));
         assert_eq!(v.get("missing"), None);
     }
+
+    #[test]
+    fn audit_findings_json_parses() {
+        // `cpla-audit --json` output must stay machine-readable: lex a
+        // planted float-comparison violation, render it, and walk the
+        // document with this parser.
+        let src = "pub fn close(a: f64) -> bool {\n    a == 0.5\n}\n";
+        let unit = audit::FileUnit {
+            path: "crates/solver/src/planted.rs".into(),
+            crate_name: "solver".into(),
+            class: audit::FileClass::Lib,
+            lexed: audit::lexer::lex(src),
+        };
+        let mut findings = Vec::new();
+        audit::rules::check_file(&unit, &mut findings);
+        assert!(!findings.is_empty(), "planted A2 violation not found");
+
+        let doc = parse(&audit::findings_json(&findings)).expect("audit JSON must parse");
+        let count = doc.get("count").and_then(Value::as_u64).unwrap();
+        let arr = doc.get("findings").and_then(Value::as_arr).unwrap();
+        assert_eq!(count as usize, arr.len());
+        let a2 = arr
+            .iter()
+            .find(|f| f.get("rule").and_then(Value::as_str) == Some("A2"))
+            .expect("an A2 entry");
+        assert_eq!(
+            a2.get("path").and_then(Value::as_str),
+            Some("crates/solver/src/planted.rs")
+        );
+        assert_eq!(a2.get("line").and_then(Value::as_u64), Some(2));
+        for f in arr {
+            for key in ["path", "rule", "name", "token", "message"] {
+                assert!(
+                    f.get(key).and_then(Value::as_str).is_some(),
+                    "missing {key}"
+                );
+            }
+            assert!(f.get("line").and_then(Value::as_u64).is_some());
+        }
+    }
 }

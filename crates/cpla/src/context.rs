@@ -141,6 +141,7 @@ fn net_context(
         for s in 0..tree.num_segments() {
             let child = tree.segment(s).to as usize;
             sink(
+                // cast: net/segment ordinals come from the u32-indexed arena.
                 SegmentRef::new(ni as u32, s as u32),
                 SegCtx {
                     cd: t.downstream_cap(s),

@@ -139,6 +139,7 @@ impl<'a> FlowContext<'a> {
             .iter()
             .flat_map(|&ni| {
                 let n = netlist.net(ni).tree().num_segments();
+                // cast: net/segment ordinals come from the u32-indexed arena.
                 (0..n).map(move |s| SegmentRef::new(ni as u32, s as u32))
             })
             .collect();
@@ -165,6 +166,7 @@ impl<'a> FlowContext<'a> {
                 let mut touched = false;
                 for s in 0..tree.num_segments() {
                     if tree.segment_edges(s).iter().any(|e| covered.contains(e)) {
+                        // cast: net/segment ordinals come from the u32-indexed arena.
                         segments.push(SegmentRef::new(ni as u32, s as u32));
                         touched = true;
                     }
@@ -407,9 +409,12 @@ impl FlowStage for ExtractStage {
                 if let Some(entry) = cache.get(&part.segments) {
                     if entry.problem == problem {
                         counters.partitions_reused += 1;
+                        // alloc: cache hits hand out owned copies; the
+                        // entry stays resident for later rounds.
                         results[pi] = entry.result.clone();
                         continue;
                     }
+                    // alloc: warm starts are per-leaf owned seeds.
                     warm = entry.warm.clone();
                 }
             }
@@ -627,6 +632,8 @@ impl FlowStage for SolveStage {
                     let order = &order;
                     handles.push(scope.spawn(move || {
                         let mut scratch = SolveScratch::new();
+                        // alloc: one buffer per worker (the `for worker`
+                        // loop), reused across every claimed leaf.
                         let mut local = Vec::new();
                         loop {
                             // sync: Relaxed — the counter is a pure claim
@@ -710,13 +717,17 @@ impl FlowStage for PostMapStage {
                 None => &problem.current,
             };
             let layers = problem.choices_to_layers(accepted);
+            // alloc: one result row per solved leaf, retained past the
+            // loop in `ctx.results`.
             let result: Vec<(SegmentRef, usize)> =
                 problem.segments.iter().copied().zip(layers).collect();
             ctx.counters.partitions_solved += 1;
             if self.use_cache {
+                // alloc: the cross-round cache owns its key and entry.
                 ctx.cache.insert(
                     problem.segments.clone(),
                     CacheEntry {
+                        // alloc: the entry keeps its own copy of the row.
                         result: result.clone(),
                         warm: warm_out,
                         problem,
@@ -761,11 +772,15 @@ impl FlowStage for GateStage {
             let changes = &proposals[at..hi];
             at = hi;
             let net = ctx.netlist.net(ni);
+            // alloc: `current` seeds the commit/revert ledger entry and
+            // is retained in `ctx.pending`; `real` is the per-net change
+            // set the gate consumes.
             let current = ctx.assignment.net_layers(ni).to_vec();
             let real: Vec<(usize, usize)> = changes
                 .iter()
                 .map(|&(sref, l)| (sref.seg as usize, l))
                 .filter(|&(s, l)| current[s] != l)
+                // alloc: per-net change set consumed by the gate below.
                 .collect();
             if real.is_empty() {
                 continue;
@@ -787,6 +802,8 @@ impl FlowStage for GateStage {
                     }
                 }
             } else {
+                // alloc: the new per-net layer vector is the pending
+                // commit payload, retained in `ctx.pending`.
                 let mut layers = current.clone();
                 for (s, l) in real {
                     layers[s] = l;

@@ -114,6 +114,8 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
             .all(|e| remaining.get(&(layer, *e)).map(|r| *r > 0).unwrap_or(true))
     };
     let consume = |i: usize, layer: usize, remaining: &mut HashMap<(usize, Edge2d), i64>| {
+        // order: each edge decrements an independent counter; integer
+        // subtraction over distinct keys is order-insensitive.
         for e in &edges_of[i] {
             if let Some(r) = remaining.get_mut(&(layer, *e)) {
                 *r -= 1;
@@ -140,6 +142,8 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
         };
         // invariant: `segs_of` only maps edges that own a segment.
         let probe = *seg_set.iter().next().expect("non-empty");
+        // alloc: an owned copy is needed to sort; the list is at most
+        // the per-direction layer count.
         let mut layers: Vec<usize> = problem.candidates[probe].clone();
         layers.sort_unstable_by(|a, b| b.cmp(a));
         for layer in layers {
@@ -154,6 +158,7 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
                         .position(|&l| l == layer)
                         .map(|c| (value(i, c), i, c))
                 })
+                // alloc: owned buffer required by the sort below.
                 .collect();
             cands.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
             for (v, i, c) in cands {
@@ -179,6 +184,7 @@ pub fn post_map(problem: &PartitionProblem, x: &[f64]) -> Vec<usize> {
             .iter()
             .enumerate()
             .map(|(c, _)| (value(i, c), c))
+            // alloc: owned buffer required by the sort below.
             .collect();
         ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
         let picked = ranked

@@ -255,6 +255,8 @@ fn partition_anchored(
                 .enumerate()
                 .filter(|(_, (_, c))| region.contains(*c))
                 .map(|(i, _)| i)
+                // alloc: seeds this block's work stack, retained until
+                // the block's leaves are emitted.
                 .collect();
             if members.is_empty() {
                 continue;
@@ -332,6 +334,7 @@ fn refine_block(
             ledger.max_segments = ledger.max_segments.max(members.len());
             leaves.push(Partition {
                 region,
+                // alloc: the leaf owns its segment list past the loop.
                 segments: members.iter().map(|&i| anchored[i].0).collect(),
                 depth,
             });
@@ -383,6 +386,7 @@ fn refine_block(
                 .iter()
                 .copied()
                 .filter(|&i| q.contains(anchored[i].1))
+                // alloc: quadrant member lists live on the work stack.
                 .collect();
             if !sub.is_empty() {
                 work.push((q, sub, depth + 1));

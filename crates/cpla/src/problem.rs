@@ -177,7 +177,10 @@ impl PartitionProblem {
             let net = netlist.net(sref.net as usize);
             let tree = net.tree();
             let seg = tree.segment(sref.seg as usize);
+            // alloc: each segment owns its candidate list; it is
+            // retained in `candidates` past the loop.
             let cands: Vec<usize> = match seg.dir {
+                // alloc: each arm hands the segment its own copy.
                 Direction::Horizontal => h_layers.clone(),
                 Direction::Vertical => v_layers.clone(),
             };
@@ -189,6 +192,7 @@ impl PartitionProblem {
                     c.weight * timing::segment_delay_on_layer(grid, net, sref.seg as usize, l, c.cd)
                         + c.upstream * grid.layer(l).unit_capacitance * len
                 })
+                // alloc: per-segment cost row, retained in the problem.
                 .collect();
             let cur_layer = assignment.layer_of(sref);
             let cur_idx = cands
@@ -255,6 +259,7 @@ impl PartitionProblem {
             // Coupling toward the parent side (entry at from_node).
             match tree.parent_segment(from_node) {
                 Some(p) => {
+                    // cast: segment ordinals come from the u32-indexed tree arena.
                     let pref = SegmentRef::new(sref.net, p as u32);
                     let cp = ctx(pref);
                     let drive = ci.weight * ci.cd.min(cp.cd);
@@ -272,8 +277,10 @@ impl PartitionProblem {
                                             via_delay(lp, lc, drive)
                                                 + via_penalty(from_cell, lp, lc)
                                         })
+                                        // alloc: pair cost matrix row.
                                         .collect()
                                 })
+                                // alloc: retained in `pairs`.
                                 .collect();
                             pairs.push(SegmentPair { a: pi, b: i, costs });
                         }
@@ -377,12 +384,14 @@ impl PartitionProblem {
     pub fn to_choice_problem(&self) -> ChoiceProblem {
         let mut p = ChoiceProblem::new();
         for costs in &self.linear_cost {
+            // alloc: the lowered problem owns its cost rows.
             p.add_item(costs.clone());
         }
         for pair in &self.pairs {
             p.add_pair(PairCost {
                 a: pair.a,
                 b: pair.b,
+                // alloc: the lowered problem owns its pair matrices.
                 costs: pair.costs.clone(),
             });
         }
@@ -390,6 +399,7 @@ impl PartitionProblem {
             // Constraints wider than their member count never bind.
             if (ec.limit as usize) < ec.members.len() {
                 p.add_capacity_group(CapacityGroup {
+                    // alloc: the lowered problem owns its member lists.
                     members: ec.members.clone(),
                     limit: ec.limit,
                 });
@@ -444,6 +454,7 @@ impl PartitionProblem {
         for (i, c) in self.candidates.iter().enumerate() {
             let entries: Vec<(usize, usize, f64)> = (0..c.len())
                 .map(|k| (offsets[i] + k, offsets[i] + k, 1.0))
+                // alloc: constraint row handed off to the SDP.
                 .collect();
             sdp.add_constraint(entries, 1.0);
         }
@@ -453,6 +464,7 @@ impl PartitionProblem {
                 .members
                 .iter()
                 .map(|&(i, c)| (offsets[i] + c, offsets[i] + c, 1.0))
+                // alloc: constraint row handed off to the SDP.
                 .collect();
             entries.push((slack, slack, 1.0));
             sdp.add_constraint(entries, ec.limit as f64);

@@ -424,6 +424,7 @@ pub fn parse_with(
 
     let to_tile = |v: f64, origin: f64, size: f64, max: u16| -> u16 {
         let idx = ((v - origin) / size).floor();
+        // cast: the clamp above bounds the index to the u16 tile grid.
         idx.clamp(0.0, max.saturating_sub(1) as f64) as u16
     };
 

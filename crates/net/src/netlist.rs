@@ -78,6 +78,7 @@ impl Netlist {
     /// Iterates over every segment of every net.
     pub fn segment_refs(&self) -> impl Iterator<Item = SegmentRef> + '_ {
         self.nets.iter().enumerate().flat_map(|(ni, n)| {
+            // cast: net/segment ordinals come from the u32-indexed arena.
             (0..n.tree().num_segments()).map(move |si| SegmentRef::new(ni as u32, si as u32))
         })
     }

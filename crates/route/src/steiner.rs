@@ -408,6 +408,7 @@ pub fn route_spec(
             end
         };
         builder
+            // cast: pin ordinals come from the u32-indexed arena.
             .attach_pin(end_node, pin_idx as u32)
             // invariant: dedup above leaves one pin per cell, so no node
             // is asked to carry a second pin.

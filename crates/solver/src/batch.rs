@@ -744,6 +744,7 @@ pub fn cholesky_factor_batch(mats: &[&SymMatrix]) -> Vec<Result<Cholesky, Choles
         let n = m.dim();
         let nn = n * n;
         let l = &mut arena[off..off + nn];
+        // alloc: each factor owns its matrix and is retained in `out`.
         out.push(factor_into(m.as_slice(), n, l).map(|()| Cholesky::from_raw(n, l.to_vec())));
         off += nn;
     }

@@ -137,8 +137,12 @@ impl SdpProblem {
         let m = self.constraints.len();
         let mut g = SymMatrix::zeros(m);
         // Group coefficients by matrix entry, then accumulate pairwise.
-        use std::collections::HashMap;
-        let mut by_entry: HashMap<(usize, usize), Vec<(usize, f64)>> = HashMap::new();
+        // BTreeMap, not HashMap: constraint pairs sharing several matrix
+        // entries accumulate float sums into the same Gram cell, so the
+        // iteration order below must be deterministic for bit-identical
+        // results across runs.
+        use std::collections::BTreeMap;
+        let mut by_entry: BTreeMap<(usize, usize), Vec<(usize, f64)>> = BTreeMap::new();
         for (k, c) in self.constraints.iter().enumerate() {
             for &(i, j, coeff) in &c.entries {
                 by_entry.entry((i, j)).or_default().push((k, coeff));
@@ -385,6 +389,7 @@ impl SdpSolver {
             let mut target = &z - &u;
             target.axpy(-1.0 / rho, &c);
             x = match &gram_factor {
+                // alloc: per-iteration X update; the batched backend is the alloc-free path.
                 None => target.clone(),
                 Some(factor) => {
                     problem.apply_into(&target, &mut scratch.ax);
@@ -393,6 +398,7 @@ impl SdpSolver {
                         .rhs
                         .extend(b.iter().zip(&scratch.ax).map(|(bi, ai)| rho * (bi - ai)));
                     factor.solve_into(&scratch.rhs, &mut scratch.y, &mut scratch.nu);
+                    // alloc: per-iteration X update; the batched backend is the alloc-free path.
                     let mut out = target.clone();
                     out.axpy(1.0 / rho, &problem.adjoint(&scratch.nu));
                     out
@@ -434,7 +440,9 @@ impl SdpSolver {
                 let quant: Vec<i64> = diag[..k]
                     .iter()
                     .map(|v| (v / quantum).round() as i64)
+                    // alloc: small per-check vector for the rank-stability stop.
                     .collect();
+                // alloc: small per-check vector for the rank-stability stop.
                 let mut order: Vec<u32> = (0..k as u32).collect();
                 order.sort_unstable_by(|&a, &b| {
                     quant[b as usize].cmp(&quant[a as usize]).then(a.cmp(&b))
