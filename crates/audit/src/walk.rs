@@ -5,6 +5,10 @@
 //! `src/` and `tests/` — and classifies each file:
 //!
 //! - `src/main.rs` and files under `src/bin/` are **binary** sources;
+//! - `src/tests.rs` is a **test** source: it is the conventional
+//!   out-of-line body of a `#[cfg(test)] mod tests;` declaration, so
+//!   it only compiles under test even though the `#[cfg(test)]`
+//!   attribute lives in the parent file;
 //! - other `src/` files are **library** sources when the crate has a
 //!   `src/lib.rs`, binary sources otherwise;
 //! - `tests/` and `benches/` files are **test** sources.
@@ -95,6 +99,11 @@ pub fn gather_workspace(root: &Path) -> io::Result<Vec<FileUnit>> {
         for path in rust_files(&src)? {
             let class = if path == src.join("main.rs") || path.starts_with(&bin_dir) {
                 FileClass::Bin
+            } else if path == src.join("tests.rs") {
+                // The out-of-line `#[cfg(test)] mod tests;` body; the
+                // cfg attribute is in lib.rs, so the lexer's in-file
+                // region marking cannot see it.
+                FileClass::Test
             } else if has_lib {
                 FileClass::Lib
             } else {
@@ -348,6 +357,12 @@ mod tests {
                 && u.crate_name == "cpla-suite"
                 && u.class == FileClass::Test),
             "umbrella integration tests present"
+        );
+        let out_of_line = find("crates/lagrange/src/tests.rs").expect("lagrange tests present");
+        assert_eq!(
+            out_of_line.class,
+            FileClass::Test,
+            "src/tests.rs is the out-of-line #[cfg(test)] mod body"
         );
     }
 

@@ -144,6 +144,11 @@ struct Args {
     /// Also run the first enabled cell at 1 and N threads and record
     /// the wall ratio.
     compare_threads: Option<usize>,
+    /// Extra `LayerAssigner` backends to row up against the CPLA matrix
+    /// (`tila`, `lagrange`, `greedy`, `race`). Only the stdout summary
+    /// gains an `assigners` object; the baseline-checked
+    /// `BENCH_cpla.json` is untouched, so CI diffs stay stable.
+    assigners: Vec<String>,
 }
 
 impl Default for Args {
@@ -168,6 +173,7 @@ impl Default for Args {
             bench_json: Some("BENCH_cpla.json".to_string()),
             preset: None,
             compare_threads: None,
+            assigners: Vec::new(),
         }
     }
 }
@@ -228,6 +234,18 @@ fn parse_args() -> Args {
             "--compare-threads" => {
                 args.compare_threads = Some(value("--compare-threads").parse().unwrap())
             }
+            "--assigners" => {
+                let v = value("--assigners");
+                for name in v.split(',').filter(|s| !s.is_empty()) {
+                    if !matches!(name, "tila" | "lagrange" | "greedy" | "race") {
+                        eprintln!("--assigners expects tila|lagrange|greedy|race (comma-separated), got {name}");
+                        std::process::exit(2);
+                    }
+                    if !args.assigners.iter().any(|a| a == name) {
+                        args.assigners.push(name.to_string());
+                    }
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: cpla-bench [--seed N] [--nets N] [--size WxH] \
@@ -238,7 +256,8 @@ fn parse_args() -> Args {
                      [--trace file.jsonl] \
                      [--alloc-stats] [--trace-chrome file.json] \
                      [--metrics file.txt] [--bench-json file|none] \
-                     [--preset scale-100k|scale-1m] [--compare-threads N]"
+                     [--preset scale-100k|scale-1m] [--compare-threads N] \
+                     [--assigners tila,lagrange,greedy,race]"
                 );
                 std::process::exit(0);
             }
@@ -320,6 +339,67 @@ fn run_mode(
         }
     }
     best.expect("at least one repetition")
+}
+
+/// One `--assigners` row: the named backend run through the
+/// `LayerAssigner` seam on the same routed workload the CPLA matrix
+/// used; minimum wall time over `--reps` repetitions, like `run_mode`.
+fn run_assigner(
+    args: &Args,
+    name: &str,
+    grid: &Grid,
+    netlist: &Netlist,
+    assignment: &Assignment,
+) -> String {
+    let make = || -> Box<dyn flow::LayerAssigner> {
+        let solve_backend = if args.solve_backend == "batched" {
+            SolveBackend::Batched
+        } else {
+            SolveBackend::PerLeaf
+        };
+        match name {
+            "tila" => Box::new(conform::tila_backend(args.ratio)),
+            "lagrange" => Box::new(conform::lagrange_backend(args.ratio)),
+            "greedy" => Box::new(conform::greedy_backend(args.ratio)),
+            // invariant: parse_args rejected every other name.
+            _ => Box::new(conform::race_backend(
+                args.ratio,
+                args.threads,
+                solve_backend,
+            )),
+        }
+    };
+    let mut best: Option<(f64, flow::FlowReport, u64, u64)> = None;
+    for _ in 0..args.reps.max(1) {
+        let mut grid = grid.clone();
+        let mut assignment = assignment.clone();
+        let start = Instant::now();
+        // invariant: the synthetic workload and ratio are well-formed;
+        // a flow error here is a harness bug.
+        let report = make()
+            .assign(&mut grid, netlist, &mut assignment)
+            .expect("benchmark workload is well-formed");
+        let wall_secs = start.elapsed().as_secs_f64();
+        let wire = grid.total_wire_overflow();
+        let via = grid.total_via_overflow();
+        if best.as_ref().is_none_or(|b| wall_secs < b.0) {
+            best = Some((wall_secs, report, wire, via));
+        }
+    }
+    let (wall_secs, report, wire, via) = best.expect("at least one repetition");
+    format!(
+        "\"{name}\":{{\"wall_secs\":{:.6},\"winner\":\"{}\",\
+         \"avg_tcp_initial\":{:.6},\"avg_tcp_final\":{:.6},\
+         \"max_tcp_final\":{:.6},\"wire_overflow\":{wire},\
+         \"via_overflow\":{via},\"rounds\":{},\"released\":{}}}",
+        wall_secs,
+        report.assigner,
+        report.initial_metrics.avg_tcp,
+        report.final_metrics.avg_tcp,
+        report.final_metrics.max_tcp,
+        report.rounds,
+        report.released.len(),
+    )
 }
 
 fn json_stats(s: &PipelineStats) -> String {
@@ -619,6 +699,17 @@ fn main() {
     }
     if let Some(ts) = &thread_scaling {
         fields.push(format!("\"thread_scaling\":{ts}"));
+    }
+    // `--assigners`: cross-backend rows on the identical routed input.
+    // Stdout-only on purpose — BENCH_cpla.json is diffed against a
+    // committed baseline whose key set must not depend on this flag.
+    if !args.assigners.is_empty() {
+        let rows: Vec<String> = args
+            .assigners
+            .iter()
+            .map(|name| run_assigner(&args, name, &grid, &netlist, &assignment))
+            .collect();
+        fields.push(format!("\"assigners\":{{{}}}", rows.join(",")));
     }
     // The backend comparison the batched path exists for: Solve+PostMap
     // wall of the batched cell over its per-leaf twin, per mode.

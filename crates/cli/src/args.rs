@@ -33,6 +33,13 @@ pub enum Assigner {
     Cpla,
     /// The ICCAD'15 TILA Lagrangian baseline.
     Tila,
+    /// The subgradient Lagrangian dual-ascent engine.
+    Lagrange,
+    /// The one-pass greedy longest-path baseline (latency floor).
+    Greedy,
+    /// All four backends raced on scoped threads; best priced result
+    /// wins and is written back.
+    Race,
 }
 
 impl fmt::Display for Assigner {
@@ -40,6 +47,9 @@ impl fmt::Display for Assigner {
         match self {
             Assigner::Cpla => f.write_str("cpla"),
             Assigner::Tila => f.write_str("tila"),
+            Assigner::Lagrange => f.write_str("lagrange"),
+            Assigner::Greedy => f.write_str("greedy"),
+            Assigner::Race => f.write_str("race"),
         }
     }
 }
@@ -60,7 +70,7 @@ pub enum Command {
         /// ISPD'08 input path.
         input: String,
     },
-    /// `optimize <file> [--assigner cpla|tila] [--ratio R]
+    /// `optimize <file> [--assigner cpla|tila|lagrange|greedy|race] [--ratio R]
     /// [--engine sdp|ilp|tila] [--solve-backend per-leaf|batched]
     /// [--neighbors] [--threads N] [--alpha A] [--node-budget N]
     /// [--trace-chrome FILE] [--metrics FILE]`: run incremental layer
@@ -121,7 +131,8 @@ cpla-cli — critical-path layer assignment
 USAGE:
   cpla-cli generate <benchmark> -o <file.ispd>
   cpla-cli report   <file.ispd>
-  cpla-cli optimize <file.ispd> [--assigner cpla|tila] [--ratio 0.005]
+  cpla-cli optimize <file.ispd> [--assigner cpla|tila|lagrange|greedy|race]
+                                [--ratio 0.005]
                                 [--engine sdp|ilp|tila]
                                 [--solve-backend per-leaf|batched]
                                 [--neighbors] [--threads N]
@@ -185,6 +196,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         assigner = Some(match v.as_str() {
                             "cpla" => Assigner::Cpla,
                             "tila" => Assigner::Tila,
+                            "lagrange" => Assigner::Lagrange,
+                            "greedy" => Assigner::Greedy,
+                            "race" => Assigner::Race,
                             other => return Err(format!("unknown assigner `{other}`")),
                         });
                     }
@@ -433,6 +447,22 @@ mod tests {
             }
         ));
         assert!(parse(&v(&["optimize", "d", "--assigner", "magic"])).is_err());
+    }
+
+    #[test]
+    fn portfolio_assigners_parse() {
+        for (name, want) in [
+            ("lagrange", Assigner::Lagrange),
+            ("greedy", Assigner::Greedy),
+            ("race", Assigner::Race),
+        ] {
+            let c = parse(&v(&["optimize", "d.ispd", "--assigner", name])).unwrap();
+            assert!(
+                matches!(c, Command::Optimize { assigner, .. } if assigner == want),
+                "--assigner {name} parsed to the wrong backend"
+            );
+            assert_eq!(want.to_string(), name, "Display drifted from the flag");
+        }
     }
 
     #[test]

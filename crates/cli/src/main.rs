@@ -16,8 +16,10 @@ use std::time::Instant;
 
 use args::{Assigner, Command, Engine, USAGE};
 use cpla::{Cpla, CplaConfig, SolverKind};
-use flow::{FlowError, LayerAssigner};
+use flow::{Cancel, FlowError, Greedy, GreedyConfig, LayerAssigner};
 use ispd::SyntheticConfig;
+use lagrange::{Lagrange, LagrangeConfig};
+use portfolio::Race;
 use route::{initial_assignment, route_netlist, RouterConfig};
 use tila::{Tila, TilaConfig};
 
@@ -270,30 +272,68 @@ fn run(command: Command, out: &mut dyn Write) -> Result<(), CliError> {
             let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
             let mut assignment = initial_assignment(&mut grid, &netlist);
 
-            // Both backends run through the same `LayerAssigner` seam;
-            // `--assigner` only decides which box is built.
-            let backend: Box<dyn LayerAssigner> = match assigner {
-                Assigner::Tila => Box::new(Tila::new(TilaConfig {
+            // Every backend runs through the same `LayerAssigner` seam;
+            // `--assigner` only decides which box is built. The CPLA
+            // flags (`--engine`, `--alpha`, `--neighbors`, ...) carry
+            // into the CPLA lane of a race unchanged.
+            let cpla_box = || -> Box<dyn LayerAssigner + Send + Sync> {
+                let solver = match engine {
+                    Engine::Ilp => SolverKind::Ilp {
+                        node_budget: node_budget.unwrap_or(5_000_000),
+                    },
+                    _ => CplaConfig::default().solver,
+                };
+                let defaults = CplaConfig::default();
+                Box::new(Cpla::new(CplaConfig {
+                    critical_ratio: ratio,
+                    solver,
+                    solve_backend,
+                    release_neighbors: neighbors,
+                    threads,
+                    alpha: alpha.unwrap_or(defaults.alpha),
+                    ..defaults
+                }))
+            };
+            let tila_box = || -> Box<dyn LayerAssigner + Send + Sync> {
+                Box::new(Tila::new(TilaConfig {
                     critical_ratio: ratio,
                     ..TilaConfig::default()
+                }))
+            };
+            let backend: Box<dyn LayerAssigner> = match assigner {
+                Assigner::Cpla => cpla_box(),
+                Assigner::Tila => tila_box(),
+                Assigner::Lagrange => Box::new(Lagrange::new(LagrangeConfig {
+                    critical_ratio: ratio,
+                    ..LagrangeConfig::default()
                 })),
-                Assigner::Cpla => {
-                    let solver = match engine {
-                        Engine::Ilp => SolverKind::Ilp {
-                            node_budget: node_budget.unwrap_or(5_000_000),
-                        },
-                        _ => CplaConfig::default().solver,
-                    };
-                    let defaults = CplaConfig::default();
-                    Box::new(Cpla::new(CplaConfig {
-                        critical_ratio: ratio,
-                        solver,
-                        solve_backend,
-                        release_neighbors: neighbors,
-                        threads,
-                        alpha: alpha.unwrap_or(defaults.alpha),
-                        ..defaults
-                    }))
+                Assigner::Greedy => Box::new(Greedy::new(GreedyConfig {
+                    critical_ratio: ratio,
+                })),
+                Assigner::Race => {
+                    // Lanes in error-precedence order; the shared flag
+                    // lets a poisoned lane stop the cancellable ones.
+                    let cancel = Cancel::new();
+                    Box::new(Race::with_cancel(
+                        vec![
+                            cpla_box(),
+                            tila_box(),
+                            Box::new(Lagrange::cancellable(
+                                LagrangeConfig {
+                                    critical_ratio: ratio,
+                                    ..LagrangeConfig::default()
+                                },
+                                cancel.clone(),
+                            )),
+                            Box::new(Greedy::cancellable(
+                                GreedyConfig {
+                                    critical_ratio: ratio,
+                                },
+                                cancel.clone(),
+                            )),
+                        ],
+                        cancel,
+                    ))
                 }
             };
             outln!(
@@ -328,6 +368,11 @@ fn run(command: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 std::fs::write(path, obs::prom::export(&[&recorder]))
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 outln!(out, "wrote metrics {path}")?;
+            }
+            if assigner == Assigner::Race {
+                // The race replays the winning lane's report verbatim,
+                // so its `assigner` names the lane that won.
+                outln!(out, "race winner: {}", report.assigner)?;
             }
             let initial = report.initial_metrics;
             let m = report.final_metrics;

@@ -182,6 +182,103 @@ fn optimize_writes_trace_and_metrics_artifacts() {
 }
 
 #[test]
+fn a_poisoned_race_lane_maps_to_its_flow_exit_code() {
+    // `--alpha -1` poisons the CPLA lane of the race with a typed
+    // `ConfigError`. The race joins every lane, propagates the first
+    // error in backend-precedence order, and the CLI must surface it
+    // with the same exit code a solo CPLA run would have produced.
+    let f = Scratch::new("race-poison.ispd", TINY);
+    let out = bin()
+        .args([
+            "optimize",
+            f.path(),
+            "--assigner",
+            "race",
+            "--ratio",
+            "1.0",
+            "--alpha",
+            "-1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        exit_of(&out),
+        5,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("alpha"), "{stderr}");
+}
+
+/// The report lines that carry results (winner, release counts, delay
+/// and overflow metrics) with the wall-clock figures stripped: the
+/// trailing `{:.2}s` on the overflow line is the only time-dependent
+/// token in the deterministic output.
+fn result_lines(stdout: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| {
+            l.starts_with("race winner")
+                || l.starts_with("released")
+                || l.starts_with("Avg(Tcp)")
+                || l.starts_with("Max(Tcp)")
+                || l.starts_with("OV#")
+        })
+        .map(|l| {
+            if let Some(idx) = l.rfind("   ") {
+                l[..idx].to_string()
+            } else {
+                l.to_string()
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn a_clean_race_is_bit_deterministic_across_thread_counts() {
+    // The race judges by priced score with an earliest-lane tie-break
+    // after every lane joins, so neither OS scheduling nor the CPLA
+    // lane's `--threads` fan-out may change the winner or the metrics.
+    let f = Scratch::new("race-det.ispd", TINY);
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "4", "1"] {
+        let out = bin()
+            .args([
+                "optimize",
+                f.path(),
+                "--assigner",
+                "race",
+                "--ratio",
+                "1.0",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(
+            exit_of(&out),
+            0,
+            "threads {threads}: stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let lines = result_lines(&out.stdout);
+        assert!(
+            lines.iter().any(|l| l.starts_with("race winner")),
+            "no winner line in: {lines:?}"
+        );
+        runs.push((threads, lines));
+    }
+    let (_, first) = &runs[0];
+    for (threads, lines) in &runs[1..] {
+        assert_eq!(
+            lines, first,
+            "race output drifted between --threads 1 and --threads {threads}"
+        );
+    }
+}
+
+#[test]
 fn a_starved_ilp_budget_degrades_gracefully() {
     // Even a 1-node branch-and-bound budget must not fail the run: the
     // greedy seed ("stay on current layers" is always hard-feasible)

@@ -20,7 +20,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: cpla-conform [--trials N] [--seed S] [--max-combos M] \
-[--gap-bound G] [--backend per-leaf|batched] [--out DIR] [--verbose]";
+[--gap-bound G] [--lagrange-gap-bound G] [--greedy-gap-bound G] \
+[--backend per-leaf|batched] [--out DIR] [--verbose]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -44,6 +45,18 @@ fn parse_args() -> Result<Args, String> {
                 args.cfg.cpla_gap_bound = v
                     .parse::<f64>()
                     .map_err(|_| format!("--gap-bound: not a number: {v}"))?;
+            }
+            "--lagrange-gap-bound" => {
+                let v = value("--lagrange-gap-bound")?;
+                args.cfg.lagrange_gap_bound = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--lagrange-gap-bound: not a number: {v}"))?;
+            }
+            "--greedy-gap-bound" => {
+                let v = value("--greedy-gap-bound")?;
+                args.cfg.greedy_gap_bound = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--greedy-gap-bound: not a number: {v}"))?;
             }
             "--backend" => {
                 let v = value("--backend")?;
@@ -124,6 +137,10 @@ fn main() -> ExitCode {
     let mut worst_cpla_gap: Option<(f64, u64)> = None;
     let mut worst_gated_gap: Option<(f64, u64)> = None;
     let mut worst_tila_gap: Option<(f64, u64)> = None;
+    let mut worst_lagrange_gap: Option<(f64, u64)> = None;
+    let mut worst_gated_lagrange: Option<(f64, u64)> = None;
+    let mut worst_greedy_gap: Option<(f64, u64)> = None;
+    let mut worst_gated_greedy: Option<(f64, u64)> = None;
     let mut notes = 0usize;
 
     for trial in 0..args.trials {
@@ -142,11 +159,15 @@ fn main() -> ExitCode {
         } else if args.verbose {
             println!("conform: trial {trial} [{}]", out.params.describe());
         }
-        let gated_gap = if out.gap_gated { out.cpla_gap } else { None };
+        let gate = |g: Option<f64>| if out.gap_gated { g } else { None };
         for (g, worst) in [
             (out.cpla_gap, &mut worst_cpla_gap),
-            (gated_gap, &mut worst_gated_gap),
+            (gate(out.cpla_gap), &mut worst_gated_gap),
             (out.tila_gap, &mut worst_tila_gap),
+            (out.lagrange_gap, &mut worst_lagrange_gap),
+            (gate(out.lagrange_gap), &mut worst_gated_lagrange),
+            (out.greedy_gap, &mut worst_greedy_gap),
+            (gate(out.greedy_gap), &mut worst_gated_greedy),
         ] {
             if let Some(g) = g {
                 if worst.map(|(w, _)| g > w).unwrap_or(true) {
@@ -274,6 +295,24 @@ fn main() -> ExitCode {
     }
     if let Some((g, t)) = worst_tila_gap {
         println!("conform: worst tila gap {g:.4} (trial {t}, reported only)");
+    }
+    if let Some((g, t)) = worst_lagrange_gap {
+        println!("conform: worst lagrange gap {g:.4} (trial {t})");
+    }
+    if let Some((g, t)) = worst_gated_lagrange {
+        println!(
+            "conform: worst gated lagrange gap {g:.4} (trial {t}, bound {})",
+            args.cfg.lagrange_gap_bound
+        );
+    }
+    if let Some((g, t)) = worst_greedy_gap {
+        println!("conform: worst greedy gap {g:.4} (trial {t})");
+    }
+    if let Some((g, t)) = worst_gated_greedy {
+        println!(
+            "conform: worst gated greedy gap {g:.4} (trial {t}, bound {})",
+            args.cfg.greedy_gap_bound
+        );
     }
 
     if failed_trials > 0 {

@@ -104,6 +104,46 @@ fn post_mapping_honors_the_relaxations_preference() {
     );
 }
 
+/// Pinned from the portfolio calibration campaign (`cpla-conform
+/// --trials 200 --seed 42 --lagrange-gap-bound 0.0001`): the worst
+/// gated Lagrangian instance — a single net on a plain 7x6x8 grid
+/// where ten subgradient rounds land 3.98% above the 4096-combo
+/// exhaustive optimum. The calibrated default bound (0.06) accepts
+/// this gap with ~50% headroom; the test guards both the bound and
+/// the engine, since any determinism or legalization regression would
+/// widen the gap past the gate.
+#[test]
+fn replays_seed42_trial20_lagrange() {
+    let w = conform::io::workload_from_str(include_str!(
+        "data/seed42-trial20-lagrange-gap-exceeded.json"
+    ))
+    .unwrap();
+    let mut rng = Rng::seed_from_u64(42).fork(20);
+    let _ = GenParams::lattice(20, &mut rng);
+    let out = check_workload(&TrialConfig::default(), &w, &mut rng);
+    assert!(out.passed(), "{:?}", out.failures);
+}
+
+/// Pinned from the same campaign with `--greedy-gap-bound 0.0001`:
+/// the worst gated greedy instance — a single net crossing a
+/// zero-capacity-layer 8x7x7 grid where the one-pass longest-path
+/// heuristic lands 40.0% above the 20736-combo optimum. Greedy is the
+/// latency floor, not an optimizer, so its calibrated bound (0.50)
+/// only guards against pathological blowups; the hard gate it must
+/// never trip is feasibility (zero overflow added), which
+/// `check_workload` asserts unconditionally on this workload too.
+#[test]
+fn replays_seed42_trial82_greedy() {
+    let w = conform::io::workload_from_str(include_str!(
+        "data/seed42-trial82-greedy-gap-exceeded.json"
+    ))
+    .unwrap();
+    let mut rng = Rng::seed_from_u64(42).fork(82);
+    let _ = GenParams::lattice(82, &mut rng);
+    let out = check_workload(&TrialConfig::default(), &w, &mut rng);
+    assert!(out.passed(), "{:?}", out.failures);
+}
+
 /// End-to-end conformance on the dead-layer corner that first exposed
 /// the bug: every gate (constraint audit, metrics agreement, priced
 /// non-regression, rerun determinism, metamorphic properties) must

@@ -1,0 +1,60 @@
+//! Cooperative cancellation for racing backends.
+//!
+//! A [`Cancel`] is a cheap cloneable flag the portfolio driver hands to
+//! every backend it races: when one backend fails (or a caller loses
+//! interest), the driver trips the flag and cooperative engines stop at
+//! their next checkpoint instead of burning the rest of their round
+//! budget. Cancellation is advisory — an engine that never polls the
+//! flag still terminates normally, and a cancelled engine must still
+//! leave the grid/assignment pair in a consistent state.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, clonable cancellation flag.
+///
+/// The default value is a fresh, untripped flag; clones observe the
+/// same underlying state.
+#[derive(Clone, Debug, Default)]
+pub struct Cancel {
+    flag: Arc<AtomicBool>,
+}
+
+impl Cancel {
+    /// A fresh, untripped flag.
+    pub fn new() -> Cancel {
+        Cancel::default()
+    }
+
+    /// Trips the flag; every clone observes the cancellation.
+    pub fn cancel(&self) {
+        // sync: a monotonic one-way latch — relaxed ordering suffices
+        // because pollers only read the boolean, never data behind it.
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        // sync: see `cancel` — one relaxed load per checkpoint.
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_flag() {
+        let a = Cancel::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn default_is_untripped() {
+        assert!(!Cancel::default().is_cancelled());
+    }
+}

@@ -16,16 +16,23 @@
 //!   through the stage drivers; wall-time stats and JSON-lines tracing
 //!   are both observers rather than engine branches.
 //!
-//! The crate also hosts the engine-neutral pieces both backends share:
-//! the Table-2 quality [`Metrics`] and [`select_critical_nets`].
+//! The crate also hosts the engine-neutral pieces every backend shares:
+//! the Table-2 quality [`Metrics`], [`select_critical_nets`], the
+//! cooperative [`Cancel`] flag racing drivers hand to their backends,
+//! and the [`Greedy`] longest-path baseline — the trait's own reference
+//! implementation and the portfolio's latency floor.
 
+mod cancel;
 mod error;
+mod greedy;
 mod instance;
 mod metrics;
 mod observer;
 mod select;
 
+pub use cancel::Cancel;
 pub use error::{ConfigError, FlowError, InputError, InvariantError};
+pub use greedy::{Greedy, GreedyConfig, GreedyResult};
 pub use grid::GridError;
 pub use instance::Instance;
 pub use ispd::ParseError;

@@ -1,0 +1,394 @@
+use super::*;
+use grid::{Cell, Direction, GridBuilder};
+use net::{NetSpec, Pin};
+use prng::Rng;
+use route::{initial_assignment, route_netlist, RouterConfig};
+
+/// Full sweeps only under `--features proptest`; a fast spot check
+/// otherwise so tier-1 stays quick.
+fn sweep_cases() -> usize {
+    if cfg!(feature = "proptest") {
+        24
+    } else {
+        6
+    }
+}
+
+fn fixture() -> (Grid, Netlist, Assignment) {
+    let mut grid = GridBuilder::new(24, 24)
+        .alternating_layers(6, Direction::Horizontal)
+        .uniform_capacity(4)
+        .build()
+        .unwrap();
+    let mut specs = Vec::new();
+    for i in 0..6u16 {
+        specs.push(NetSpec::new(
+            format!("long{i}"),
+            vec![
+                Pin::source(Cell::new(0, 8 + i), 0.0),
+                Pin::sink(Cell::new(20, 8 + i), 3.0),
+                Pin::sink(Cell::new(12, (2 + 2 * i) % 24), 2.0),
+            ],
+        ));
+    }
+    for i in 0..8u16 {
+        specs.push(NetSpec::new(
+            format!("short{i}"),
+            vec![
+                Pin::source(Cell::new(2 + 2 * i, 2), 0.0),
+                Pin::sink(Cell::new(2 + 2 * i + 1, 4), 1.0),
+            ],
+        ));
+    }
+    let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+    let assignment = initial_assignment(&mut grid, &netlist);
+    (grid, netlist, assignment)
+}
+
+/// A random congested lattice driven by one seed: the shape generator
+/// for the property sweeps.
+fn random_fixture(seed: u64) -> (Grid, Netlist, Assignment) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let w = rng.range_u16(10, 28);
+    let h = rng.range_u16(10, 28);
+    let layers = rng.range_usize(4, 8);
+    let cap = rng.range_u32(2, 6);
+    let mut grid = GridBuilder::new(w, h)
+        .alternating_layers(layers, Direction::Horizontal)
+        .uniform_capacity(cap)
+        .build()
+        .unwrap();
+    let nets = rng.range_usize(4, 12);
+    let mut specs = Vec::new();
+    for i in 0..nets {
+        let sx = rng.range_u16(0, w - 1);
+        let sy = rng.range_u16(0, h - 1);
+        let mut pins = vec![Pin::source(Cell::new(sx, sy), 0.0)];
+        for _ in 0..rng.range_usize(1, 4) {
+            let tx = rng.range_u16(0, w - 1);
+            let ty = rng.range_u16(0, h - 1);
+            if (tx, ty) == (sx, sy) {
+                continue;
+            }
+            pins.push(Pin::sink(Cell::new(tx, ty), rng.range_f64(0.5, 3.0)));
+        }
+        if pins.len() < 2 {
+            pins.push(Pin::sink(Cell::new((sx + 1) % w, sy), 1.0));
+        }
+        specs.push(NetSpec::new(format!("r{i}"), pins));
+    }
+    let netlist = route_netlist(&grid, &specs, &RouterConfig::default());
+    let assignment = initial_assignment(&mut grid, &netlist);
+    (grid, netlist, assignment)
+}
+
+#[test]
+fn improves_weighted_objective_on_congested_corridor() {
+    let (mut grid, nl, mut a) = fixture();
+    let released: Vec<usize> = (0..6).collect();
+    let r = Lagrange::new(LagrangeConfig::default())
+        .run(&mut grid, &nl, &mut a, &released)
+        .unwrap();
+    assert!(
+        r.final_objective <= r.initial_objective,
+        "{} > {}",
+        r.final_objective,
+        r.initial_objective
+    );
+    a.validate(&nl, &grid).unwrap();
+}
+
+#[test]
+fn grid_usage_stays_consistent() {
+    let (mut grid, nl, mut a) = fixture();
+    let released: Vec<usize> = (0..6).collect();
+    Lagrange::new(LagrangeConfig::default())
+        .run(&mut grid, &nl, &mut a, &released)
+        .unwrap();
+    let mut fresh = grid.clone();
+    for i in 0..nl.len() {
+        net::remove_net_from_grid(&mut fresh, nl.net(i), a.net_layers(i));
+    }
+    for i in 0..nl.len() {
+        net::restore_net_to_grid(&mut fresh, nl.net(i), a.net_layers(i));
+    }
+    assert_eq!(fresh, grid);
+}
+
+#[test]
+fn untouched_nets_keep_their_layers() {
+    let (mut grid, nl, mut a) = fixture();
+    let before: Vec<Vec<usize>> = (6..nl.len()).map(|i| a.net_layers(i).to_vec()).collect();
+    Lagrange::new(LagrangeConfig::default())
+        .run(&mut grid, &nl, &mut a, &[0, 1])
+        .unwrap();
+    for (k, i) in (6..nl.len()).enumerate() {
+        assert_eq!(a.net_layers(i), before[k].as_slice());
+    }
+}
+
+#[test]
+fn empty_release_set_is_a_no_op() {
+    let (mut grid, nl, mut a) = fixture();
+    let before = a.clone();
+    let r = Lagrange::new(LagrangeConfig::default())
+        .run(&mut grid, &nl, &mut a, &[])
+        .unwrap();
+    assert_eq!(a, before);
+    assert_eq!(r.rounds_run, 0);
+}
+
+// ---- satellite: dual feasibility ---------------------------------------
+
+#[test]
+fn multipliers_stay_dual_feasible_across_seeds() {
+    let mut picker = Rng::seed_from_u64(0xd0a1);
+    for _ in 0..sweep_cases() {
+        let seed = picker.range_u64(0, 9_999);
+        let (mut grid, nl, mut a) = random_fixture(seed);
+        let released: Vec<usize> = (0..nl.len().min(6)).collect();
+        let r = Lagrange::new(LagrangeConfig::default())
+            .run(&mut grid, &nl, &mut a, &released)
+            .unwrap();
+        assert!(
+            r.min_multiplier >= 0.0,
+            "seed {seed}: projection must keep λ ≥ 0, got {}",
+            r.min_multiplier
+        );
+        a.validate(&nl, &grid).unwrap();
+    }
+}
+
+#[test]
+fn subgradient_step_projects_onto_the_nonnegative_orthant() {
+    let (grid, _nl, _a) = fixture();
+    let mut lambda = Multipliers::zeros(&grid);
+    // An empty grid has usage ≤ capacity everywhere, so a positive step
+    // can only push multipliers negative — the projection must clamp.
+    lambda.subgradient_step(&grid, 10.0, 1.0);
+    assert!(lambda.is_dual_feasible());
+    assert_eq!(lambda.min(), 0.0);
+}
+
+// ---- satellite: weak duality -------------------------------------------
+
+#[test]
+fn weak_duality_holds_in_the_final_frozen_context() {
+    let mut picker = Rng::seed_from_u64(0xb0d);
+    for _ in 0..sweep_cases() {
+        let seed = picker.range_u64(0, 9_999);
+        let (mut grid, nl, mut a) = random_fixture(seed);
+        let released: Vec<usize> = (0..nl.len().min(8)).collect();
+        let r = Lagrange::new(LagrangeConfig::default())
+            .run(&mut grid, &nl, &mut a, &released)
+            .unwrap();
+        if r.final_relaxation_feasible {
+            let tol = 1e-9 * (1.0 + r.final_primal_surrogate.abs());
+            assert!(
+                r.final_dual_bound <= r.final_primal_surrogate + tol,
+                "seed {seed}: weak duality violated: g(λ)={} > f(x)={}",
+                r.final_dual_bound,
+                r.final_primal_surrogate
+            );
+        }
+    }
+}
+
+#[test]
+fn dual_value_bounds_every_charged_feasible_assignment() {
+    // Direct form of weak duality, independent of the engine loop:
+    // for any λ ≥ 0 and ANY charged-feasible x, g(λ) ≤ f(x).
+    let mut picker = Rng::seed_from_u64(0x3ead);
+    for _ in 0..sweep_cases() {
+        let seed = picker.range_u64(0, 9_999);
+        let (mut grid, nl, a) = random_fixture(seed);
+        let released: Vec<usize> = (0..nl.len().min(6)).collect();
+        let frozen: Vec<Vec<usize>> = released.iter().map(|&i| a.net_layers(i).to_vec()).collect();
+        let weights = vec![1.0; released.len()];
+        for (&i, layers) in released.iter().zip(&frozen) {
+            net::remove_net_from_grid(&mut grid, nl.net(i), layers);
+        }
+        let relax = Relaxation::new(&grid, &nl, &released, &frozen, &weights);
+
+        // A random non-negative λ.
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5eed);
+        let mut lambda = Multipliers::zeros(&grid);
+        for l in 0..lambda.num_layers() {
+            for e in 0..lambda.edge_row_len(l) {
+                *lambda.edge_mut(l, e) = rng.range_f64(0.0, 0.25);
+            }
+            for c in 0..lambda.via_row_len(l) {
+                *lambda.via_mut(l, c) = rng.range_f64(0.0, 0.25);
+            }
+        }
+        assert!(lambda.is_dual_feasible());
+        let dual = relax.dual_value(&lambda, 1);
+
+        // A few random candidate assignments; check only the
+        // charged-feasible ones.
+        let mut checked = 0;
+        for _ in 0..8 {
+            let candidate: Vec<Vec<usize>> = released
+                .iter()
+                .map(|&i| {
+                    let tree = nl.net(i).tree();
+                    (0..tree.num_segments())
+                        .map(|s| {
+                            let dir = tree.segment(s).dir;
+                            let opts: Vec<usize> = grid.layers_in_direction(dir).collect();
+                            opts[rng.range_usize(0, opts.len() - 1)]
+                        })
+                        .collect()
+                })
+                .collect();
+            if relax.charged_feasible(&candidate) {
+                let primal = relax.primal_value(&candidate);
+                let tol = 1e-9 * (1.0 + primal.abs());
+                assert!(
+                    dual <= primal + tol,
+                    "seed {seed}: g(λ)={dual} > f(x)={primal}"
+                );
+                checked += 1;
+            }
+        }
+        // The frozen input itself is charged-feasible by construction
+        // (it fit the grid before removal), so at least it must count.
+        if relax.charged_feasible(&frozen) {
+            let primal = relax.primal_value(&frozen);
+            assert!(dual <= primal + 1e-9 * (1.0 + primal.abs()));
+            checked += 1;
+        }
+        assert!(checked > 0, "seed {seed}: no feasible candidate sampled");
+    }
+}
+
+// ---- satellite: determinism --------------------------------------------
+
+#[test]
+fn deterministic_across_reruns() {
+    let (mut g1, nl1, mut a1) = fixture();
+    let (mut g2, nl2, mut a2) = fixture();
+    let released: Vec<usize> = (0..6).collect();
+    let r1 = Lagrange::new(LagrangeConfig::default())
+        .run(&mut g1, &nl1, &mut a1, &released)
+        .unwrap();
+    let r2 = Lagrange::new(LagrangeConfig::default())
+        .run(&mut g2, &nl2, &mut a2, &released)
+        .unwrap();
+    assert_eq!(a1, a2);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn bit_identical_across_thread_counts() {
+    let mut picker = Rng::seed_from_u64(0x7ead);
+    for _ in 0..sweep_cases() {
+        let seed = picker.range_u64(0, 9_999);
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let (mut grid, nl, mut a) = random_fixture(seed);
+            let released: Vec<usize> = (0..nl.len().min(8)).collect();
+            let config = LagrangeConfig {
+                threads,
+                ..LagrangeConfig::default()
+            };
+            let r = Lagrange::new(config)
+                .run(&mut grid, &nl, &mut a, &released)
+                .unwrap();
+            outcomes.push((a, r));
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "seed {seed}: threads=1 vs threads=2 diverged"
+        );
+        assert_eq!(
+            outcomes[0], outcomes[2],
+            "seed {seed}: threads=1 vs threads=4 diverged"
+        );
+    }
+}
+
+// ---- config + assigner plumbing ----------------------------------------
+
+#[test]
+fn invalid_configs_are_config_errors() {
+    let (mut grid, nl, mut a) = fixture();
+    for config in [
+        LagrangeConfig {
+            step_scale: -1.0,
+            ..LagrangeConfig::default()
+        },
+        LagrangeConfig {
+            decay: StepDecay::Geometric { ratio: 1.5 },
+            ..LagrangeConfig::default()
+        },
+        LagrangeConfig {
+            via_weight: f64::NAN,
+            ..LagrangeConfig::default()
+        },
+        LagrangeConfig {
+            focus: -0.5,
+            ..LagrangeConfig::default()
+        },
+        LagrangeConfig {
+            threads: 0,
+            ..LagrangeConfig::default()
+        },
+        LagrangeConfig {
+            critical_ratio: 1.5,
+            ..LagrangeConfig::default()
+        },
+    ] {
+        let err = Lagrange::new(config)
+            .run(&mut grid, &nl, &mut a, &[0])
+            .unwrap_err();
+        assert!(matches!(err, FlowError::Config(_)), "{config:?}: {err}");
+    }
+}
+
+#[test]
+fn step_decay_schedules_shrink() {
+    for decay in [
+        StepDecay::Harmonic,
+        StepDecay::SqrtHarmonic,
+        StepDecay::Geometric { ratio: 0.7 },
+    ] {
+        assert_eq!(decay.factor(1), 1.0, "{decay:?}");
+        let mut prev = 1.0;
+        for k in 2..=8 {
+            let f = decay.factor(k);
+            assert!(f > 0.0 && f < prev, "{decay:?} round {k}: {f} vs {prev}");
+            prev = f;
+        }
+    }
+}
+
+#[test]
+fn cancelled_run_returns_early_with_a_valid_state() {
+    let (mut grid, nl, mut a) = fixture();
+    let released: Vec<usize> = (0..6).collect();
+    let cancel = Cancel::new();
+    cancel.cancel();
+    let engine = Lagrange::cancellable(LagrangeConfig::default(), cancel);
+    let r = engine.run(&mut grid, &nl, &mut a, &released).unwrap();
+    assert_eq!(r.rounds_run, 0);
+    assert_eq!(r.final_objective, r.initial_objective);
+    a.validate(&nl, &grid).unwrap();
+}
+
+#[test]
+fn assigner_impl_reports_released_and_rounds() {
+    let (mut grid, nl, mut a) = fixture();
+    let engine = Lagrange::new(LagrangeConfig {
+        critical_ratio: 0.25,
+        ..LagrangeConfig::default()
+    });
+    assert_eq!(LayerAssigner::name(&engine), "lagrange");
+    assert!(engine.config_description().contains("lagrange"));
+    let report = engine.assign(&mut grid, &nl, &mut a).unwrap();
+    assert_eq!(report.assigner, "lagrange");
+    assert!(!report.released.is_empty());
+    assert_eq!(report.rounds, LagrangeConfig::default().rounds);
+    assert!(report.final_metrics.avg_tcp <= report.initial_metrics.avg_tcp * (1.0 + 1e-9));
+    a.validate(&nl, &grid).unwrap();
+}

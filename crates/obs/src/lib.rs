@@ -13,6 +13,9 @@
 //! * [`CountingAlloc`] ([`alloc`]) — an opt-in `#[global_allocator]`
 //!   wrapper counting bytes/events per thread and live/peak bytes
 //!   process-wide; disabled it costs one relaxed load per call.
+//! * [`EventLog`] ([`replay`]) — an order-preserving buffer of observer
+//!   callbacks; racing drivers record per-backend on worker threads and
+//!   replay the winner into the real observers on the driver thread.
 //! * [`chrome`] — exports recorders as Chrome `trace_event` JSON for
 //!   `chrome://tracing` / Perfetto.
 //! * [`prom`] — exports a flat Prometheus text dump.
@@ -25,9 +28,11 @@
 pub mod alloc;
 pub mod chrome;
 pub mod prom;
+pub mod replay;
 pub mod span;
 pub mod stats;
 
 pub use alloc::{AllocStats, CountingAlloc, ScopedEnable};
+pub use replay::{Event, EventLog};
 pub use span::{Recorder, SpanKind, SpanRecord};
 pub use stats::{summarize, StageSummary};

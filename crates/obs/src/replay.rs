@@ -1,0 +1,172 @@
+//! Deferred observer delivery for racing drivers.
+//!
+//! [`StageObserver`] callbacks are specified to arrive on the driver
+//! thread, outside any parallel section, so observers need no
+//! synchronization. A portfolio driver that runs whole backends on
+//! worker threads cannot call the caller's observers from those
+//! threads without breaking that contract — instead each racing
+//! backend records into its own [`EventLog`] (which *is* a
+//! `StageObserver`, living entirely on that backend's thread), and
+//! after the join the driver replays the winner's log into the real
+//! observers, in recorded order, on its own thread.
+//!
+//! Replay preserves event order and payloads exactly; only wall-clock
+//! arrival time shifts. Anything built on `StageObserver` (the
+//! [`Recorder`](crate::Recorder) span tree, stats, tracing) works
+//! unchanged behind a replay.
+
+use flow::{LeafSpan, RoundSnapshot, Stage, StageObserver};
+
+/// One buffered [`StageObserver`] callback.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Event {
+    /// `on_stage_start(round, stage)`.
+    StageStart {
+        /// 1-based round.
+        round: usize,
+        /// The stage that started.
+        stage: Stage,
+    },
+    /// `on_leaf(..)`.
+    Leaf(LeafSpan),
+    /// `on_stage_end(round, stage, seconds)`.
+    StageEnd {
+        /// 1-based round.
+        round: usize,
+        /// The stage that finished.
+        stage: Stage,
+        /// Stage wall time.
+        seconds: f64,
+    },
+    /// `on_round_end(..)`.
+    RoundEnd(RoundSnapshot),
+}
+
+/// An order-preserving buffer of observer callbacks.
+///
+/// Implements [`StageObserver`] by recording; [`EventLog::replay_into`]
+/// re-delivers everything to real observers later, on the caller's
+/// thread.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The buffered events, in arrival order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Delivers every buffered event to each observer, in recorded
+    /// order. The log is left intact (replay is repeatable).
+    pub fn replay_into(&self, observers: &mut [&mut dyn StageObserver]) {
+        for event in &self.events {
+            for obs in observers.iter_mut() {
+                match *event {
+                    Event::StageStart { round, stage } => obs.on_stage_start(round, stage),
+                    Event::Leaf(ref leaf) => obs.on_leaf(leaf),
+                    Event::StageEnd {
+                        round,
+                        stage,
+                        seconds,
+                    } => obs.on_stage_end(round, stage, seconds),
+                    Event::RoundEnd(ref snap) => obs.on_round_end(snap),
+                }
+            }
+        }
+    }
+}
+
+impl StageObserver for EventLog {
+    fn on_stage_start(&mut self, round: usize, stage: Stage) {
+        self.events.push(Event::StageStart { round, stage });
+    }
+
+    fn on_leaf(&mut self, leaf: &LeafSpan) {
+        self.events.push(Event::Leaf(*leaf));
+    }
+
+    fn on_stage_end(&mut self, round: usize, stage: Stage, seconds: f64) {
+        self.events.push(Event::StageEnd {
+            round,
+            stage,
+            seconds,
+        });
+    }
+
+    fn on_round_end(&mut self, snapshot: &RoundSnapshot) {
+        self.events.push(Event::RoundEnd(*snapshot));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow::FlowCounters;
+
+    fn sample_run(obs: &mut dyn StageObserver) {
+        obs.on_stage_start(1, Stage::Solve);
+        obs.on_leaf(&LeafSpan {
+            round: 1,
+            stage: Stage::Solve,
+            index: 3,
+            items: 7,
+            thread: 2,
+            start_secs: 0.1,
+            dur_secs: 0.2,
+            alloc_bytes: 64,
+            alloc_events: 1,
+        });
+        obs.on_stage_end(1, Stage::Solve, 0.5);
+        obs.on_round_end(&RoundSnapshot {
+            round: 1,
+            objective: 42.0,
+            improved: true,
+            counters: FlowCounters::default(),
+        });
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_sequence_exactly() {
+        let mut log = EventLog::new();
+        sample_run(&mut log);
+        assert_eq!(log.len(), 4);
+
+        // Replaying into a second log must clone the event stream.
+        let mut echo = EventLog::new();
+        log.replay_into(&mut [&mut echo]);
+        assert_eq!(log.events(), echo.events());
+
+        // Replay is repeatable — the log is not drained.
+        let mut again = EventLog::new();
+        log.replay_into(&mut [&mut again]);
+        assert_eq!(log.events(), again.events());
+    }
+
+    #[test]
+    fn replay_fans_out_to_multiple_observers() {
+        let mut log = EventLog::new();
+        sample_run(&mut log);
+        let mut a = EventLog::new();
+        let mut b = EventLog::new();
+        log.replay_into(&mut [&mut a, &mut b]);
+        assert_eq!(a.events(), log.events());
+        assert_eq!(b.events(), log.events());
+    }
+}

@@ -8,7 +8,9 @@ pub use cpla;
 pub use flow;
 pub use grid;
 pub use ispd;
+pub use lagrange;
 pub use net;
+pub use portfolio;
 pub use route;
 pub use solver;
 pub use tila;
